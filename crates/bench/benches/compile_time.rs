@@ -1,0 +1,56 @@
+//! Criterion bench for experiment E3: compile-time cost of the full
+//! pipeline (analysis → graphs → Tarjan/TAV → matrices) at three schema
+//! sizes, plus the TAV stage alone. Linearity shows as the per-size
+//! ratios tracking the size ratios.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use finecc_sim::workload::{generate_source, SchemaGenConfig};
+use std::hint::black_box;
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile");
+    for classes in [10usize, 40, 160] {
+        let cfg = SchemaGenConfig {
+            classes,
+            method_pool: 12,
+            seed: 1,
+            multi_parent_prob: 0.0,
+            ..SchemaGenConfig::default()
+        };
+        let src = generate_source(&cfg);
+        let (schema, bodies) = finecc_lang::build_schema(&src).expect("builds");
+
+        group.bench_with_input(
+            BenchmarkId::new("full_pipeline", classes),
+            &classes,
+            |b, _| {
+                b.iter(|| {
+                    let compiled =
+                        finecc_core::compile(black_box(&schema), black_box(&bodies)).unwrap();
+                    black_box(compiled.total_modes())
+                })
+            },
+        );
+
+        // TAV stage in isolation (Defs 9–10 on pre-extracted facts).
+        let extraction = finecc_core::extract(&schema, &bodies).unwrap();
+        group.bench_with_input(BenchmarkId::new("tav_stage", classes), &classes, |b, _| {
+            b.iter(|| {
+                let compiled = finecc_core::compiler::compile_with_extraction(
+                    black_box(&schema),
+                    extraction.clone(),
+                )
+                .unwrap();
+                black_box(compiled.total_modes())
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("parse_only", classes), &classes, |b, _| {
+            b.iter(|| black_box(finecc_lang::build_schema(black_box(&src)).unwrap().0.class_count()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile);
+criterion_main!(benches);

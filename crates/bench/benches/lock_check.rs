@@ -1,0 +1,73 @@
+//! Criterion bench for experiment E4 — claim (2): "run-time checking of
+//! commutativity is as efficient as for compatibility."
+//!
+//! Compares the per-check cost of (a) the generated commutativity-matrix
+//! lookup, (b) the classical RW check, (c) raw access-vector
+//! commutativity (what locking with vectors would cost, §5.1's argument
+//! for translating to modes), and (d) a full lock-manager
+//! acquire/release round trip under each source.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use finecc_lang::parser::FIGURE1_SOURCE;
+use finecc_lock::{CommutSource, LockManager, LockMode, ModeSource, ResourceId, RwSource, READ};
+use finecc_model::Oid;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_checks(c: &mut Criterion) {
+    let (schema, bodies) = finecc_lang::build_schema(FIGURE1_SOURCE).unwrap();
+    let compiled = Arc::new(finecc_core::compile(&schema, &bodies).unwrap());
+    let c2 = schema.class_by_name("c2").unwrap();
+    let table = compiled.class(c2).clone();
+    let m1 = table.index_of("m1").unwrap();
+    let m3 = table.index_of("m3").unwrap();
+    let tav1 = table.tav(m1).clone();
+    let tav3 = table.tav(m3).clone();
+
+    let mut group = c.benchmark_group("check");
+    group.bench_function("commut_matrix_lookup", |b| {
+        b.iter(|| black_box(table.commute(black_box(m1), black_box(m3))))
+    });
+    group.bench_function("rw_table_lookup", |b| {
+        let src = RwSource;
+        let res = ResourceId::Instance(Oid(1), c2);
+        b.iter(|| black_box(src.modes_compatible(&res, black_box(READ), black_box(READ))))
+    });
+    group.bench_function("access_vector_commutes", |b| {
+        b.iter(|| black_box(tav1.commutes(black_box(&tav3))))
+    });
+    // A wide vector, to show the O(|fields|) cost §5.1 avoids.
+    let wide_a: finecc_core::AccessVector = (0..64)
+        .map(|i| (finecc_model::FieldId(i), finecc_core::AccessMode::Read))
+        .collect();
+    let wide_b: finecc_core::AccessVector = (0..64)
+        .map(|i| (finecc_model::FieldId(i), finecc_core::AccessMode::Read))
+        .collect();
+    group.bench_function("access_vector_commutes_64_fields", |b| {
+        b.iter(|| black_box(wide_a.commutes(black_box(&wide_b))))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("acquire_release");
+    let lm_commut = LockManager::new(CommutSource::new(Arc::clone(&compiled)));
+    let res = ResourceId::Instance(Oid(1), c2);
+    group.bench_function("commut_manager", |b| {
+        b.iter(|| {
+            let t = lm_commut.begin();
+            lm_commut.try_acquire(t, res, LockMode::plain(m3 as u16));
+            lm_commut.release_all(t);
+        })
+    });
+    let lm_rw = LockManager::new(RwSource);
+    group.bench_function("rw_manager", |b| {
+        b.iter(|| {
+            let t = lm_rw.begin();
+            lm_rw.try_acquire(t, res, LockMode::plain(READ));
+            lm_rw.release_all(t);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_checks);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion bench for experiment E5 — end-to-end cost of one top
+//! message whose execution self-sends through a chain of depth 8, under
+//! each scheme (lock traffic included). The gap between `tav` and the
+//! per-message/per-field baselines is the P2 overhead in wall-clock form.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use finecc_bench::{chain_schema, env_of};
+use finecc_model::Value;
+use finecc_runtime::SchemeKind;
+use std::hint::black_box;
+
+fn bench_nested(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nested_call_depth8");
+    for kind in [SchemeKind::Tav, SchemeKind::Rw, SchemeKind::FieldLock] {
+        let env = env_of(&chain_schema(8));
+        let chain = env.schema.class_by_name("chain").unwrap();
+        let oid = env.db.create(chain);
+        let scheme = kind.build(env);
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let mut txn = scheme.begin();
+                let v = scheme
+                    .send(&mut txn, oid, "m0", black_box(&[Value::Int(1)]))
+                    .unwrap();
+                scheme.commit(txn);
+                black_box(v)
+            })
+        });
+    }
+    group.finish();
+
+    // Baseline: the bare interpreter with no concurrency control at all,
+    // to separate locking cost from execution cost.
+    let mut group = c.benchmark_group("nested_call_depth8_nolock");
+    let env = env_of(&chain_schema(8));
+    let chain = env.schema.class_by_name("chain").unwrap();
+    let oid = env.db.create(chain);
+    struct Raw<'a>(&'a finecc_runtime::Env);
+    impl finecc_lang::DataAccess for Raw<'_> {
+        fn class_of(&mut self, oid: finecc_model::Oid) -> Result<finecc_model::ClassId, finecc_lang::ExecError> {
+            self.0.db.class_of(oid).map_err(finecc_runtime::Env::store_err)
+        }
+        fn read_field(
+            &mut self,
+            oid: finecc_model::Oid,
+            f: finecc_model::FieldId,
+        ) -> Result<Value, finecc_lang::ExecError> {
+            self.0.db.read(oid, f).map_err(finecc_runtime::Env::store_err)
+        }
+        fn write_field(
+            &mut self,
+            oid: finecc_model::Oid,
+            f: finecc_model::FieldId,
+            v: Value,
+        ) -> Result<(), finecc_lang::ExecError> {
+            self.0
+                .db
+                .write(oid, f, v)
+                .map(drop)
+                .map_err(finecc_runtime::Env::store_err)
+        }
+    }
+    let builtins = finecc_lang::Builtins::standard();
+    let interp = finecc_lang::Interpreter::new(&env.schema, &env.bodies, &builtins);
+    group.bench_function("no_cc", |b| {
+        b.iter(|| {
+            let mut raw = Raw(&env);
+            black_box(interp.send(&mut raw, oid, "m0", black_box(&[Value::Int(1)])).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_nested);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion bench for experiment E7 — committed-transaction throughput
+//! of a mixed generated workload under each scheme (4 worker threads,
+//! hot-spot skew). The shape claim: tav ≥ rw on contended workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use finecc_sim::workload::{
+    generate_env, generate_workload, populate_random, SchemaGenConfig, WorkloadConfig,
+};
+use finecc_sim::{run_concurrent, ExecConfig};
+use finecc_runtime::SchemeKind;
+use std::hint::black_box;
+
+fn bench_throughput(c: &mut Criterion) {
+    let txns = 300usize;
+    let mut group = c.benchmark_group("workload_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(txns as u64));
+
+    for kind in SchemeKind::ALL {
+        group.bench_with_input(BenchmarkId::new("mixed", kind.name()), &kind, |b, &kind| {
+            b.iter_with_setup(
+                || {
+                    let env = generate_env(&SchemaGenConfig {
+                        classes: 8,
+                        seed: 21,
+                        write_prob: 0.6,
+                        ..SchemaGenConfig::default()
+                    });
+                    populate_random(&env, 4);
+                    let wl = generate_workload(
+                        &env,
+                        &WorkloadConfig {
+                            txns,
+                            hot_frac: 0.5,
+                            hot_set: 4,
+                            seed: 9,
+                            ..WorkloadConfig::default()
+                        },
+                    );
+                    (kind.build(env), wl)
+                },
+                |(scheme, wl)| {
+                    let r = run_concurrent(
+                        scheme.as_ref(),
+                        &wl.ops,
+                        ExecConfig {
+                            threads: 4,
+                            max_retries: 50,
+                        },
+                    );
+                    assert_eq!(r.failed, 0);
+                    black_box(r.committed)
+                },
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Experiment E2 — the §5.2 scenario: T1–T4 concurrency under all four
+//! schemes, on Figure 1 and on the no-key-write variant, with the paper's
+//! stated outcomes asserted.
+
+use finecc_runtime::SchemeKind;
+use finecc_sim::figure1::{FIGURE1_NO_KEY_WRITE_SOURCE, FIGURE1_SOURCE};
+use finecc_sim::scenarios::{scenario_outcomes, TxnKind};
+use TxnKind::*;
+
+fn show(kind: SchemeKind, source: &str, shared: bool) -> finecc_sim::ScenarioOutcome {
+    let o = scenario_outcomes(kind, source, shared);
+    println!("--- scheme: {} (shared instance: {shared}) ---", o.scheme);
+    println!("{}", o.to_table_string());
+    let sets: Vec<String> = o
+        .maximal_sets
+        .iter()
+        .map(|s| {
+            s.iter()
+                .map(|t| format!("{t:?}"))
+                .collect::<Vec<_>>()
+                .join("‖")
+        })
+        .collect();
+    println!("maximal concurrent sets: {}\n", sets.join("  or  "));
+    o
+}
+
+fn main() {
+    println!("The four transactions of §5.2:");
+    for t in TxnKind::ALL {
+        println!("  {t:?}: {}", t.describe());
+    }
+    println!();
+
+    println!("===== Figure 1 (m2 writes the key field f1) =====\n");
+    let tav = show(SchemeKind::Tav, FIGURE1_SOURCE, false);
+    assert_eq!(tav.maximal_sets, vec![vec![T1, T3, T4], vec![T2, T3, T4]]);
+    println!("paper: \"either T1||T3||T4, or T2||T3||T4 are allowed\" ✓\n");
+
+    let rw = show(SchemeKind::Rw, FIGURE1_SOURCE, false);
+    assert_eq!(rw.maximal_sets, vec![vec![T1, T3], vec![T1, T4]]);
+    println!("paper: \"either T1||T3 would have been allowed …, or T1||T4\" ✓\n");
+
+    let rel = show(SchemeKind::Relational, FIGURE1_SOURCE, false);
+    assert_eq!(rel.maximal_sets, vec![vec![T1, T3], vec![T3, T4]]);
+    println!("paper: \"either T1||T3, or T3||T4 are allowed\" ✓\n");
+
+    show(SchemeKind::FieldLock, FIGURE1_SOURCE, false);
+
+    println!("===== Variant: m2 does not modify the key field =====\n");
+    let rel2 = show(SchemeKind::Relational, FIGURE1_NO_KEY_WRITE_SOURCE, false);
+    assert!(rel2.admits(&[T1, T3, T4]));
+    assert!(!rel2.admits(&[T2, T3, T4]));
+    println!("paper: \"T1||T3||T4 (but not T2||T3||T4) would have been allowed\" ✓\n");
+
+    println!("===== Caveat: T3 shares T1's instance =====\n");
+    let rw_shared = show(SchemeKind::Rw, FIGURE1_SOURCE, true);
+    assert!(!rw_shared.admits(&[T1, T3]));
+    let tav_shared = show(SchemeKind::Tav, FIGURE1_SOURCE, true);
+    assert!(tav_shared.admits(&[T1, T3]));
+    println!("RW needs disjoint instances for T1||T3; the TAV scheme does not");
+    println!("(m1 and m3 commute even on a common instance).");
+}

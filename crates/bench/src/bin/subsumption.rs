@@ -1,0 +1,78 @@
+//! Experiment E9 — claim (5): read/write schemes are a special case of
+//! the framework. A class whose methods are exactly one pure reader and
+//! one writer generates the 2×2 RW table; driving both mode sources
+//! through the lock manager yields identical decisions on a shared
+//! request script.
+
+use finecc_lock::{
+    CommutSource, LockManager, LockMode, ResourceId, RwSource, TryAcquire, READ,
+    WRITE,
+};
+use finecc_model::{ClassId, Oid};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::sync::Arc;
+
+const RW_AS_CLASS: &str = r#"
+class cell {
+  fields { v: integer; }
+  method read_it is
+    var t := v + 0
+  end
+  method write_it(x) is
+    v := x
+  end
+}
+"#;
+
+fn main() {
+    let (schema, bodies) = finecc_lang::build_schema(RW_AS_CLASS).expect("parse");
+    let compiled = Arc::new(finecc_core::compile(&schema, &bodies).expect("compile"));
+    let cell = schema.class_by_name("cell").unwrap();
+    let table = compiled.class(cell);
+    println!("generated matrix of the reader/writer class:");
+    println!("{}", table.to_table_string());
+
+    let r_mode = table.index_of("read_it").unwrap() as u16;
+    let w_mode = table.index_of("write_it").unwrap() as u16;
+
+    // Fuzz a request script through both managers and compare decisions.
+    let commut = LockManager::new(CommutSource::new(Arc::clone(&compiled)));
+    let rw = LockManager::new(RwSource);
+    let res_cm = ResourceId::Instance(Oid(1), cell);
+    let res_rw = ResourceId::Instance(Oid(1), ClassId(0));
+
+    let mut rng = StdRng::seed_from_u64(2024);
+    let mut live_cm: Vec<finecc_model::TxnId> = Vec::new();
+    let mut live_rw: Vec<finecc_model::TxnId> = Vec::new();
+    let mut agree = 0u64;
+    let steps = 10_000;
+    for _ in 0..steps {
+        if !live_cm.is_empty() && rng.random_bool(0.4) {
+            // Release a random live pair.
+            let i = rng.random_range(0..live_cm.len());
+            commut.release_all(live_cm.swap_remove(i));
+            rw.release_all(live_rw.swap_remove(i));
+            agree += 1;
+            continue;
+        }
+        let writer = rng.random_bool(0.5);
+        let (cm_mode, rw_mode) = if writer {
+            (w_mode, WRITE)
+        } else {
+            (r_mode, READ)
+        };
+        let t_cm = commut.begin();
+        let t_rw = rw.begin();
+        let d_cm = commut.try_acquire(t_cm, res_cm, LockMode::plain(cm_mode));
+        let d_rw = rw.try_acquire(t_rw, res_rw, LockMode::plain(rw_mode));
+        assert_eq!(d_cm, d_rw, "decisions diverged");
+        agree += 1;
+        if d_cm == TryAcquire::Granted {
+            live_cm.push(t_cm);
+            live_rw.push(t_rw);
+        }
+    }
+    println!("{steps} randomized acquire/release steps: {agree} decisions, all identical ✓");
+    println!("classical RW locking is an instance of the commutativity framework.");
+}

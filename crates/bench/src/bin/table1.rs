@@ -1,0 +1,13 @@
+//! Experiment T1 — regenerates **Table 1** of the paper: the classical
+//! compatibility relation on `{Null, Read, Write}`.
+
+use finecc_core::mode::{table1_string, AccessMode};
+
+fn main() {
+    println!("Table 1: Classical compatibility relation");
+    println!("{}", table1_string());
+    // The derived order (paper: deduced from the relation by inclusion
+    // of rows and columns).
+    let order: Vec<String> = AccessMode::ALL.iter().map(|m| m.to_string()).collect();
+    println!("derived order: {}", order.join(" < "));
+}

@@ -1,0 +1,273 @@
+//! Ad hoc commutativity relations (§3).
+//!
+//! The paper: *"we do not discard the use of ad hoc commutativity
+//! relations. It is of interest for predefined types or classes, as the
+//! 'Integer' type or the 'Collection' class, to be delivered with high
+//! commutativity performances (See, for example, [O'Neil's Escrow
+//! method].)"* — and §7: *"finer techniques are not discarded of our
+//! framework."*
+//!
+//! [`AdHocRelations`] lets a library author declare that two methods of a
+//! class commute *semantically* even though their access vectors conflict
+//! syntactically (the canonical example: Escrow-style `inc`/`dec` on a
+//! counter both write the same field, yet addition commutes). Grants are
+//! validated and then **propagated down the hierarchy**, but only into
+//! subclasses that inherit *both* methods unchanged — an override voids
+//! the declaration there, because the new code may not preserve the
+//! semantic argument.
+//!
+//! Soundness is split exactly as in the literature: the engine guarantees
+//! the grant is applied consistently (symmetric, hierarchy-aware,
+//! add-only); *state-based* correctness of the declared commutativity —
+//! e.g. that increments need no read-modify-write isolation, or that an
+//! escrow quantity test guards the operation — is the declarer's
+//! obligation, as it is for every type-specific locking scheme \[20, 23,
+//! 25].
+
+use crate::compiler::CompiledSchema;
+use finecc_model::{ClassId, Schema};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A declaration error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AdHocError {
+    /// The named class does not exist.
+    UnknownClass(String),
+    /// The named method is not visible in the class.
+    UnknownMethod {
+        /// The class.
+        class: String,
+        /// The missing method.
+        method: String,
+    },
+}
+
+impl fmt::Display for AdHocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdHocError::UnknownClass(c) => write!(f, "unknown class `{c}`"),
+            AdHocError::UnknownMethod { class, method } => {
+                write!(f, "no method `{method}` visible in class `{class}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdHocError {}
+
+/// A set of hand-declared commutativity grants.
+#[derive(Clone, Debug, Default)]
+pub struct AdHocRelations {
+    /// class name → unordered method-name pairs declared commuting.
+    grants: BTreeMap<String, Vec<(String, String)>>,
+}
+
+/// What [`AdHocRelations::apply`] did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AppliedReport {
+    /// `(class, a, b)` cells flipped from `no` to `yes`.
+    pub granted: Vec<(ClassId, String, String)>,
+    /// Grants that were already commuting (no-ops).
+    pub redundant: usize,
+    /// Subclass propagations skipped because one of the methods is
+    /// overridden there.
+    pub voided_by_override: Vec<(ClassId, String, String)>,
+}
+
+impl AdHocRelations {
+    /// An empty declaration set.
+    pub fn new() -> AdHocRelations {
+        AdHocRelations::default()
+    }
+
+    /// Declares that `a` and `b` (possibly equal, e.g. `inc`/`inc`)
+    /// commute on `class` and its unchanged subclasses.
+    pub fn declare(&mut self, class: &str, a: &str, b: &str) -> &mut Self {
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        let list = self.grants.entry(class.to_string()).or_default();
+        let pair = (a.to_string(), b.to_string());
+        if !list.contains(&pair) {
+            list.push(pair);
+        }
+        self
+    }
+
+    /// Validates every declaration against the schema.
+    pub fn validate(&self, schema: &Schema) -> Result<(), AdHocError> {
+        for (class, pairs) in &self.grants {
+            let cid = schema
+                .class_by_name(class)
+                .ok_or_else(|| AdHocError::UnknownClass(class.clone()))?;
+            for (a, b) in pairs {
+                for m in [a, b] {
+                    if schema.resolve_method(cid, m).is_none() {
+                        return Err(AdHocError::UnknownMethod {
+                            class: class.clone(),
+                            method: m.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies the grants to a compiled schema, patching the generated
+    /// matrices. Propagates each grant to every class of the declaring
+    /// class's domain whose resolutions of both methods are *identical*
+    /// to the declaring class's (i.e. not overridden below it).
+    pub fn apply(
+        &self,
+        schema: &Schema,
+        compiled: &mut CompiledSchema,
+    ) -> Result<AppliedReport, AdHocError> {
+        self.validate(schema)?;
+        let mut report = AppliedReport::default();
+        for (class, pairs) in &self.grants {
+            let root = schema.class_by_name(class).expect("validated");
+            for (a, b) in pairs {
+                let mid_a = schema.resolve_method(root, a).expect("validated");
+                let mid_b = schema.resolve_method(root, b).expect("validated");
+                for &c in schema.domain(root) {
+                    let same_defs = schema.resolve_method(c, a) == Some(mid_a)
+                        && schema.resolve_method(c, b) == Some(mid_b);
+                    if !same_defs {
+                        report.voided_by_override.push((c, a.clone(), b.clone()));
+                        continue;
+                    }
+                    let table = compiled.class_mut(c);
+                    let (i, j) = (
+                        table.index_of(a).expect("resolved above"),
+                        table.index_of(b).expect("resolved above"),
+                    );
+                    if table.commute(i, j) {
+                        report.redundant += 1;
+                    } else {
+                        table.grant_commute(i, j);
+                        report.granted.push((c, a.clone(), b.clone()));
+                    }
+                }
+            }
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+    use finecc_lang::build_schema;
+
+    const ESCROW: &str = r#"
+class counter {
+  fields { total: integer; }
+  method inc(n) is total := total + n end
+  method dec(n) is total := total - n end
+  method get is return total end
+}
+class audited inherits counter {
+  fields { log: integer; }
+  method inc(n) is redefined as
+    send counter.inc(n) to self;
+    log := log + 1
+  end
+}
+class plain inherits counter {
+  fields { tag: integer; }
+  method set_tag(t) is tag := t end
+}
+"#;
+
+    fn setup() -> (finecc_model::Schema, CompiledSchema) {
+        let (s, b) = build_schema(ESCROW).unwrap();
+        let c = compile(&s, &b).unwrap();
+        (s, c)
+    }
+
+    #[test]
+    fn grant_flips_generated_conflict() {
+        let (s, mut comp) = setup();
+        let counter = s.class_by_name("counter").unwrap();
+        let t = comp.class(counter);
+        let (inc, dec) = (t.index_of("inc").unwrap(), t.index_of("dec").unwrap());
+        assert!(!t.commute(inc, dec), "generated: W-W conflict");
+        assert!(!t.commute(inc, inc));
+
+        let mut adhoc = AdHocRelations::new();
+        adhoc.declare("counter", "inc", "dec");
+        adhoc.declare("counter", "inc", "inc");
+        adhoc.declare("counter", "dec", "dec");
+        let report = adhoc.apply(&s, &mut comp).unwrap();
+
+        let t = comp.class(counter);
+        assert!(t.commute(inc, dec), "escrow grant applied");
+        assert!(t.commute(inc, inc));
+        assert!(t.commute(dec, dec));
+        // `get` still conflicts with both (reads the total).
+        let get = t.index_of("get").unwrap();
+        assert!(!t.commute(inc, get));
+        assert!(!report.granted.is_empty());
+    }
+
+    #[test]
+    fn propagation_respects_overrides() {
+        let (s, mut comp) = setup();
+        let mut adhoc = AdHocRelations::new();
+        adhoc.declare("counter", "inc", "dec");
+        let report = adhoc.apply(&s, &mut comp).unwrap();
+
+        // `plain` inherits both unchanged → granted there too.
+        let plain = s.class_by_name("plain").unwrap();
+        let tp = comp.class(plain);
+        assert_eq!(tp.commute_names("inc", "dec"), Some(true));
+
+        // `audited` overrides inc → the grant is voided there.
+        let audited = s.class_by_name("audited").unwrap();
+        let ta = comp.class(audited);
+        assert_eq!(ta.commute_names("inc", "dec"), Some(false));
+        assert!(report
+            .voided_by_override
+            .iter()
+            .any(|(c, _, _)| *c == audited));
+        assert!(report.granted.iter().any(|(c, _, _)| *c == plain));
+    }
+
+    #[test]
+    fn validation_errors() {
+        let (s, mut comp) = setup();
+        let mut adhoc = AdHocRelations::new();
+        adhoc.declare("ghost", "a", "b");
+        assert_eq!(
+            adhoc.apply(&s, &mut comp).unwrap_err(),
+            AdHocError::UnknownClass("ghost".into())
+        );
+        let mut adhoc = AdHocRelations::new();
+        adhoc.declare("counter", "inc", "nope");
+        assert!(matches!(
+            adhoc.apply(&s, &mut comp).unwrap_err(),
+            AdHocError::UnknownMethod { .. }
+        ));
+    }
+
+    #[test]
+    fn redundant_grants_counted_and_symmetry_kept() {
+        let (s, mut comp) = setup();
+        let mut adhoc = AdHocRelations::new();
+        // get/set_tag… get commutes with set_tag already (disjoint).
+        adhoc.declare("plain", "get", "set_tag");
+        let report = adhoc.apply(&s, &mut comp).unwrap();
+        assert_eq!(report.redundant, 1);
+        assert!(report.granted.is_empty());
+        let plain = s.class_by_name("plain").unwrap();
+        assert!(comp.class(plain).is_symmetric());
+    }
+
+    #[test]
+    fn declare_is_idempotent_and_orderless() {
+        let mut a = AdHocRelations::new();
+        a.declare("c", "x", "y").declare("c", "y", "x").declare("c", "x", "y");
+        assert_eq!(a.grants["c"].len(), 1);
+    }
+}

@@ -1,0 +1,373 @@
+//! Access vectors (Definitions 3–5).
+//!
+//! An access vector maps each field of a class to the most restrictive
+//! mode a method uses on it. We store vectors **sparsely** — only non-Null
+//! entries, sorted by [`FieldId`] — so that:
+//!
+//! * Definition 6(i) ("pad an inherited DAV with `Null` for the subclass's
+//!   new fields") is a no-op,
+//! * the join of vectors over different field sets (Definition 4) is a
+//!   plain sorted merge with no field-universe bookkeeping,
+//! * commutativity (Definition 5) is a merge that can only fail on fields
+//!   present in *both* vectors, since `Null` is compatible with everything.
+
+use crate::mode::AccessMode;
+use finecc_model::FieldId;
+use std::fmt;
+
+/// A sparse access vector: sorted `(field, mode)` pairs, no `Null` entries.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct AccessVector {
+    entries: Vec<(FieldId, AccessMode)>,
+}
+
+impl AccessVector {
+    /// The empty (all-`Null`) vector.
+    pub fn empty() -> AccessVector {
+        AccessVector::default()
+    }
+
+    /// Builds a vector from read and write field sets. A field in both
+    /// sets gets `Write` (the most restrictive mode wins, Definition 6).
+    pub fn from_reads_writes(
+        reads: impl IntoIterator<Item = FieldId>,
+        writes: impl IntoIterator<Item = FieldId>,
+    ) -> AccessVector {
+        let mut entries: Vec<(FieldId, AccessMode)> = writes
+            .into_iter()
+            .map(|f| (f, AccessMode::Write))
+            .chain(reads.into_iter().map(|f| (f, AccessMode::Read)))
+            .collect();
+        entries.sort_unstable_by_key(|&(f, m)| (f, std::cmp::Reverse(m)));
+        entries.dedup_by_key(|&mut (f, _)| f);
+        entries.retain(|&(_, m)| !m.is_null());
+        AccessVector { entries }
+    }
+
+    /// Builds a vector from explicit `(field, mode)` pairs; later entries
+    /// for the same field join with earlier ones.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (FieldId, AccessMode)>) -> AccessVector {
+        let mut av = AccessVector::empty();
+        for (f, m) in pairs {
+            av.set(f, av.mode_of(f).join(m));
+        }
+        av
+    }
+
+    /// The mode for `field` (`Null` when absent).
+    pub fn mode_of(&self, field: FieldId) -> AccessMode {
+        match self.entries.binary_search_by_key(&field, |&(f, _)| f) {
+            Ok(i) => self.entries[i].1,
+            Err(_) => AccessMode::Null,
+        }
+    }
+
+    /// Sets the mode for one field (removing the entry when `Null`).
+    pub fn set(&mut self, field: FieldId, mode: AccessMode) {
+        match self.entries.binary_search_by_key(&field, |&(f, _)| f) {
+            Ok(i) => {
+                if mode.is_null() {
+                    self.entries.remove(i);
+                } else {
+                    self.entries[i].1 = mode;
+                }
+            }
+            Err(i) => {
+                if !mode.is_null() {
+                    self.entries.insert(i, (field, mode));
+                }
+            }
+        }
+    }
+
+    /// Number of non-`Null` entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when every field is `Null`.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates the non-`Null` entries in field order.
+    pub fn iter(&self) -> impl Iterator<Item = (FieldId, AccessMode)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// The fields accessed in `Write` mode (the recovery projection).
+    pub fn write_fields(&self) -> impl Iterator<Item = FieldId> + '_ {
+        self.entries
+            .iter()
+            .filter(|&&(_, m)| m.is_write())
+            .map(|&(f, _)| f)
+    }
+
+    /// The fields accessed in `Read` mode.
+    pub fn read_fields(&self) -> impl Iterator<Item = FieldId> + '_ {
+        self.entries
+            .iter()
+            .filter(|&&(_, m)| m == AccessMode::Read)
+            .map(|&(f, _)| f)
+    }
+
+    /// `true` if no field is written.
+    pub fn is_read_only(&self) -> bool {
+        self.entries.iter().all(|&(_, m)| !m.is_write())
+    }
+
+    /// The classification a read/write-only scheme would give this vector:
+    /// `Write` if any field is written, `Read` if any is read, else `Null`.
+    /// This is how the RW baseline collapses vectors to instance modes.
+    pub fn collapse(&self) -> AccessMode {
+        self.entries
+            .iter()
+            .map(|&(_, m)| m)
+            .fold(AccessMode::Null, AccessMode::join)
+    }
+
+    /// Definition 4: the field-wise lattice join over the union of the
+    /// two field sets. Linear-time sorted merge.
+    pub fn join(&self, other: &AccessVector) -> AccessVector {
+        let mut out = Vec::with_capacity(self.entries.len() + other.entries.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.entries.len() && j < other.entries.len() {
+            let (fa, ma) = self.entries[i];
+            let (fb, mb) = other.entries[j];
+            match fa.cmp(&fb) {
+                std::cmp::Ordering::Less => {
+                    out.push((fa, ma));
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push((fb, mb));
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push((fa, ma.join(mb)));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.entries[i..]);
+        out.extend_from_slice(&other.entries[j..]);
+        AccessVector { entries: out }
+    }
+
+    /// In-place join (`self ← self ⊔ other`). Returns `true` when `self`
+    /// changed, which lets fixpoint loops detect convergence.
+    pub fn join_assign(&mut self, other: &AccessVector) -> bool {
+        if other.entries.is_empty() {
+            return false;
+        }
+        let joined = self.join(other);
+        if joined == *self {
+            false
+        } else {
+            *self = joined;
+            true
+        }
+    }
+
+    /// Definition 5: two vectors commute iff their modes are pair-wise
+    /// compatible on every common field. Fields present in only one
+    /// vector are `Null` on the other side, hence always compatible.
+    pub fn commutes(&self, other: &AccessVector) -> bool {
+        let (mut i, mut j) = (0, 0);
+        while i < self.entries.len() && j < other.entries.len() {
+            let (fa, ma) = self.entries[i];
+            let (fb, mb) = other.entries[j];
+            match fa.cmp(&fb) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    if !ma.compatible(mb) {
+                        return false;
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        true
+    }
+
+    /// Pointwise order: `self ⊑ other` iff every field's mode in `self`
+    /// is ≤ its mode in `other`. (`TAV ⊒ DAV` is the key invariant.)
+    pub fn le(&self, other: &AccessVector) -> bool {
+        self.entries
+            .iter()
+            .all(|&(f, m)| m <= other.mode_of(f))
+    }
+
+    /// Renders the vector in the paper's notation over the given field
+    /// universe, e.g. `(Write f1, Read f2, Null f3)`.
+    pub fn display_over<'a>(
+        &self,
+        fields: impl IntoIterator<Item = (FieldId, &'a str)>,
+    ) -> String {
+        let parts: Vec<String> = fields
+            .into_iter()
+            .map(|(f, name)| format!("{} {name}", self.mode_of(f)))
+            .collect();
+        format!("({})", parts.join(", "))
+    }
+}
+
+impl fmt::Display for AccessVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, (field, mode)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{mode} {field}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl FromIterator<(FieldId, AccessMode)> for AccessVector {
+    fn from_iter<T: IntoIterator<Item = (FieldId, AccessMode)>>(iter: T) -> Self {
+        AccessVector::from_pairs(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use AccessMode::*;
+
+    fn f(i: u32) -> FieldId {
+        FieldId(i)
+    }
+
+    fn av(pairs: &[(u32, AccessMode)]) -> AccessVector {
+        AccessVector::from_pairs(pairs.iter().map(|&(i, m)| (f(i), m)))
+    }
+
+    #[test]
+    fn paper_join_example() {
+        // (Write X, Read Y, Read Z) ⊔ (Read X, Null Y, Read T)
+        //   = (Write X, Read Y, Read Z, Read T)   [§4.1]
+        let a = av(&[(0, Write), (1, Read), (2, Read)]);
+        let b = av(&[(0, Read), (3, Read)]);
+        let j = a.join(&b);
+        assert_eq!(j.mode_of(f(0)), Write);
+        assert_eq!(j.mode_of(f(1)), Read);
+        assert_eq!(j.mode_of(f(2)), Read);
+        assert_eq!(j.mode_of(f(3)), Read);
+        assert_eq!(j.len(), 4);
+    }
+
+    #[test]
+    fn null_entries_never_stored() {
+        let mut a = av(&[(0, Read)]);
+        a.set(f(0), Null);
+        assert!(a.is_empty());
+        let b = AccessVector::from_reads_writes([], []);
+        assert!(b.is_empty());
+        assert_eq!(b.mode_of(f(9)), Null);
+    }
+
+    #[test]
+    fn write_wins_over_read_in_constructor() {
+        let a = AccessVector::from_reads_writes([f(1), f(2)], [f(2), f(3)]);
+        assert_eq!(a.mode_of(f(1)), Read);
+        assert_eq!(a.mode_of(f(2)), Write);
+        assert_eq!(a.mode_of(f(3)), Write);
+    }
+
+    #[test]
+    fn property1_semilattice_laws() {
+        // Property 1: join is idempotent, commutative, associative.
+        let vs = [
+            av(&[]),
+            av(&[(0, Read)]),
+            av(&[(0, Write), (2, Read)]),
+            av(&[(1, Read), (2, Write), (5, Read)]),
+        ];
+        for a in &vs {
+            assert_eq!(&a.join(a), a, "idempotent");
+            for b in &vs {
+                assert_eq!(a.join(b), b.join(a), "commutative");
+                for c in &vs {
+                    assert_eq!(a.join(b).join(c), a.join(&b.join(c)), "associative");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn commutativity_definition5() {
+        let wr = av(&[(0, Write)]);
+        let rd = av(&[(0, Read)]);
+        let other = av(&[(1, Write)]);
+        assert!(!wr.commutes(&rd));
+        assert!(!wr.commutes(&wr));
+        assert!(rd.commutes(&rd));
+        assert!(wr.commutes(&other), "disjoint fields always commute");
+        assert!(av(&[]).commutes(&wr));
+    }
+
+    #[test]
+    fn commutes_is_symmetric() {
+        let a = av(&[(0, Write), (1, Read)]);
+        let b = av(&[(1, Write), (2, Read)]);
+        assert_eq!(a.commutes(&b), b.commutes(&a));
+        assert!(!a.commutes(&b));
+    }
+
+    #[test]
+    fn join_assign_reports_change() {
+        let mut a = av(&[(0, Read)]);
+        assert!(!a.join_assign(&av(&[])));
+        assert!(!a.join_assign(&av(&[(0, Read)])));
+        assert!(a.join_assign(&av(&[(0, Write)])));
+        assert_eq!(a.mode_of(f(0)), Write);
+        assert!(a.join_assign(&av(&[(7, Read)])));
+    }
+
+    #[test]
+    fn pointwise_order() {
+        let small = av(&[(0, Read)]);
+        let big = av(&[(0, Write), (1, Read)]);
+        assert!(small.le(&big));
+        assert!(!big.le(&small));
+        assert!(av(&[]).le(&small));
+        assert!(small.le(&small));
+        // join is the least upper bound: a ⊑ a⊔b and b ⊑ a⊔b.
+        let j = small.join(&big);
+        assert!(small.le(&j) && big.le(&j));
+    }
+
+    #[test]
+    fn collapse_classifies_reader_writer() {
+        assert_eq!(av(&[]).collapse(), Null);
+        assert_eq!(av(&[(0, Read), (4, Read)]).collapse(), Read);
+        assert_eq!(av(&[(0, Read), (4, Write)]).collapse(), Write);
+        assert!(av(&[(0, Read)]).is_read_only());
+        assert!(!av(&[(0, Write)]).is_read_only());
+    }
+
+    #[test]
+    fn projections() {
+        let a = av(&[(0, Write), (1, Read), (2, Write)]);
+        assert_eq!(a.write_fields().collect::<Vec<_>>(), [f(0), f(2)]);
+        assert_eq!(a.read_fields().collect::<Vec<_>>(), [f(1)]);
+    }
+
+    #[test]
+    fn display_over_paper_notation() {
+        let a = av(&[(0, Write), (1, Read)]);
+        let s = a.display_over([(f(0), "f1"), (f(1), "f2"), (f(2), "f3")]);
+        assert_eq!(s, "(Write f1, Read f2, Null f3)");
+    }
+
+    #[test]
+    fn from_iter_joins_duplicates() {
+        let a: AccessVector = [(f(0), Read), (f(0), Write)].into_iter().collect();
+        assert_eq!(a.mode_of(f(0)), Write);
+    }
+}

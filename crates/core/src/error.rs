@@ -1,0 +1,54 @@
+//! Compilation errors.
+
+use finecc_lang::ExecError;
+use finecc_model::{ClassId, MethodId};
+use std::fmt;
+
+/// An error raised while compiling a schema's concurrency-control
+/// artifacts (access vectors, graphs, matrices).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompileError {
+    /// Static analysis of one method body failed.
+    Analysis {
+        /// The class owning the offending definition.
+        class: ClassId,
+        /// The offending definition.
+        method: MethodId,
+        /// Method name, for readable messages.
+        name: String,
+        /// The underlying analysis error.
+        cause: ExecError,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Analysis {
+                class,
+                name,
+                cause,
+                ..
+            } => write!(f, "analysis of method `{name}` (class {class}) failed: {cause}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = CompileError::Analysis {
+            class: ClassId(1),
+            method: MethodId(2),
+            name: "m2".into(),
+            cause: ExecError::UnknownName("ghost".into()),
+        };
+        let s = e.to_string();
+        assert!(s.contains("m2") && s.contains("ghost"));
+    }
+}

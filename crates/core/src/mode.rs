@@ -1,0 +1,164 @@
+//! The access-mode lattice and Table 1 of the paper.
+//!
+//! `MODES = {Null, Read, Write}` with `Null < Read < Write` (Definition 2).
+//! On this total order the lattice join is `max`. The compatibility
+//! relation `cMODES` is the classical one:
+//!
+//! |       | Null | Read | Write |
+//! |-------|------|------|-------|
+//! | Null  | yes  | yes  | yes   |
+//! | Read  | yes  | yes  | no    |
+//! | Write | yes  | no   | no    |
+
+use std::fmt;
+
+/// One access mode on one field.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+#[repr(u8)]
+pub enum AccessMode {
+    /// The method never touches the field.
+    #[default]
+    Null = 0,
+    /// The field appears in expressions but is never assigned.
+    Read = 1,
+    /// The field is assigned somewhere in the method.
+    Write = 2,
+}
+
+impl AccessMode {
+    /// All modes, in lattice order.
+    pub const ALL: [AccessMode; 3] = [AccessMode::Null, AccessMode::Read, AccessMode::Write];
+
+    /// The compatibility relation `cMODES` of Table 1.
+    #[inline]
+    pub fn compatible(self, other: AccessMode) -> bool {
+        !matches!(
+            (self, other),
+            (AccessMode::Write, AccessMode::Read)
+                | (AccessMode::Write, AccessMode::Write)
+                | (AccessMode::Read, AccessMode::Write)
+        )
+    }
+
+    /// The lattice join (`max` on the total order).
+    #[inline]
+    pub fn join(self, other: AccessMode) -> AccessMode {
+        self.max(other)
+    }
+
+    /// `true` for [`AccessMode::Write`].
+    #[inline]
+    pub fn is_write(self) -> bool {
+        self == AccessMode::Write
+    }
+
+    /// `true` for [`AccessMode::Null`].
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self == AccessMode::Null
+    }
+
+    /// Single-letter rendering (`-`, `R`, `W`) used in printed tables.
+    pub fn letter(self) -> char {
+        match self {
+            AccessMode::Null => '-',
+            AccessMode::Read => 'R',
+            AccessMode::Write => 'W',
+        }
+    }
+}
+
+impl fmt::Display for AccessMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessMode::Null => f.write_str("Null"),
+            AccessMode::Read => f.write_str("Read"),
+            AccessMode::Write => f.write_str("Write"),
+        }
+    }
+}
+
+/// Renders Table 1 of the paper as a fixed-width text table.
+pub fn table1_string() -> String {
+    let mut out = String::from("        Null   Read   Write\n");
+    for a in AccessMode::ALL {
+        out.push_str(&format!("{a:<7}"));
+        for b in AccessMode::ALL {
+            let cell = if a.compatible(b) { "yes" } else { "no" };
+            out.push_str(&format!(" {cell:<6}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use AccessMode::*;
+
+    #[test]
+    fn table1_exact() {
+        // Row by row, exactly as printed in the paper.
+        assert!(Null.compatible(Null));
+        assert!(Null.compatible(Read));
+        assert!(Null.compatible(Write));
+        assert!(Read.compatible(Null));
+        assert!(Read.compatible(Read));
+        assert!(!Read.compatible(Write));
+        assert!(Write.compatible(Null));
+        assert!(!Write.compatible(Read));
+        assert!(!Write.compatible(Write));
+    }
+
+    #[test]
+    fn compatibility_is_symmetric() {
+        for a in AccessMode::ALL {
+            for b in AccessMode::ALL {
+                assert_eq!(a.compatible(b), b.compatible(a));
+            }
+        }
+    }
+
+    #[test]
+    fn join_is_max_and_lattice_laws_hold() {
+        assert_eq!(Read.join(Write), Write);
+        assert_eq!(Null.join(Read), Read);
+        for a in AccessMode::ALL {
+            assert_eq!(a.join(a), a, "idempotent");
+            for b in AccessMode::ALL {
+                assert_eq!(a.join(b), b.join(a), "commutative");
+                for c in AccessMode::ALL {
+                    assert_eq!(a.join(b).join(c), a.join(b.join(c)), "associative");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn order_matches_paper() {
+        assert!(Null < Read && Read < Write);
+    }
+
+    #[test]
+    fn ordering_derived_from_compatibility() {
+        // The paper derives the order from the compatibility relation by
+        // inclusion of rows: a ≤ b iff everything compatible with b is
+        // compatible with a.
+        for a in AccessMode::ALL {
+            for b in AccessMode::ALL {
+                let row_incl = AccessMode::ALL
+                    .iter()
+                    .all(|&x| !b.compatible(x) || a.compatible(x));
+                assert_eq!(a <= b, row_incl, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn table_rendering() {
+        let t = table1_string();
+        assert!(t.contains("Write"));
+        assert_eq!(t.lines().count(), 4);
+    }
+}

@@ -1,0 +1,128 @@
+//! Access vectors as recovery projection patterns.
+//!
+//! The paper (§3): *"Recovery uses access vectors as projection patterns
+//! for extracting the modified parts of instances."* Before a method with
+//! transitive access vector `t` runs on an instance, only the fields
+//! `t` marks `Write` can change — so the before-image needed for undo is
+//! the projection of the instance onto those fields, not a full copy.
+//! `finecc-store` builds its undo log on these helpers.
+
+use crate::av::AccessVector;
+use finecc_model::{FieldId, Instance, Schema, Value};
+
+/// The fields a method may modify, i.e. the `Write` projection of its
+/// (transitive) access vector, restricted to fields actually visible in
+/// the instance's class (a TAV computed for a subclass can mention fields
+/// the projected instance, of a superclass, does not have — those are
+/// skipped).
+pub fn write_projection(av: &AccessVector) -> Vec<FieldId> {
+    av.write_fields().collect()
+}
+
+/// Extracts the before-image of `instance` under access vector `av`:
+/// the current values of every visible `Write` field.
+pub fn before_image(
+    schema: &Schema,
+    instance: &Instance,
+    av: &AccessVector,
+) -> Vec<(FieldId, Value)> {
+    av.write_fields()
+        .filter_map(|f| instance.get(schema, f).map(|v| (f, v.clone())))
+        .collect()
+}
+
+/// Applies a before-image back onto `instance` (undo). Returns the number
+/// of fields restored.
+pub fn restore_image(
+    schema: &Schema,
+    instance: &mut Instance,
+    image: &[(FieldId, Value)],
+) -> usize {
+    let mut n = 0;
+    for (f, v) in image {
+        if instance.set(schema, *f, v.clone()).is_some() {
+            n += 1;
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mode::AccessMode::*;
+    use finecc_model::{FieldType, SchemaBuilder};
+
+    fn setup() -> (Schema, Instance, AccessVector) {
+        let mut b = SchemaBuilder::new();
+        b.class("a")
+            .field("x", FieldType::Int)
+            .field("y", FieldType::Int)
+            .field("z", FieldType::Str);
+        let s = b.finish().unwrap();
+        let a = s.class_by_name("a").unwrap();
+        let inst = Instance::new(&s, a);
+        let x = s.resolve_field(a, "x").unwrap();
+        let y = s.resolve_field(a, "y").unwrap();
+        let z = s.resolve_field(a, "z").unwrap();
+        let av = AccessVector::from_pairs([(x, Write), (y, Read), (z, Write)]);
+        (s, inst, av)
+    }
+
+    #[test]
+    fn projection_is_write_fields_only() {
+        let (s, _, av) = setup();
+        let a = s.class_by_name("a").unwrap();
+        let proj = write_projection(&av);
+        assert_eq!(proj.len(), 2);
+        assert!(proj.contains(&s.resolve_field(a, "x").unwrap()));
+        assert!(proj.contains(&s.resolve_field(a, "z").unwrap()));
+    }
+
+    #[test]
+    fn image_roundtrip_restores_state() {
+        let (s, mut inst, av) = setup();
+        let a = s.class_by_name("a").unwrap();
+        let x = s.resolve_field(a, "x").unwrap();
+        let z = s.resolve_field(a, "z").unwrap();
+        inst.set(&s, x, Value::Int(7)).unwrap();
+        inst.set(&s, z, Value::str("orig")).unwrap();
+
+        let image = before_image(&s, &inst, &av);
+        assert_eq!(image.len(), 2);
+
+        inst.set(&s, x, Value::Int(99)).unwrap();
+        inst.set(&s, z, Value::str("smashed")).unwrap();
+        let restored = restore_image(&s, &mut inst, &image);
+        assert_eq!(restored, 2);
+        assert_eq!(inst.get(&s, x), Some(&Value::Int(7)));
+        assert_eq!(inst.get(&s, z), Some(&Value::str("orig")));
+    }
+
+    #[test]
+    fn invisible_fields_skipped() {
+        // An AV mentioning subclass fields projects onto a superclass
+        // instance without error.
+        let mut b = SchemaBuilder::new();
+        b.class("p").field("x", FieldType::Int);
+        b.class("q").inherits("p").field("extra", FieldType::Int);
+        let s = b.finish().unwrap();
+        let p = s.class_by_name("p").unwrap();
+        let q = s.class_by_name("q").unwrap();
+        let inst = Instance::new(&s, p);
+        let extra = s.resolve_field(q, "extra").unwrap();
+        let x = s.resolve_field(p, "x").unwrap();
+        let av = AccessVector::from_pairs([(x, Write), (extra, Write)]);
+        let image = before_image(&s, &inst, &av);
+        assert_eq!(image.len(), 1, "only the visible field is captured");
+    }
+
+    #[test]
+    fn read_only_vector_needs_no_image() {
+        let (s, inst, _) = setup();
+        let a = s.class_by_name("a").unwrap();
+        let y = s.resolve_field(a, "y").unwrap();
+        let av = AccessVector::from_pairs([(y, Read)]);
+        assert!(before_image(&s, &inst, &av).is_empty());
+    }
+}

@@ -1,0 +1,237 @@
+//! Iterative Tarjan strongly-connected components.
+//!
+//! The paper's Definition 10 needs the TAV of every vertex reachable in
+//! the late-binding resolution graph; recursion through methods creates
+//! directed cycles whose members share one TAV (their reachable sets are
+//! identical, §4.3). Tarjan's algorithm \[24\] gives the components in
+//! **reverse topological order** (every successor component of a vertex is
+//! emitted before the vertex's own component), which is exactly the order
+//! a single-pass TAV accumulation needs.
+//!
+//! The implementation is iterative (explicit stack) so that pathological
+//! schemas — thousand-deep self-call chains from the workload generator —
+//! cannot overflow the call stack.
+
+/// Computes the strongly connected components of a directed graph in
+/// adjacency-list form. Returns the components **sink-first** (reverse
+/// topological order of the condensation); each component lists its
+/// vertices in discovery order.
+pub fn sccs(adj: &[Vec<u32>]) -> Vec<Vec<u32>> {
+    let n = adj.len();
+    const UNVISITED: u32 = u32::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut out: Vec<Vec<u32>> = Vec::new();
+
+    // Explicit DFS frames: (vertex, next child position).
+    let mut frames: Vec<(u32, usize)> = Vec::new();
+
+    for start in 0..n as u32 {
+        if index[start as usize] != UNVISITED {
+            continue;
+        }
+        frames.push((start, 0));
+        index[start as usize] = next_index;
+        lowlink[start as usize] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start as usize] = true;
+
+        while let Some(&mut (v, ref mut child)) = frames.last_mut() {
+            let vu = v as usize;
+            if *child < adj[vu].len() {
+                let w = adj[vu][*child];
+                *child += 1;
+                let wu = w as usize;
+                if index[wu] == UNVISITED {
+                    index[wu] = next_index;
+                    lowlink[wu] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[wu] = true;
+                    frames.push((w, 0));
+                } else if on_stack[wu] {
+                    lowlink[vu] = lowlink[vu].min(index[wu]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(p, _)) = frames.last() {
+                    let pu = p as usize;
+                    lowlink[pu] = lowlink[pu].min(lowlink[vu]);
+                }
+                if lowlink[vu] == index[vu] {
+                    // v is the root of a component.
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("root is on the stack");
+                        on_stack[w as usize] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.reverse();
+                    out.push(comp);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Condenses a graph given its SCCs: returns, per vertex, its component
+/// index, plus per-component out-edges (deduplicated, self-loops removed).
+pub fn condense(adj: &[Vec<u32>], comps: &[Vec<u32>]) -> (Vec<u32>, Vec<Vec<u32>>) {
+    let mut comp_of = vec![0u32; adj.len()];
+    for (ci, comp) in comps.iter().enumerate() {
+        for &v in comp {
+            comp_of[v as usize] = ci as u32;
+        }
+    }
+    let mut cadj: Vec<Vec<u32>> = vec![Vec::new(); comps.len()];
+    for (v, outs) in adj.iter().enumerate() {
+        let cv = comp_of[v];
+        for &w in outs {
+            let cw = comp_of[w as usize];
+            if cv != cw {
+                cadj[cv as usize].push(cw);
+            }
+        }
+    }
+    for outs in &mut cadj {
+        outs.sort_unstable();
+        outs.dedup();
+    }
+    (comp_of, cadj)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn normalize(mut comps: Vec<Vec<u32>>) -> Vec<Vec<u32>> {
+        for c in &mut comps {
+            c.sort_unstable();
+        }
+        comps.sort();
+        comps
+    }
+
+    #[test]
+    fn singletons_in_a_dag() {
+        // 0 → 1 → 2
+        let adj = vec![vec![1], vec![2], vec![]];
+        let comps = sccs(&adj);
+        assert_eq!(normalize(comps.clone()), vec![vec![0], vec![1], vec![2]]);
+        // Reverse topological: 2 first, 0 last.
+        assert_eq!(comps[0], vec![2]);
+        assert_eq!(comps[2], vec![0]);
+    }
+
+    #[test]
+    fn simple_cycle() {
+        // 0 → 1 → 2 → 0 is one component.
+        let adj = vec![vec![1], vec![2], vec![0]];
+        let comps = sccs(&adj);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(normalize(comps), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn two_cycles_bridged() {
+        // {0,1} → {2,3}; plus isolated 4.
+        let adj = vec![vec![1], vec![0, 2], vec![3], vec![2], vec![]];
+        let comps = sccs(&adj);
+        assert_eq!(
+            normalize(comps.clone()),
+            vec![vec![0, 1], vec![2, 3], vec![4]]
+        );
+        // {2,3} must come before {0,1}.
+        let pos = |needle: &[u32]| {
+            comps
+                .iter()
+                .position(|c| {
+                    let s: HashSet<_> = c.iter().collect();
+                    needle.iter().all(|x| s.contains(x))
+                })
+                .unwrap()
+        };
+        assert!(pos(&[2, 3]) < pos(&[0, 1]));
+    }
+
+    #[test]
+    fn self_loop_is_singleton_component() {
+        let adj = vec![vec![0]];
+        let comps = sccs(&adj);
+        assert_eq!(comps, vec![vec![0]]);
+    }
+
+    #[test]
+    fn reverse_topological_property_holds() {
+        // Random-ish fixed graph; check: for every edge u→w in different
+        // comps, comp(w) emitted before comp(u).
+        let adj = vec![
+            vec![1, 4],
+            vec![2],
+            vec![0, 3],
+            vec![5],
+            vec![5, 3],
+            vec![],
+            vec![3, 7],
+            vec![6],
+        ];
+        let comps = sccs(&adj);
+        let (comp_of, _) = condense(&adj, &comps);
+        for (u, outs) in adj.iter().enumerate() {
+            for &w in outs {
+                let (cu, cw) = (comp_of[u], comp_of[w as usize]);
+                if cu != cw {
+                    assert!(cw < cu, "edge {u}→{w}: component order violated");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn condensation_is_acyclic_dag() {
+        let adj = vec![vec![1], vec![0, 2], vec![3], vec![2, 4], vec![]];
+        let comps = sccs(&adj);
+        let (_, cadj) = condense(&adj, &comps);
+        // Every condensation edge goes to a smaller (earlier) index.
+        for (c, outs) in cadj.iter().enumerate() {
+            for &d in outs {
+                assert!((d as usize) < c);
+            }
+        }
+    }
+
+    #[test]
+    fn deep_chain_no_stack_overflow() {
+        // 100_000-vertex path: recursive Tarjan would overflow here.
+        let n = 100_000;
+        let adj: Vec<Vec<u32>> = (0..n)
+            .map(|i| if i + 1 < n { vec![(i + 1) as u32] } else { vec![] })
+            .collect();
+        let comps = sccs(&adj);
+        assert_eq!(comps.len(), n);
+        assert_eq!(comps[0], vec![(n - 1) as u32]);
+    }
+
+    #[test]
+    fn big_cycle() {
+        let n = 10_000u32;
+        let adj: Vec<Vec<u32>> = (0..n).map(|i| vec![(i + 1) % n]).collect();
+        let comps = sccs(&adj);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), n as usize);
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert!(sccs(&[]).is_empty());
+    }
+}

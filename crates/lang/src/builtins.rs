@@ -1,0 +1,242 @@
+//! The builtin-function registry behind the paper's uninterpreted
+//! `expr(...)` and `cond(...)` calls.
+//!
+//! Figure 1 writes method bodies like `f1 := expr(f1, f2, p1)` without
+//! saying what `expr` computes — only *which fields it touches* matters to
+//! the analysis. To keep those bodies executable, builtins get
+//! deterministic, type-preserving default semantics; applications may
+//! register their own.
+
+use crate::error::ExecError;
+use finecc_model::Value;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Signature of a builtin function.
+pub type BuiltinFn = dyn Fn(&[Value]) -> Result<Value, ExecError> + Send + Sync;
+
+/// A registry of builtin functions, keyed by name.
+#[derive(Clone)]
+pub struct Builtins {
+    map: HashMap<String, Arc<BuiltinFn>>,
+}
+
+impl fmt::Debug for Builtins {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut names: Vec<&str> = self.map.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        f.debug_struct("Builtins").field("names", &names).finish()
+    }
+}
+
+/// Sums the `as_int` views of values; strings contribute their length,
+/// floats their truncation, nil/refs contribute nothing.
+fn int_sum(args: &[Value]) -> i64 {
+    args.iter()
+        .map(|v| match v {
+            Value::Str(s) => s.len() as i64,
+            Value::Float(f) => *f as i64,
+            other => other.as_int().unwrap_or(0),
+        })
+        .fold(0i64, i64::wrapping_add)
+}
+
+impl Builtins {
+    /// An empty registry (every call errors with [`ExecError::UnknownBuiltin`]).
+    pub fn empty() -> Builtins {
+        Builtins {
+            map: HashMap::new(),
+        }
+    }
+
+    /// The standard registry:
+    ///
+    /// * `expr(v0, …)` — type-preserving combine: result has `v0`'s type.
+    ///   Ints: wrapping sum of all numeric views. Floats: float sum.
+    ///   Strings: `v0` with a digest of the rest appended, capped at 64
+    ///   chars. Bools: parity of the numeric sum. Nil/refs: `v0` itself.
+    /// * `cond(…)` — `true` iff the numeric sum of the arguments is > 0
+    ///   (so workloads can steer branches through parameters).
+    /// * `min`/`max`/`abs` — integer helpers.
+    /// * `len` — string length / 0 otherwise.
+    pub fn standard() -> Builtins {
+        let mut b = Builtins::empty();
+        b.register("expr", |args| {
+            let Some(first) = args.first() else {
+                return Ok(Value::Int(0));
+            };
+            Ok(match first {
+                Value::Int(_) | Value::Bool(_) => {
+                    let s = int_sum(args);
+                    if matches!(first, Value::Bool(_)) {
+                        Value::Bool(s % 2 != 0)
+                    } else {
+                        Value::Int(s)
+                    }
+                }
+                Value::Float(f0) => {
+                    let mut acc = *f0;
+                    for v in &args[1..] {
+                        acc += match v {
+                            Value::Float(f) => *f,
+                            Value::Str(s) => s.len() as f64,
+                            other => other.as_int().unwrap_or(0) as f64,
+                        };
+                    }
+                    Value::Float(acc)
+                }
+                Value::Str(s0) => {
+                    let digest = int_sum(&args[1..]);
+                    let mut s = format!("{s0}|{digest}");
+                    if s.len() > 64 {
+                        s = s[s.len() - 64..].to_string();
+                    }
+                    Value::str(s)
+                }
+                Value::Nil | Value::Ref(_) => first.clone(),
+            })
+        });
+        b.register("cond", |args| Ok(Value::Bool(int_sum(args) > 0)));
+        b.register("min", |args| {
+            int2(args, "min").map(|(a, b)| Value::Int(a.min(b)))
+        });
+        b.register("max", |args| {
+            int2(args, "max").map(|(a, b)| Value::Int(a.max(b)))
+        });
+        b.register("abs", |args| match args {
+            [v] => v
+                .as_int()
+                .map(|i| Value::Int(i.wrapping_abs()))
+                .ok_or_else(|| ExecError::Builtin("abs expects an integer".into())),
+            _ => Err(ExecError::Builtin("abs expects one argument".into())),
+        });
+        b.register("len", |args| match args {
+            [Value::Str(s)] => Ok(Value::Int(s.len() as i64)),
+            [_] => Ok(Value::Int(0)),
+            _ => Err(ExecError::Builtin("len expects one argument".into())),
+        });
+        b
+    }
+
+    /// Registers (or replaces) a builtin.
+    pub fn register(
+        &mut self,
+        name: &str,
+        f: impl Fn(&[Value]) -> Result<Value, ExecError> + Send + Sync + 'static,
+    ) {
+        self.map.insert(name.to_string(), Arc::new(f));
+    }
+
+    /// Invokes a builtin by name.
+    pub fn call(&self, name: &str, args: &[Value]) -> Result<Value, ExecError> {
+        match self.map.get(name) {
+            Some(f) => f(args),
+            None => Err(ExecError::UnknownBuiltin(name.to_string())),
+        }
+    }
+
+    /// `true` if a builtin with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.map.contains_key(name)
+    }
+}
+
+impl Default for Builtins {
+    fn default() -> Self {
+        Builtins::standard()
+    }
+}
+
+fn int2(args: &[Value], name: &str) -> Result<(i64, i64), ExecError> {
+    match args {
+        [a, b] => match (a.as_int(), b.as_int()) {
+            (Some(a), Some(b)) => Ok((a, b)),
+            _ => Err(ExecError::Builtin(format!("{name} expects integers"))),
+        },
+        _ => Err(ExecError::Builtin(format!("{name} expects two arguments"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_preserves_first_type() {
+        let b = Builtins::standard();
+        assert_eq!(
+            b.call("expr", &[Value::Int(1), Value::Bool(true), Value::Int(3)]),
+            Ok(Value::Int(5))
+        );
+        assert!(matches!(
+            b.call("expr", &[Value::str("ab"), Value::Int(7)]).unwrap(),
+            Value::Str(_)
+        ));
+        assert!(matches!(
+            b.call("expr", &[Value::Float(1.5), Value::Int(2)]).unwrap(),
+            Value::Float(_)
+        ));
+        assert_eq!(
+            b.call("expr", &[Value::Bool(false), Value::Int(3)]),
+            Ok(Value::Bool(true))
+        );
+        assert_eq!(b.call("expr", &[Value::Nil]), Ok(Value::Nil));
+        assert_eq!(b.call("expr", &[]), Ok(Value::Int(0)));
+    }
+
+    #[test]
+    fn expr_string_capped() {
+        let b = Builtins::standard();
+        let long = "x".repeat(100);
+        let out = b.call("expr", &[Value::str(long)]).unwrap();
+        if let Value::Str(s) = out {
+            assert!(s.len() <= 64);
+        } else {
+            panic!("expected string");
+        }
+    }
+
+    #[test]
+    fn cond_is_sum_positive() {
+        let b = Builtins::standard();
+        assert_eq!(
+            b.call("cond", &[Value::Int(2), Value::Int(-1)]),
+            Ok(Value::Bool(true))
+        );
+        assert_eq!(
+            b.call("cond", &[Value::Int(0)]),
+            Ok(Value::Bool(false))
+        );
+    }
+
+    #[test]
+    fn helpers() {
+        let b = Builtins::standard();
+        assert_eq!(b.call("min", &[Value::Int(3), Value::Int(5)]), Ok(Value::Int(3)));
+        assert_eq!(b.call("max", &[Value::Int(3), Value::Int(5)]), Ok(Value::Int(5)));
+        assert_eq!(b.call("abs", &[Value::Int(-3)]), Ok(Value::Int(3)));
+        assert_eq!(b.call("len", &[Value::str("abc")]), Ok(Value::Int(3)));
+        assert!(b.call("min", &[Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn unknown_and_custom() {
+        let mut b = Builtins::standard();
+        assert!(matches!(
+            b.call("nope", &[]),
+            Err(ExecError::UnknownBuiltin(_))
+        ));
+        b.register("nope", |_| Ok(Value::Int(42)));
+        assert_eq!(b.call("nope", &[]), Ok(Value::Int(42)));
+        assert!(b.contains("expr"));
+        assert!(!Builtins::empty().contains("expr"));
+    }
+
+    #[test]
+    fn determinism() {
+        let b = Builtins::standard();
+        let args = [Value::Int(10), Value::str("xy"), Value::Bool(true)];
+        assert_eq!(b.call("expr", &args), b.call("expr", &args));
+    }
+}

@@ -1,0 +1,144 @@
+//! Parse-time and run-time errors of the method language.
+
+use finecc_model::{ClassId, FieldId, Oid};
+use std::fmt;
+
+/// A lexing or parsing error, with 1-based line/column of the offence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub msg: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl ParseError {
+    pub(crate) fn new(msg: impl Into<String>, line: u32, col: u32) -> Self {
+        ParseError {
+            msg: msg.into(),
+            line,
+            col,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Errors raised while interpreting a method, or propagated from the
+/// concurrency-control layer driving the [`crate::DataAccess`] trait.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// A message was sent to a value that is not an instance reference.
+    NotAReference { method: String },
+    /// A message was sent through a nil field.
+    NilReceiver { method: String },
+    /// The receiver's class does not understand the message.
+    MessageNotUnderstood { class: ClassId, method: String },
+    /// The OID does not exist in the store (dangling reference).
+    UnknownOid(Oid),
+    /// The field is not visible in the instance's class.
+    FieldNotVisible { oid: Oid, field: FieldId },
+    /// A value of the wrong type was produced where another was required.
+    TypeError(String),
+    /// An unknown builtin function was called.
+    UnknownBuiltin(String),
+    /// A builtin function rejected its arguments.
+    Builtin(String),
+    /// Self-call recursion exceeded the interpreter's depth limit.
+    DepthExceeded(usize),
+    /// Loop iterations exceeded the interpreter's fuel limit.
+    FuelExhausted,
+    /// An unknown name was referenced (neither parameter, local nor field).
+    UnknownName(String),
+    /// Wrong number of arguments in a message send.
+    ArityMismatch {
+        method: String,
+        expected: usize,
+        got: usize,
+    },
+    /// The transaction driving this execution was aborted by the
+    /// concurrency-control layer. `deadlock` distinguishes deadlock-victim
+    /// aborts (retryable) from other aborts.
+    ConcurrencyAbort { deadlock: bool, msg: String },
+}
+
+impl ExecError {
+    /// `true` when the error is a deadlock-victim abort, which callers
+    /// typically retry.
+    pub fn is_deadlock(&self) -> bool {
+        matches!(self, ExecError::ConcurrencyAbort { deadlock: true, .. })
+    }
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::NotAReference { method } => {
+                write!(f, "message `{method}` sent to a non-reference value")
+            }
+            ExecError::NilReceiver { method } => {
+                write!(f, "message `{method}` sent through a nil field")
+            }
+            ExecError::MessageNotUnderstood { class, method } => {
+                write!(f, "class {class} does not understand message `{method}`")
+            }
+            ExecError::UnknownOid(o) => write!(f, "dangling reference {o}"),
+            ExecError::FieldNotVisible { oid, field } => {
+                write!(f, "field {field} not visible on instance {oid}")
+            }
+            ExecError::TypeError(m) => write!(f, "type error: {m}"),
+            ExecError::UnknownBuiltin(n) => write!(f, "unknown builtin `{n}`"),
+            ExecError::Builtin(m) => write!(f, "builtin error: {m}"),
+            ExecError::DepthExceeded(d) => write!(f, "send depth exceeded {d}"),
+            ExecError::FuelExhausted => write!(f, "loop fuel exhausted"),
+            ExecError::UnknownName(n) => write!(f, "unknown name `{n}`"),
+            ExecError::ArityMismatch {
+                method,
+                expected,
+                got,
+            } => write!(
+                f,
+                "method `{method}` expects {expected} argument(s), got {got}"
+            ),
+            ExecError::ConcurrencyAbort { deadlock, msg } => {
+                if *deadlock {
+                    write!(f, "transaction aborted (deadlock victim): {msg}")
+                } else {
+                    write!(f, "transaction aborted: {msg}")
+                }
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadlock_classification() {
+        let e = ExecError::ConcurrencyAbort {
+            deadlock: true,
+            msg: "cycle".into(),
+        };
+        assert!(e.is_deadlock());
+        assert!(!ExecError::FuelExhausted.is_deadlock());
+        assert!(e.to_string().contains("deadlock"));
+    }
+
+    #[test]
+    fn parse_error_display() {
+        let e = ParseError::new("expected `end`", 3, 14);
+        assert_eq!(e.to_string(), "parse error at 3:14: expected `end`");
+    }
+}

@@ -1,0 +1,879 @@
+//! Tree-walking interpreter for method bodies.
+//!
+//! All data access goes through the [`DataAccess`] trait, which is the
+//! seam every concurrency-control scheme plugs into:
+//!
+//! * [`DataAccess::on_message`] fires when a *top* message is sent to an
+//!   instance (from the application, or through a reference field). Under
+//!   the paper's scheme this is the **only** point that acquires a lock —
+//!   the transitive access vector covers everything below.
+//! * [`DataAccess::on_self_message`] fires for every self-directed message
+//!   (simple or prefixed). Per-message baselines (ORION-style read/write
+//!   locking) acquire here too — which is precisely what produces the
+//!   paper's problems P2 (repeated controls) and P3 (escalation).
+//! * [`DataAccess::read_field`] / [`DataAccess::write_field`] fire on
+//!   every field access; run-time field locking (Agrawal–El Abbadi)
+//!   acquires here.
+//!
+//! Late binding follows §2.2 exactly: a self-directed message re-resolves
+//! in the *receiver's* class, even when sent from an ancestor's method
+//! body reached through a prefixed call.
+
+use crate::ast::{BinOp, Block, Expr, SendExpr, Stmt, Target, UnOp};
+use crate::builtins::Builtins;
+use crate::error::ExecError;
+use crate::parser::MethodBodies;
+use finecc_model::{ClassId, FieldId, MethodId, Oid, Schema, Value};
+use std::collections::HashMap;
+
+/// The interpreter's window onto the database, and the hook surface for
+/// concurrency control. See the module docs for when each hook fires.
+pub trait DataAccess {
+    /// The proper class of an instance.
+    fn class_of(&mut self, oid: Oid) -> Result<ClassId, ExecError>;
+
+    /// Reads one field of an instance.
+    fn read_field(&mut self, oid: Oid, field: FieldId) -> Result<Value, ExecError>;
+
+    /// Writes one field of an instance.
+    fn write_field(&mut self, oid: Oid, field: FieldId, value: Value) -> Result<(), ExecError>;
+
+    /// Hook: a top message `method` is about to run on `oid`.
+    fn on_message(
+        &mut self,
+        oid: Oid,
+        class: ClassId,
+        method: MethodId,
+    ) -> Result<(), ExecError> {
+        let _ = (oid, class, method);
+        Ok(())
+    }
+
+    /// Hook: a self-directed message (simple or prefixed) is about to run.
+    fn on_self_message(
+        &mut self,
+        oid: Oid,
+        class: ClassId,
+        method: MethodId,
+    ) -> Result<(), ExecError> {
+        let _ = (oid, class, method);
+        Ok(())
+    }
+}
+
+/// Interpreter configuration + immutable program context.
+pub struct Interpreter<'a> {
+    schema: &'a Schema,
+    bodies: &'a MethodBodies,
+    builtins: &'a Builtins,
+    /// Maximum message depth (self-sends and cross-instance sends).
+    pub max_depth: usize,
+    /// Maximum number of loop iterations + message sends per top call.
+    pub max_fuel: u64,
+}
+
+struct RunState {
+    depth: usize,
+    fuel: u64,
+}
+
+impl RunState {
+    fn burn(&mut self) -> Result<(), ExecError> {
+        if self.fuel == 0 {
+            return Err(ExecError::FuelExhausted);
+        }
+        self.fuel -= 1;
+        Ok(())
+    }
+}
+
+enum Flow {
+    Normal(Value),
+    Return(Value),
+}
+
+impl Flow {
+    fn value(self) -> Value {
+        match self {
+            Flow::Normal(v) | Flow::Return(v) => v,
+        }
+    }
+}
+
+struct Frame<'f> {
+    receiver: Oid,
+    /// Class used for late binding of self-sends (the receiver's class).
+    receiver_class: ClassId,
+    /// Class whose fields the current body may name (the defining class).
+    defining_class: ClassId,
+    locals: HashMap<&'f str, Value>,
+    /// Owned names introduced by `var` (they outlive the statement).
+    owned_locals: HashMap<String, Value>,
+}
+
+impl Frame<'_> {
+    fn get_local(&self, name: &str) -> Option<&Value> {
+        self.owned_locals.get(name).or_else(|| self.locals.get(name))
+    }
+
+    fn set_local(&mut self, name: &str, v: Value) -> bool {
+        if let Some(slot) = self.owned_locals.get_mut(name) {
+            *slot = v;
+            true
+        } else if let Some(slot) = self.locals.get_mut(name) {
+            *slot = v;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl<'a> Interpreter<'a> {
+    /// Creates an interpreter with default limits (depth 128, fuel 1M).
+    pub fn new(schema: &'a Schema, bodies: &'a MethodBodies, builtins: &'a Builtins) -> Self {
+        Interpreter {
+            schema,
+            bodies,
+            builtins,
+            max_depth: 128,
+            max_fuel: 1_000_000,
+        }
+    }
+
+    /// Sends the *top* message `method(args)` to `oid`: resolves late
+    /// binding in the receiver's class, fires [`DataAccess::on_message`],
+    /// runs the body, and returns its value (nil unless `return`).
+    pub fn send(
+        &self,
+        da: &mut dyn DataAccess,
+        oid: Oid,
+        method: &str,
+        args: &[Value],
+    ) -> Result<Value, ExecError> {
+        let mut st = RunState {
+            depth: 0,
+            fuel: self.max_fuel,
+        };
+        self.send_top(da, &mut st, oid, method, args)
+    }
+
+    fn send_top(
+        &self,
+        da: &mut dyn DataAccess,
+        st: &mut RunState,
+        oid: Oid,
+        method: &str,
+        args: &[Value],
+    ) -> Result<Value, ExecError> {
+        let class = da.class_of(oid)?;
+        let mid = self
+            .schema
+            .resolve_method(class, method)
+            .ok_or_else(|| ExecError::MessageNotUnderstood {
+                class,
+                method: method.to_string(),
+            })?;
+        da.on_message(oid, class, mid)?;
+        self.run_method(da, st, oid, class, mid, args)
+    }
+
+    fn run_method(
+        &self,
+        da: &mut dyn DataAccess,
+        st: &mut RunState,
+        receiver: Oid,
+        receiver_class: ClassId,
+        mid: MethodId,
+        args: &[Value],
+    ) -> Result<Value, ExecError> {
+        if st.depth >= self.max_depth {
+            return Err(ExecError::DepthExceeded(self.max_depth));
+        }
+        st.burn()?;
+        let mi = self.schema.method(mid);
+        if mi.sig.params.len() != args.len() {
+            return Err(ExecError::ArityMismatch {
+                method: mi.sig.name.clone(),
+                expected: mi.sig.params.len(),
+                got: args.len(),
+            });
+        }
+        let mut frame = Frame {
+            receiver,
+            receiver_class,
+            defining_class: mi.owner,
+            locals: mi
+                .sig
+                .params
+                .iter()
+                .map(String::as_str)
+                .zip(args.iter().cloned())
+                .collect(),
+            owned_locals: HashMap::new(),
+        };
+        st.depth += 1;
+        let body = self.bodies.body(mid);
+        let flow = self.exec_block(da, st, &mut frame, body);
+        st.depth -= 1;
+        Ok(flow?.value())
+    }
+
+    fn field_of(&self, frame: &Frame<'_>, name: &str) -> Option<FieldId> {
+        self.schema.resolve_field(frame.defining_class, name)
+    }
+
+    fn exec_block(
+        &self,
+        da: &mut dyn DataAccess,
+        st: &mut RunState,
+        frame: &mut Frame<'_>,
+        block: &Block,
+    ) -> Result<Flow, ExecError> {
+        for stmt in &block.0 {
+            if let Flow::Return(v) = self.exec_stmt(da, st, frame, stmt)? {
+                return Ok(Flow::Return(v));
+            }
+        }
+        Ok(Flow::Normal(Value::Nil))
+    }
+
+    fn exec_stmt(
+        &self,
+        da: &mut dyn DataAccess,
+        st: &mut RunState,
+        frame: &mut Frame<'_>,
+        stmt: &Stmt,
+    ) -> Result<Flow, ExecError> {
+        match stmt {
+            Stmt::Skip => Ok(Flow::Normal(Value::Nil)),
+            Stmt::Assign { name, expr } => {
+                let v = self.eval(da, st, frame, expr)?;
+                if frame.get_local(name).is_some() {
+                    frame.set_local(name, v);
+                    return Ok(Flow::Normal(Value::Nil));
+                }
+                match self.field_of(frame, name) {
+                    Some(f) => {
+                        da.write_field(frame.receiver, f, v)?;
+                        Ok(Flow::Normal(Value::Nil))
+                    }
+                    None => Err(ExecError::UnknownName(name.clone())),
+                }
+            }
+            Stmt::VarDecl { name, expr } => {
+                let v = self.eval(da, st, frame, expr)?;
+                frame.owned_locals.insert(name.clone(), v);
+                Ok(Flow::Normal(Value::Nil))
+            }
+            Stmt::Send(send) => {
+                self.eval_send(da, st, frame, send)?;
+                Ok(Flow::Normal(Value::Nil))
+            }
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                let c = self.eval(da, st, frame, cond)?;
+                if c.truthy() {
+                    self.exec_block(da, st, frame, then_blk)
+                } else if let Some(e) = else_blk {
+                    self.exec_block(da, st, frame, e)
+                } else {
+                    Ok(Flow::Normal(Value::Nil))
+                }
+            }
+            Stmt::While { cond, body } => {
+                loop {
+                    st.burn()?;
+                    let c = self.eval(da, st, frame, cond)?;
+                    if !c.truthy() {
+                        break;
+                    }
+                    if let Flow::Return(v) = self.exec_block(da, st, frame, body)? {
+                        return Ok(Flow::Return(v));
+                    }
+                }
+                Ok(Flow::Normal(Value::Nil))
+            }
+            Stmt::Return(e) => {
+                let v = match e {
+                    Some(e) => self.eval(da, st, frame, e)?,
+                    None => Value::Nil,
+                };
+                Ok(Flow::Return(v))
+            }
+        }
+    }
+
+    fn eval_send(
+        &self,
+        da: &mut dyn DataAccess,
+        st: &mut RunState,
+        frame: &mut Frame<'_>,
+        send: &SendExpr,
+    ) -> Result<Value, ExecError> {
+        let mut args = Vec::with_capacity(send.args.len());
+        for a in &send.args {
+            args.push(self.eval(da, st, frame, a)?);
+        }
+        match (&send.prefix, &send.target) {
+            // Prefixed self-send: resolve in the named ancestor; late
+            // binding of nested self-sends still uses the receiver class.
+            (Some(prefix), Target::SelfRef) => {
+                let pid = self
+                    .schema
+                    .class_by_name(prefix)
+                    .ok_or_else(|| ExecError::UnknownName(prefix.clone()))?;
+                let mid = self.schema.resolve_method(pid, &send.method).ok_or_else(|| {
+                    ExecError::MessageNotUnderstood {
+                        class: pid,
+                        method: send.method.clone(),
+                    }
+                })?;
+                da.on_self_message(frame.receiver, frame.receiver_class, mid)?;
+                self.run_method(da, st, frame.receiver, frame.receiver_class, mid, &args)
+            }
+            // Simple self-send: late binding in the receiver's class.
+            (None, Target::SelfRef) => {
+                let mid = self
+                    .schema
+                    .resolve_method(frame.receiver_class, &send.method)
+                    .ok_or_else(|| ExecError::MessageNotUnderstood {
+                        class: frame.receiver_class,
+                        method: send.method.clone(),
+                    })?;
+                da.on_self_message(frame.receiver, frame.receiver_class, mid)?;
+                self.run_method(da, st, frame.receiver, frame.receiver_class, mid, &args)
+            }
+            // Send through a reference field: a *top* message on the
+            // referenced instance.
+            (None, Target::Field(fname)) => {
+                let f = self
+                    .field_of(frame, fname)
+                    .ok_or_else(|| ExecError::UnknownName(fname.clone()))?;
+                let v = da.read_field(frame.receiver, f)?;
+                let oid = match v {
+                    Value::Ref(o) => o,
+                    Value::Nil => {
+                        return Err(ExecError::NilReceiver {
+                            method: send.method.clone(),
+                        })
+                    }
+                    _ => {
+                        return Err(ExecError::NotAReference {
+                            method: send.method.clone(),
+                        })
+                    }
+                };
+                self.send_top(da, st, oid, &send.method, &args)
+            }
+            (Some(_), Target::Field(_)) => Err(ExecError::TypeError(
+                "prefixed send must target self".into(),
+            )),
+        }
+    }
+
+    fn eval(
+        &self,
+        da: &mut dyn DataAccess,
+        st: &mut RunState,
+        frame: &mut Frame<'_>,
+        expr: &Expr,
+    ) -> Result<Value, ExecError> {
+        match expr {
+            Expr::Int(v) => Ok(Value::Int(*v)),
+            Expr::Float(bits) => Ok(Value::Float(Expr::float_value(*bits))),
+            Expr::Str(s) => Ok(Value::str(s)),
+            Expr::Bool(b) => Ok(Value::Bool(*b)),
+            Expr::Nil => Ok(Value::Nil),
+            Expr::SelfRef => Ok(Value::Ref(frame.receiver)),
+            Expr::Name(name) => {
+                if let Some(v) = frame.get_local(name) {
+                    return Ok(v.clone());
+                }
+                match self.field_of(frame, name) {
+                    Some(f) => da.read_field(frame.receiver, f),
+                    None => Err(ExecError::UnknownName(name.clone())),
+                }
+            }
+            Expr::Call { func, args } => {
+                let mut vs = Vec::with_capacity(args.len());
+                for a in args {
+                    vs.push(self.eval(da, st, frame, a)?);
+                }
+                self.builtins.call(func, &vs)
+            }
+            Expr::Unary { op, expr } => {
+                let v = self.eval(da, st, frame, expr)?;
+                match op {
+                    UnOp::Not => Ok(Value::Bool(!v.truthy())),
+                    UnOp::Neg => match v {
+                        Value::Int(i) => Ok(Value::Int(i.wrapping_neg())),
+                        Value::Float(f) => Ok(Value::Float(-f)),
+                        other => Err(ExecError::TypeError(format!(
+                            "cannot negate a {}",
+                            other.type_name()
+                        ))),
+                    },
+                }
+            }
+            Expr::Binary { op, lhs, rhs } => self.eval_binary(da, st, frame, *op, lhs, rhs),
+            Expr::Send(send) => self.eval_send(da, st, frame, send),
+        }
+    }
+
+    fn eval_binary(
+        &self,
+        da: &mut dyn DataAccess,
+        st: &mut RunState,
+        frame: &mut Frame<'_>,
+        op: BinOp,
+        lhs: &Expr,
+        rhs: &Expr,
+    ) -> Result<Value, ExecError> {
+        // Short-circuit logicals first.
+        match op {
+            BinOp::And => {
+                let l = self.eval(da, st, frame, lhs)?;
+                if !l.truthy() {
+                    return Ok(Value::Bool(false));
+                }
+                let r = self.eval(da, st, frame, rhs)?;
+                return Ok(Value::Bool(r.truthy()));
+            }
+            BinOp::Or => {
+                let l = self.eval(da, st, frame, lhs)?;
+                if l.truthy() {
+                    return Ok(Value::Bool(true));
+                }
+                let r = self.eval(da, st, frame, rhs)?;
+                return Ok(Value::Bool(r.truthy()));
+            }
+            _ => {}
+        }
+        let l = self.eval(da, st, frame, lhs)?;
+        let r = self.eval(da, st, frame, rhs)?;
+        binary_value(op, &l, &r)
+    }
+}
+
+/// Applies a non-logical binary operator to two values.
+///
+/// Numeric rules: ints stay ints (wrapping; `/` and `%` by zero yield 0 so
+/// generated workloads are total); mixing int and float coerces to float.
+/// `+` concatenates strings. Equality across different types is `false`;
+/// ordering across different types is a type error.
+pub fn binary_value(op: BinOp, l: &Value, r: &Value) -> Result<Value, ExecError> {
+    use BinOp::*;
+    use Value::*;
+    let type_err = || {
+        Err(ExecError::TypeError(format!(
+            "`{op}` not defined on {} and {}",
+            l.type_name(),
+            r.type_name()
+        )))
+    };
+    match op {
+        Add => match (l, r) {
+            (Int(a), Int(b)) => Ok(Int(a.wrapping_add(*b))),
+            (Float(a), Float(b)) => Ok(Float(a + b)),
+            (Int(a), Float(b)) => Ok(Float(*a as f64 + b)),
+            (Float(a), Int(b)) => Ok(Float(a + *b as f64)),
+            (Str(a), Str(b)) => Ok(Value::str(format!("{a}{b}"))),
+            _ => type_err(),
+        },
+        Sub | Mul | Div | Mod => {
+            let f = |a: i64, b: i64| match op {
+                Sub => a.wrapping_sub(b),
+                Mul => a.wrapping_mul(b),
+                Div => {
+                    if b == 0 {
+                        0
+                    } else {
+                        a.wrapping_div(b)
+                    }
+                }
+                Mod => {
+                    if b == 0 {
+                        0
+                    } else {
+                        a.wrapping_rem(b)
+                    }
+                }
+                _ => unreachable!(),
+            };
+            let g = |a: f64, b: f64| match op {
+                Sub => a - b,
+                Mul => a * b,
+                Div => {
+                    if b == 0.0 {
+                        0.0
+                    } else {
+                        a / b
+                    }
+                }
+                Mod => {
+                    if b == 0.0 {
+                        0.0
+                    } else {
+                        a % b
+                    }
+                }
+                _ => unreachable!(),
+            };
+            match (l, r) {
+                (Int(a), Int(b)) => Ok(Int(f(*a, *b))),
+                (Float(a), Float(b)) => Ok(Float(g(*a, *b))),
+                (Int(a), Float(b)) => Ok(Float(g(*a as f64, *b))),
+                (Float(a), Int(b)) => Ok(Float(g(*a, *b as f64))),
+                _ => type_err(),
+            }
+        }
+        Eq | Ne => {
+            let eq = match (l, r) {
+                (Int(a), Float(b)) | (Float(b), Int(a)) => (*a as f64) == *b,
+                (a, b) => a == b,
+            };
+            Ok(Bool(if op == Eq { eq } else { !eq }))
+        }
+        Lt | Le | Gt | Ge => {
+            let ord = match (l, r) {
+                (Int(a), Int(b)) => a.partial_cmp(b),
+                (Float(a), Float(b)) => a.partial_cmp(b),
+                (Int(a), Float(b)) => (*a as f64).partial_cmp(b),
+                (Float(a), Int(b)) => a.partial_cmp(&(*b as f64)),
+                (Str(a), Str(b)) => Some(a.cmp(b)),
+                (Bool(a), Bool(b)) => Some(a.cmp(b)),
+                _ => return type_err(),
+            };
+            let Some(ord) = ord else {
+                // NaN comparisons are false.
+                return Ok(Bool(false));
+            };
+            Ok(Bool(match op {
+                Lt => ord.is_lt(),
+                Le => ord.is_le(),
+                Gt => ord.is_gt(),
+                Ge => ord.is_ge(),
+                _ => unreachable!(),
+            }))
+        }
+        And | Or => unreachable!("handled by eval_binary"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{build_schema, FIGURE1_SOURCE};
+    use finecc_model::Instance;
+
+    /// A plain in-memory store with call-tracing, for interpreter tests.
+    struct TraceStore {
+        schema: Schema,
+        heap: HashMap<Oid, Instance>,
+        msgs: Vec<String>,
+        self_msgs: Vec<String>,
+        reads: usize,
+        writes: usize,
+    }
+
+    impl TraceStore {
+        fn new(schema: Schema) -> Self {
+            TraceStore {
+                schema,
+                heap: HashMap::new(),
+                msgs: Vec::new(),
+                self_msgs: Vec::new(),
+                reads: 0,
+                writes: 0,
+            }
+        }
+
+        fn create(&mut self, class: &str, oid: u64) -> Oid {
+            let cid = self.schema.class_by_name(class).unwrap();
+            let inst = Instance::new(&self.schema, cid);
+            self.heap.insert(Oid(oid), inst);
+            Oid(oid)
+        }
+
+        fn get_field(&self, oid: Oid, class: &str, name: &str) -> Value {
+            let cid = self.schema.class_by_name(class).unwrap();
+            let f = self.schema.resolve_field(cid, name).unwrap();
+            self.heap[&oid].get(&self.schema, f).unwrap().clone()
+        }
+
+        fn set_field(&mut self, oid: Oid, class: &str, name: &str, v: Value) {
+            let cid = self.schema.class_by_name(class).unwrap();
+            let f = self.schema.resolve_field(cid, name).unwrap();
+            let schema = self.schema.clone();
+            self.heap.get_mut(&oid).unwrap().set(&schema, f, v).unwrap();
+        }
+    }
+
+    impl DataAccess for TraceStore {
+        fn class_of(&mut self, oid: Oid) -> Result<ClassId, ExecError> {
+            self.heap
+                .get(&oid)
+                .map(|i| i.class)
+                .ok_or(ExecError::UnknownOid(oid))
+        }
+        fn read_field(&mut self, oid: Oid, field: FieldId) -> Result<Value, ExecError> {
+            self.reads += 1;
+            let inst = self.heap.get(&oid).ok_or(ExecError::UnknownOid(oid))?;
+            inst.get(&self.schema, field)
+                .cloned()
+                .ok_or(ExecError::FieldNotVisible { oid, field })
+        }
+        fn write_field(&mut self, oid: Oid, field: FieldId, value: Value) -> Result<(), ExecError> {
+            self.writes += 1;
+            let schema = self.schema.clone();
+            let inst = self.heap.get_mut(&oid).ok_or(ExecError::UnknownOid(oid))?;
+            inst.set(&schema, field, value)
+                .map(drop)
+                .ok_or(ExecError::FieldNotVisible { oid, field })
+        }
+        fn on_message(&mut self, _o: Oid, _c: ClassId, m: MethodId) -> Result<(), ExecError> {
+            self.msgs.push(format!("{m}"));
+            Ok(())
+        }
+        fn on_self_message(&mut self, _o: Oid, _c: ClassId, m: MethodId) -> Result<(), ExecError> {
+            self.self_msgs.push(format!("{m}"));
+            Ok(())
+        }
+    }
+
+    fn fig1() -> (Schema, MethodBodies, Builtins) {
+        let (s, b) = build_schema(FIGURE1_SOURCE).unwrap();
+        (s, b, Builtins::standard())
+    }
+
+    #[test]
+    fn m2_on_c1_instance_writes_f1() {
+        let (s, b, bi) = fig1();
+        let mut store = TraceStore::new(s.clone());
+        let o = store.create("c1", 1);
+        store.set_field(o, "c1", "f1", Value::Int(10));
+        store.set_field(o, "c1", "f2", Value::Bool(true));
+        let interp = Interpreter::new(&s, &b, &bi);
+        interp.send(&mut store, o, "m2", &[Value::Int(5)]).unwrap();
+        // expr(f1, f2, p1) = 10 + 1 + 5 = 16
+        assert_eq!(store.get_field(o, "c1", "f1"), Value::Int(16));
+    }
+
+    #[test]
+    fn late_binding_selects_override() {
+        let (s, b, bi) = fig1();
+        let mut store = TraceStore::new(s.clone());
+        let o = store.create("c2", 1);
+        store.set_field(o, "c2", "f5", Value::Int(7));
+        let interp = Interpreter::new(&s, &b, &bi);
+        // m1 → self m2 (c2's override!) → prefixed c1.m2 writes f1;
+        // override body writes f4 := expr(f5, p1) = 7 + 3 = 10.
+        interp.send(&mut store, o, "m1", &[Value::Int(3)]).unwrap();
+        assert_eq!(store.get_field(o, "c2", "f4"), Value::Int(10));
+        // c1.m2 wrote f1 := expr(f1, f2, p1) = 0 + 0 + 3 = 3.
+        assert_eq!(store.get_field(o, "c2", "f1"), Value::Int(3));
+    }
+
+    #[test]
+    fn top_vs_self_message_hooks() {
+        let (s, b, bi) = fig1();
+        let mut store = TraceStore::new(s.clone());
+        let o = store.create("c2", 1);
+        let interp = Interpreter::new(&s, &b, &bi);
+        interp.send(&mut store, o, "m1", &[Value::Int(1)]).unwrap();
+        // Exactly one top message (m1); self messages: m2(c2), c1.m2, m3.
+        assert_eq!(store.msgs.len(), 1);
+        assert_eq!(store.self_msgs.len(), 3);
+    }
+
+    #[test]
+    fn send_through_field_is_top_message() {
+        let (s, b, bi) = fig1();
+        let mut store = TraceStore::new(s.clone());
+        let o1 = store.create("c1", 1);
+        let o3 = store.create("c3", 2);
+        store.set_field(o1, "c1", "f2", Value::Bool(true));
+        store.set_field(o1, "c1", "f3", Value::Ref(o3));
+        let interp = Interpreter::new(&s, &b, &bi);
+        interp.send(&mut store, o1, "m3", &[]).unwrap();
+        // Two top messages: m3 on o1 and m on o3.
+        assert_eq!(store.msgs.len(), 2);
+        assert_eq!(store.get_field(o3, "c3", "g1"), Value::Int(1));
+    }
+
+    #[test]
+    fn conditional_external_send_skipped() {
+        let (s, b, bi) = fig1();
+        let mut store = TraceStore::new(s.clone());
+        let o1 = store.create("c1", 1);
+        let interp = Interpreter::new(&s, &b, &bi);
+        // f2 is false: no send through f3, no nil-receiver error.
+        interp.send(&mut store, o1, "m3", &[]).unwrap();
+        assert_eq!(store.msgs.len(), 1);
+    }
+
+    #[test]
+    fn nil_receiver_error() {
+        let (s, b, bi) = fig1();
+        let mut store = TraceStore::new(s.clone());
+        let o1 = store.create("c1", 1);
+        store.set_field(o1, "c1", "f2", Value::Bool(true));
+        let interp = Interpreter::new(&s, &b, &bi);
+        assert!(matches!(
+            interp.send(&mut store, o1, "m3", &[]),
+            Err(ExecError::NilReceiver { .. })
+        ));
+    }
+
+    #[test]
+    fn message_not_understood() {
+        let (s, b, bi) = fig1();
+        let mut store = TraceStore::new(s.clone());
+        let o1 = store.create("c1", 1);
+        let interp = Interpreter::new(&s, &b, &bi);
+        assert!(matches!(
+            interp.send(&mut store, o1, "m4", &[Value::Int(1), Value::Int(2)]),
+            Err(ExecError::MessageNotUnderstood { .. })
+        ));
+    }
+
+    #[test]
+    fn arity_checked() {
+        let (s, b, bi) = fig1();
+        let mut store = TraceStore::new(s.clone());
+        let o1 = store.create("c1", 1);
+        let interp = Interpreter::new(&s, &b, &bi);
+        assert!(matches!(
+            interp.send(&mut store, o1, "m2", &[]),
+            Err(ExecError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn m4_branches_on_cond() {
+        let (s, b, bi) = fig1();
+        let mut store = TraceStore::new(s.clone());
+        let o = store.create("c2", 1);
+        let interp = Interpreter::new(&s, &b, &bi);
+        // cond(f5=0, p1=-1) = false → f6 untouched.
+        interp
+            .send(&mut store, o, "m4", &[Value::Int(-1), Value::Int(2)])
+            .unwrap();
+        assert_eq!(store.get_field(o, "c2", "f6"), Value::str(""));
+        // cond(0, 5) = true → f6 := expr("", p2).
+        interp
+            .send(&mut store, o, "m4", &[Value::Int(5), Value::Int(2)])
+            .unwrap();
+        assert_eq!(store.get_field(o, "c2", "f6"), Value::str("|2"));
+    }
+
+    #[test]
+    fn recursion_depth_limited() {
+        let src = "class a { method loop is send loop to self end }";
+        let (s, b) = build_schema(src).unwrap();
+        let bi = Builtins::standard();
+        let mut store = TraceStore::new(s.clone());
+        let o = store.create("a", 1);
+        let mut interp = Interpreter::new(&s, &b, &bi);
+        interp.max_depth = 16;
+        assert!(matches!(
+            interp.send(&mut store, o, "loop", &[]),
+            Err(ExecError::DepthExceeded(16))
+        ));
+    }
+
+    #[test]
+    fn while_loop_and_fuel() {
+        let src = r#"
+class a {
+  fields { n: integer; acc: integer; }
+  method sum is
+    while n > 0 do
+      acc := acc + n;
+      n := n - 1
+    end;
+    return acc
+  end
+  method forever is
+    while true do skip end
+  end
+}
+"#;
+        let (s, b) = build_schema(src).unwrap();
+        let bi = Builtins::standard();
+        let mut store = TraceStore::new(s.clone());
+        let o = store.create("a", 1);
+        store.set_field(o, "a", "n", Value::Int(5));
+        let mut interp = Interpreter::new(&s, &b, &bi);
+        let v = interp.send(&mut store, o, "sum", &[]).unwrap();
+        assert_eq!(v, Value::Int(15));
+        interp.max_fuel = 1000;
+        assert!(matches!(
+            interp.send(&mut store, o, "forever", &[]),
+            Err(ExecError::FuelExhausted)
+        ));
+    }
+
+    #[test]
+    fn return_value_via_expression_send() {
+        let src = r#"
+class cell { fields { v: integer; } method get is return v end }
+class user {
+  fields { c: cell; out: integer; }
+  method pull is out := (send get to c) + 1 end
+}
+"#;
+        let (s, b) = build_schema(src).unwrap();
+        let bi = Builtins::standard();
+        let mut store = TraceStore::new(s.clone());
+        let cell = store.create("cell", 1);
+        let user = store.create("user", 2);
+        store.set_field(cell, "cell", "v", Value::Int(41));
+        store.set_field(user, "user", "c", Value::Ref(cell));
+        let interp = Interpreter::new(&s, &b, &bi);
+        interp.send(&mut store, user, "pull", &[]).unwrap();
+        assert_eq!(store.get_field(user, "user", "out"), Value::Int(42));
+    }
+
+    #[test]
+    fn binary_semantics() {
+        use BinOp::*;
+        let i = Value::Int;
+        assert_eq!(binary_value(Add, &i(2), &i(3)), Ok(i(5)));
+        assert_eq!(binary_value(Div, &i(7), &i(0)), Ok(i(0)));
+        assert_eq!(binary_value(Mod, &i(7), &i(0)), Ok(i(0)));
+        assert_eq!(
+            binary_value(Add, &Value::str("a"), &Value::str("b")),
+            Ok(Value::str("ab"))
+        );
+        assert_eq!(binary_value(Eq, &i(1), &Value::str("1")), Ok(Value::Bool(false)));
+        assert_eq!(binary_value(Ne, &i(1), &Value::str("1")), Ok(Value::Bool(true)));
+        assert_eq!(binary_value(Lt, &i(1), &Value::Float(1.5)), Ok(Value::Bool(true)));
+        assert!(binary_value(Lt, &i(1), &Value::str("x")).is_err());
+        assert_eq!(
+            binary_value(Add, &Value::Float(0.5), &i(1)),
+            Ok(Value::Float(1.5))
+        );
+    }
+
+    #[test]
+    fn self_expression_is_receiver_ref() {
+        let src = r#"
+class node {
+  fields { next: node; }
+  method tie is next := self end
+}
+"#;
+        let (s, b) = build_schema(src).unwrap();
+        let bi = Builtins::standard();
+        let mut store = TraceStore::new(s.clone());
+        let o = store.create("node", 5);
+        let interp = Interpreter::new(&s, &b, &bi);
+        interp.send(&mut store, o, "tie", &[]).unwrap();
+        assert_eq!(store.get_field(o, "node", "next"), Value::Ref(o));
+    }
+}

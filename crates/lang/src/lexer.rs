@@ -1,0 +1,515 @@
+//! Hand-written lexer for the method language.
+
+use crate::error::ParseError;
+use std::fmt;
+
+/// Token kinds. Keywords are distinguished from identifiers at lex time.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    // literals / names
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    // keywords
+    KwClass,
+    KwInherits,
+    KwFields,
+    KwMethod,
+    KwIs,
+    KwRedefined,
+    KwAs,
+    KwEnd,
+    KwSend,
+    KwTo,
+    KwSelf,
+    KwIf,
+    KwThen,
+    KwElse,
+    KwWhile,
+    KwDo,
+    KwVar,
+    KwReturn,
+    KwSkip,
+    KwTrue,
+    KwFalse,
+    KwNil,
+    KwAnd,
+    KwOr,
+    KwNot,
+    // punctuation
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Colon,
+    Semi,
+    Comma,
+    Dot,
+    Assign, // :=
+    Eq,     // =
+    Ne,     // <>
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Int(i) => write!(f, "integer {i}"),
+            Tok::Float(x) => write!(f, "float {x}"),
+            Tok::Str(s) => write!(f, "string {s:?}"),
+            Tok::Eof => write!(f, "end of input"),
+            other => {
+                let s = match other {
+                    Tok::KwClass => "class",
+                    Tok::KwInherits => "inherits",
+                    Tok::KwFields => "fields",
+                    Tok::KwMethod => "method",
+                    Tok::KwIs => "is",
+                    Tok::KwRedefined => "redefined",
+                    Tok::KwAs => "as",
+                    Tok::KwEnd => "end",
+                    Tok::KwSend => "send",
+                    Tok::KwTo => "to",
+                    Tok::KwSelf => "self",
+                    Tok::KwIf => "if",
+                    Tok::KwThen => "then",
+                    Tok::KwElse => "else",
+                    Tok::KwWhile => "while",
+                    Tok::KwDo => "do",
+                    Tok::KwVar => "var",
+                    Tok::KwReturn => "return",
+                    Tok::KwSkip => "skip",
+                    Tok::KwTrue => "true",
+                    Tok::KwFalse => "false",
+                    Tok::KwNil => "nil",
+                    Tok::KwAnd => "and",
+                    Tok::KwOr => "or",
+                    Tok::KwNot => "not",
+                    Tok::LBrace => "{",
+                    Tok::RBrace => "}",
+                    Tok::LParen => "(",
+                    Tok::RParen => ")",
+                    Tok::Colon => ":",
+                    Tok::Semi => ";",
+                    Tok::Comma => ",",
+                    Tok::Dot => ".",
+                    Tok::Assign => ":=",
+                    Tok::Eq => "=",
+                    Tok::Ne => "<>",
+                    Tok::Lt => "<",
+                    Tok::Le => "<=",
+                    Tok::Gt => ">",
+                    Tok::Ge => ">=",
+                    Tok::Plus => "+",
+                    Tok::Minus => "-",
+                    Tok::Star => "*",
+                    Tok::Slash => "/",
+                    Tok::Percent => "%",
+                    _ => unreachable!(),
+                };
+                write!(f, "`{s}`")
+            }
+        }
+    }
+}
+
+/// A token with its source position (1-based).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Spanned {
+    pub tok: Tok,
+    pub line: u32,
+    pub col: u32,
+}
+
+fn keyword(s: &str) -> Option<Tok> {
+    Some(match s {
+        "class" => Tok::KwClass,
+        "inherits" => Tok::KwInherits,
+        "fields" => Tok::KwFields,
+        "method" => Tok::KwMethod,
+        "is" => Tok::KwIs,
+        "redefined" => Tok::KwRedefined,
+        "as" => Tok::KwAs,
+        "end" => Tok::KwEnd,
+        "send" => Tok::KwSend,
+        "to" => Tok::KwTo,
+        "self" => Tok::KwSelf,
+        "if" => Tok::KwIf,
+        "then" => Tok::KwThen,
+        "else" => Tok::KwElse,
+        "while" => Tok::KwWhile,
+        "do" => Tok::KwDo,
+        "var" => Tok::KwVar,
+        "return" => Tok::KwReturn,
+        "skip" => Tok::KwSkip,
+        "true" => Tok::KwTrue,
+        "false" => Tok::KwFalse,
+        "nil" => Tok::KwNil,
+        "and" => Tok::KwAnd,
+        "or" => Tok::KwOr,
+        "not" => Tok::KwNot,
+        _ => return None,
+    })
+}
+
+/// Lexes a whole source string. Comments run from `--` to end of line.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! push {
+        ($tok:expr, $l:expr, $c:expr) => {
+            out.push(Spanned {
+                tok: $tok,
+                line: $l,
+                col: $c,
+            })
+        };
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        let (tl, tc) = (line, col);
+        match b {
+            b'\n' => {
+                line += 1;
+                col = 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => {
+                col += 1;
+                i += 1;
+            }
+            b'-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // comment to end of line
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'{' => {
+                push!(Tok::LBrace, tl, tc);
+                i += 1;
+                col += 1;
+            }
+            b'}' => {
+                push!(Tok::RBrace, tl, tc);
+                i += 1;
+                col += 1;
+            }
+            b'(' => {
+                push!(Tok::LParen, tl, tc);
+                i += 1;
+                col += 1;
+            }
+            b')' => {
+                push!(Tok::RParen, tl, tc);
+                i += 1;
+                col += 1;
+            }
+            b';' => {
+                push!(Tok::Semi, tl, tc);
+                i += 1;
+                col += 1;
+            }
+            b',' => {
+                push!(Tok::Comma, tl, tc);
+                i += 1;
+                col += 1;
+            }
+            b'.' => {
+                push!(Tok::Dot, tl, tc);
+                i += 1;
+                col += 1;
+            }
+            b'+' => {
+                push!(Tok::Plus, tl, tc);
+                i += 1;
+                col += 1;
+            }
+            b'-' => {
+                push!(Tok::Minus, tl, tc);
+                i += 1;
+                col += 1;
+            }
+            b'*' => {
+                push!(Tok::Star, tl, tc);
+                i += 1;
+                col += 1;
+            }
+            b'/' => {
+                push!(Tok::Slash, tl, tc);
+                i += 1;
+                col += 1;
+            }
+            b'%' => {
+                push!(Tok::Percent, tl, tc);
+                i += 1;
+                col += 1;
+            }
+            b'=' => {
+                push!(Tok::Eq, tl, tc);
+                i += 1;
+                col += 1;
+            }
+            b':' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push!(Tok::Assign, tl, tc);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push!(Tok::Colon, tl, tc);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            b'<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push!(Tok::Le, tl, tc);
+                    i += 2;
+                    col += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    push!(Tok::Ne, tl, tc);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push!(Tok::Lt, tl, tc);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            b'>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push!(Tok::Ge, tl, tc);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push!(Tok::Gt, tl, tc);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            b'"' => {
+                let mut s = String::new();
+                i += 1;
+                col += 1;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(ParseError::new("unterminated string literal", tl, tc));
+                    }
+                    match bytes[i] {
+                        b'"' => {
+                            i += 1;
+                            col += 1;
+                            break;
+                        }
+                        b'\\' if i + 1 < bytes.len() => {
+                            let esc = bytes[i + 1];
+                            s.push(match esc {
+                                b'n' => '\n',
+                                b't' => '\t',
+                                b'"' => '"',
+                                b'\\' => '\\',
+                                other => {
+                                    return Err(ParseError::new(
+                                        format!("unknown escape `\\{}`", other as char),
+                                        line,
+                                        col,
+                                    ))
+                                }
+                            });
+                            i += 2;
+                            col += 2;
+                        }
+                        b'\n' => {
+                            return Err(ParseError::new("unterminated string literal", tl, tc))
+                        }
+                        other => {
+                            s.push(other as char);
+                            i += 1;
+                            col += 1;
+                        }
+                    }
+                }
+                push!(Tok::Str(s), tl, tc);
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &src[start..i];
+                col += (i - start) as u32;
+                if is_float {
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|_| ParseError::new("bad float literal", tl, tc))?;
+                    push!(Tok::Float(v), tl, tc);
+                } else {
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|_| ParseError::new("integer literal overflows i64", tl, tc))?;
+                    push!(Tok::Int(v), tl, tc);
+                }
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                col += (i - start) as u32;
+                match keyword(text) {
+                    Some(kw) => push!(kw, tl, tc),
+                    None => push!(Tok::Ident(text.to_string()), tl, tc),
+                }
+            }
+            other => {
+                return Err(ParseError::new(
+                    format!("unexpected character `{}`", other as char),
+                    tl,
+                    tc,
+                ))
+            }
+        }
+    }
+    out.push(Spanned {
+        tok: Tok::Eof,
+        line,
+        col,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            toks("send m2 to self"),
+            vec![
+                Tok::KwSend,
+                Tok::Ident("m2".into()),
+                Tok::KwTo,
+                Tok::KwSelf,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("a := b <= c <> d"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Assign,
+                Tok::Ident("b".into()),
+                Tok::Le,
+                Tok::Ident("c".into()),
+                Tok::Ne,
+                Tok::Ident("d".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            toks("1 23 4.5"),
+            vec![Tok::Int(1), Tok::Int(23), Tok::Float(4.5), Tok::Eof]
+        );
+        // `4.` followed by ident is Int Dot Ident (prefixed send syntax).
+        assert_eq!(
+            toks("c1.m2"),
+            vec![
+                Tok::Ident("c1".into()),
+                Tok::Dot,
+                Tok::Ident("m2".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        assert_eq!(
+            toks(r#""hi\n\"x\"""#),
+            vec![Tok::Str("hi\n\"x\"".into()), Tok::Eof]
+        );
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("\"bad\\q\"").is_err());
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            toks("a -- comment := ignored\n; b"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Semi,
+                Tok::Ident("b".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let ts = lex("ab\n  cd").unwrap();
+        assert_eq!((ts[0].line, ts[0].col), (1, 1));
+        assert_eq!((ts[1].line, ts[1].col), (2, 3));
+    }
+
+    #[test]
+    fn bad_char_rejected() {
+        let e = lex("a $ b").unwrap_err();
+        assert!(e.msg.contains('$'));
+        assert_eq!(e.col, 3);
+    }
+
+    #[test]
+    fn minus_vs_comment() {
+        assert_eq!(
+            toks("a - b"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Minus,
+                Tok::Ident("b".into()),
+                Tok::Eof
+            ]
+        );
+        assert_eq!(toks("--x\n"), vec![Tok::Eof]);
+    }
+}

@@ -1,0 +1,151 @@
+//! Waits-for-graph cycle detection.
+//!
+//! The graph is rebuilt from the lock table on demand (only when a request
+//! actually blocks, which is the rare path). An edge `t → u` means
+//! transaction `t` waits for a lock that `u` holds or that `u` requested
+//! ahead of `t`.
+
+use finecc_model::TxnId;
+use std::collections::{HashMap, HashSet};
+
+/// A waits-for graph.
+#[derive(Clone, Debug, Default)]
+pub struct WaitsFor {
+    edges: HashMap<TxnId, Vec<TxnId>>,
+}
+
+impl WaitsFor {
+    /// An empty graph.
+    pub fn new() -> WaitsFor {
+        WaitsFor::default()
+    }
+
+    /// Adds edges `from → each of to`.
+    pub fn add_edges(&mut self, from: TxnId, to: impl IntoIterator<Item = TxnId>) {
+        let e = self.edges.entry(from).or_default();
+        for t in to {
+            if t != from && !e.contains(&t) {
+                e.push(t);
+            }
+        }
+    }
+
+    /// Successors of a node.
+    pub fn successors(&self, t: TxnId) -> &[TxnId] {
+        self.edges.get(&t).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Finds a cycle reachable from `start`, returned as the list of
+    /// transactions on the cycle (in edge order, starting anywhere on the
+    /// cycle). `None` if `start` cannot reach a cycle through itself.
+    ///
+    /// Only cycles **through `start`** matter to the caller: `start` is
+    /// the transaction that just blocked, and any pre-existing cycle not
+    /// involving it was already handled when its own last edge appeared.
+    pub fn cycle_through(&self, start: TxnId) -> Option<Vec<TxnId>> {
+        // Iterative DFS tracking the path.
+        let mut path: Vec<TxnId> = vec![start];
+        let mut iters: Vec<usize> = vec![0];
+        let mut on_path: HashSet<TxnId> = HashSet::from([start]);
+        let mut done: HashSet<TxnId> = HashSet::new();
+
+        while let Some(&node) = path.last() {
+            let i = *iters.last().expect("parallel stacks");
+            let succs = self.successors(node);
+            if i < succs.len() {
+                *iters.last_mut().expect("parallel stacks") += 1;
+                let next = succs[i];
+                if next == start {
+                    return Some(path.clone());
+                }
+                if on_path.contains(&next) || done.contains(&next) {
+                    // A cycle not through `start`, or an exhausted branch.
+                    continue;
+                }
+                on_path.insert(next);
+                path.push(next);
+                iters.push(0);
+            } else {
+                done.insert(node);
+                on_path.remove(&node);
+                path.pop();
+                iters.pop();
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u64) -> TxnId {
+        TxnId(i)
+    }
+
+    #[test]
+    fn no_cycle_in_dag() {
+        let mut g = WaitsFor::new();
+        g.add_edges(t(1), [t(2)]);
+        g.add_edges(t(2), [t(3)]);
+        assert!(g.cycle_through(t(1)).is_none());
+        assert!(g.cycle_through(t(3)).is_none());
+    }
+
+    #[test]
+    fn two_cycle() {
+        let mut g = WaitsFor::new();
+        g.add_edges(t(1), [t(2)]);
+        g.add_edges(t(2), [t(1)]);
+        let c = g.cycle_through(t(1)).unwrap();
+        assert_eq!(c.len(), 2);
+        assert!(c.contains(&t(1)) && c.contains(&t(2)));
+    }
+
+    #[test]
+    fn three_cycle_with_branches() {
+        let mut g = WaitsFor::new();
+        g.add_edges(t(1), [t(5), t(2)]);
+        g.add_edges(t(2), [t(6), t(3)]);
+        g.add_edges(t(3), [t(1)]);
+        g.add_edges(t(5), [t(6)]);
+        let c = g.cycle_through(t(1)).unwrap();
+        assert_eq!(c, vec![t(1), t(2), t(3)]);
+    }
+
+    #[test]
+    fn cycle_not_through_start_ignored() {
+        let mut g = WaitsFor::new();
+        g.add_edges(t(1), [t(2)]);
+        g.add_edges(t(2), [t(3)]);
+        g.add_edges(t(3), [t(2)]); // 2↔3 cycle, not through 1
+        assert!(g.cycle_through(t(1)).is_none());
+        assert!(g.cycle_through(t(2)).is_some());
+    }
+
+    #[test]
+    fn self_edges_ignored() {
+        let mut g = WaitsFor::new();
+        g.add_edges(t(1), [t(1)]);
+        assert!(g.cycle_through(t(1)).is_none());
+    }
+
+    #[test]
+    fn dedup_edges() {
+        let mut g = WaitsFor::new();
+        g.add_edges(t(1), [t(2), t(2), t(2)]);
+        assert_eq!(g.successors(t(1)).len(), 1);
+    }
+
+    #[test]
+    fn long_cycle() {
+        let mut g = WaitsFor::new();
+        let n = 1000u64;
+        for i in 0..n {
+            g.add_edges(t(i), [t((i + 1) % n)]);
+        }
+        let c = g.cycle_through(t(0)).unwrap();
+        assert_eq!(c.len(), n as usize);
+    }
+}

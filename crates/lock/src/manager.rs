@@ -1,0 +1,524 @@
+//! The lock manager: blocking acquisition, strict-2PL release, deadlock
+//! detection, and a non-blocking mode for deterministic simulation.
+
+use crate::deadlock::WaitsFor;
+use crate::entry::LockEntry;
+use crate::modes::{LockMode, ModeSource};
+use crate::resource::ResourceId;
+use crate::stats::LockStats;
+use finecc_model::TxnId;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Why a blocking acquisition failed. Both cases mean the transaction
+/// should abort (release everything, undo, optionally retry).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AcquireError {
+    /// The request closed a waits-for cycle and this transaction was
+    /// chosen as the victim, or another detector flagged it.
+    Deadlock,
+    /// The request waited longer than the configured timeout.
+    Timeout,
+}
+
+impl std::fmt::Display for AcquireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AcquireError::Deadlock => write!(f, "deadlock victim"),
+            AcquireError::Timeout => write!(f, "lock wait timeout"),
+        }
+    }
+}
+
+impl std::error::Error for AcquireError {}
+
+/// Result of a non-blocking [`LockManager::try_acquire`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TryAcquire {
+    /// The lock was granted (or already held).
+    Granted,
+    /// The lock conflicts with granted or queued requests.
+    WouldBlock,
+}
+
+/// Which transaction dies when a deadlock cycle is found.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum VictimPolicy {
+    /// Abort the requester that closed the cycle (deterministic, cheap).
+    #[default]
+    Requester,
+    /// Abort the youngest transaction (largest [`TxnId`]) on the cycle.
+    Youngest,
+}
+
+#[derive(Default)]
+struct State {
+    entries: HashMap<ResourceId, LockEntry>,
+    held: HashMap<TxnId, HashSet<ResourceId>>,
+    victims: HashSet<TxnId>,
+}
+
+/// The lock manager. `S` supplies per-resource mode compatibility.
+pub struct LockManager<S> {
+    src: S,
+    state: Mutex<State>,
+    cv: Condvar,
+    next_txn: AtomicU64,
+    /// Live counters.
+    pub stats: LockStats,
+    victim_policy: VictimPolicy,
+    wait_timeout: Duration,
+}
+
+impl<S: ModeSource> LockManager<S> {
+    /// Creates a manager with the default victim policy (requester dies)
+    /// and a 10-second wait timeout.
+    pub fn new(src: S) -> LockManager<S> {
+        LockManager {
+            src,
+            state: Mutex::new(State::default()),
+            cv: Condvar::new(),
+            next_txn: AtomicU64::new(1),
+            stats: LockStats::default(),
+            victim_policy: VictimPolicy::Requester,
+            wait_timeout: Duration::from_secs(10),
+        }
+    }
+
+    /// Sets the deadlock victim policy.
+    pub fn with_victim_policy(mut self, p: VictimPolicy) -> Self {
+        self.victim_policy = p;
+        self
+    }
+
+    /// Sets the blocking-wait timeout.
+    pub fn with_timeout(mut self, d: Duration) -> Self {
+        self.wait_timeout = d;
+        self
+    }
+
+    /// The mode source.
+    pub fn source(&self) -> &S {
+        &self.src
+    }
+
+    /// Starts a new transaction (monotonically increasing ids; the id
+    /// doubles as the age for [`VictimPolicy::Youngest`]).
+    pub fn begin(&self) -> TxnId {
+        TxnId(self.next_txn.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Blocking acquisition under strict 2PL. Returns when granted, the
+    /// transaction is chosen as a deadlock victim, or the wait times out.
+    pub fn acquire(
+        &self,
+        txn: TxnId,
+        res: ResourceId,
+        mode: LockMode,
+    ) -> Result<(), AcquireError> {
+        LockStats::bump(&self.stats.requests);
+        let mut st = self.state.lock();
+        if st.victims.remove(&txn) {
+            return Err(AcquireError::Deadlock);
+        }
+        {
+            let entry = st.entries.entry(res).or_default();
+            if entry.holds(txn, mode) {
+                LockStats::bump(&self.stats.immediate);
+                return Ok(());
+            }
+            if entry.can_grant(&self.src, &res, txn, mode) {
+                let conversion = entry.holds_any(txn);
+                entry.grant(txn, mode);
+                if conversion {
+                    LockStats::bump(&self.stats.upgrades);
+                }
+                st.held.entry(txn).or_default().insert(res);
+                LockStats::bump(&self.stats.immediate);
+                return Ok(());
+            }
+            LockStats::bump(&self.stats.blocks);
+            if entry.holds_any(txn) {
+                LockStats::bump(&self.stats.upgrades);
+            }
+            entry.enqueue(txn, mode);
+        }
+
+        loop {
+            // Deadlock check: this request may have closed a cycle.
+            let wf = self.build_waits_for(&st);
+            if let Some(cycle) = wf.cycle_through(txn) {
+                LockStats::bump(&self.stats.deadlocks);
+                let victim = match self.victim_policy {
+                    VictimPolicy::Requester => txn,
+                    VictimPolicy::Youngest => {
+                        *cycle.iter().max().expect("cycle is non-empty")
+                    }
+                };
+                if victim == txn {
+                    if let Some(e) = st.entries.get_mut(&res) {
+                        e.dequeue(txn, mode);
+                    }
+                    self.cv.notify_all();
+                    return Err(AcquireError::Deadlock);
+                }
+                st.victims.insert(victim);
+                self.cv.notify_all();
+            }
+
+            let timed_out = self
+                .cv
+                .wait_for(&mut st, self.wait_timeout)
+                .timed_out();
+
+            if st.victims.remove(&txn) {
+                if let Some(e) = st.entries.get_mut(&res) {
+                    e.dequeue(txn, mode);
+                }
+                self.cv.notify_all();
+                return Err(AcquireError::Deadlock);
+            }
+            let entry = st.entries.entry(res).or_default();
+            if entry.can_grant_queued(&self.src, &res, txn, mode) {
+                entry.dequeue(txn, mode);
+                entry.grant(txn, mode);
+                st.held.entry(txn).or_default().insert(res);
+                // Compatible waiters behind us may now also be grantable.
+                self.cv.notify_all();
+                return Ok(());
+            }
+            if timed_out {
+                entry.dequeue(txn, mode);
+                LockStats::bump(&self.stats.timeouts);
+                self.cv.notify_all();
+                return Err(AcquireError::Timeout);
+            }
+        }
+    }
+
+    /// Non-blocking acquisition: grants immediately or reports
+    /// `WouldBlock` without queueing. Used by the deterministic simulator.
+    pub fn try_acquire(&self, txn: TxnId, res: ResourceId, mode: LockMode) -> TryAcquire {
+        LockStats::bump(&self.stats.requests);
+        let mut st = self.state.lock();
+        let entry = st.entries.entry(res).or_default();
+        if entry.holds(txn, mode) {
+            LockStats::bump(&self.stats.immediate);
+            return TryAcquire::Granted;
+        }
+        if entry.can_grant(&self.src, &res, txn, mode) {
+            let conversion = entry.holds_any(txn);
+            entry.grant(txn, mode);
+            if conversion {
+                LockStats::bump(&self.stats.upgrades);
+            }
+            st.held.entry(txn).or_default().insert(res);
+            LockStats::bump(&self.stats.immediate);
+            TryAcquire::Granted
+        } else {
+            LockStats::bump(&self.stats.would_blocks);
+            TryAcquire::WouldBlock
+        }
+    }
+
+    /// Strict-2PL release: drops every lock (granted and queued) of `txn`
+    /// and wakes waiters. Called exactly once at commit/abort.
+    pub fn release_all(&self, txn: TxnId) {
+        LockStats::bump(&self.stats.releases);
+        let mut st = self.state.lock();
+        st.victims.remove(&txn);
+        if let Some(resources) = st.held.remove(&txn) {
+            for res in resources {
+                if let Some(e) = st.entries.get_mut(&res) {
+                    e.purge(txn);
+                    if e.is_idle() {
+                        st.entries.remove(&res);
+                    }
+                }
+            }
+        }
+        // Queued-only requests (blocked acquire in another thread) are
+        // also purged so the waiter sees itself gone and re-queues or
+        // errors; in practice acquire() owns its queue entry, so this is
+        // only for crashed callers.
+        self.cv.notify_all();
+    }
+
+    /// `true` if `txn` currently holds `mode` on `res`.
+    pub fn holds(&self, txn: TxnId, res: ResourceId, mode: LockMode) -> bool {
+        self.state
+            .lock()
+            .entries
+            .get(&res)
+            .is_some_and(|e| e.holds(txn, mode))
+    }
+
+    /// The resources `txn` holds locks on.
+    pub fn held_resources(&self, txn: TxnId) -> Vec<ResourceId> {
+        self.state
+            .lock()
+            .held
+            .get(&txn)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of resources with live lock state.
+    pub fn entry_count(&self) -> usize {
+        self.state.lock().entries.len()
+    }
+
+    fn build_waits_for(&self, st: &State) -> WaitsFor {
+        let mut wf = WaitsFor::new();
+        for (res, entry) in &st.entries {
+            for &(t, m) in &entry.queue {
+                wf.add_edges(t, entry.blockers(&self.src, res, t, m));
+            }
+        }
+        wf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modes::{RwSource, READ, WRITE};
+    use finecc_model::{ClassId, Oid};
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    fn res(i: u64) -> ResourceId {
+        ResourceId::Instance(Oid(i), ClassId(0))
+    }
+
+    fn rd() -> LockMode {
+        LockMode::plain(READ)
+    }
+
+    fn wr() -> LockMode {
+        LockMode::plain(WRITE)
+    }
+
+    fn mk() -> Arc<LockManager<RwSource>> {
+        Arc::new(LockManager::new(RwSource).with_timeout(Duration::from_secs(5)))
+    }
+
+    #[test]
+    fn shared_reads_exclusive_writes() {
+        let lm = mk();
+        let (t1, t2) = (lm.begin(), lm.begin());
+        lm.acquire(t1, res(1), rd()).unwrap();
+        lm.acquire(t2, res(1), rd()).unwrap();
+        assert_eq!(lm.try_acquire(lm.begin(), res(1), wr()), TryAcquire::WouldBlock);
+        lm.release_all(t1);
+        lm.release_all(t2);
+        assert_eq!(lm.try_acquire(lm.begin(), res(1), wr()), TryAcquire::Granted);
+    }
+
+    #[test]
+    fn reacquire_held_mode_is_noop() {
+        let lm = mk();
+        let t = lm.begin();
+        lm.acquire(t, res(1), rd()).unwrap();
+        lm.acquire(t, res(1), rd()).unwrap();
+        assert!(lm.holds(t, res(1), rd()));
+        assert_eq!(lm.held_resources(t), vec![res(1)]);
+    }
+
+    #[test]
+    fn blocking_handoff_across_threads() {
+        let lm = mk();
+        let t1 = lm.begin();
+        lm.acquire(t1, res(1), wr()).unwrap();
+        let lm2 = Arc::clone(&lm);
+        let h = thread::spawn(move || {
+            let t2 = lm2.begin();
+            lm2.acquire(t2, res(1), wr()).unwrap();
+            lm2.release_all(t2);
+            true
+        });
+        thread::sleep(Duration::from_millis(50));
+        lm.release_all(t1);
+        assert!(h.join().unwrap());
+    }
+
+    #[test]
+    fn classic_two_resource_deadlock_detected() {
+        let lm = mk();
+        let t1 = lm.begin();
+        let t2 = lm.begin();
+        lm.acquire(t1, res(1), wr()).unwrap();
+        lm.acquire(t2, res(2), wr()).unwrap();
+
+        let lm2 = Arc::clone(&lm);
+        let h = thread::spawn(move || {
+            // t2 waits for res 1 (held by t1).
+            lm2.acquire(t2, res(1), wr())
+        });
+        thread::sleep(Duration::from_millis(50));
+        // t1 now closes the cycle: waits for res 2 (held by t2) → victim.
+        let r1 = lm.acquire(t1, res(2), wr());
+        assert_eq!(r1, Err(AcquireError::Deadlock));
+        lm.release_all(t1);
+        // t2 proceeds once t1 released.
+        assert_eq!(h.join().unwrap(), Ok(()));
+        lm.release_all(t2);
+        assert!(lm.stats.snapshot().deadlocks >= 1);
+    }
+
+    #[test]
+    fn upgrade_deadlock_two_readers() {
+        // The System R escalation scenario (problem P3): both read, both
+        // try to upgrade — guaranteed deadlock; one must die.
+        let lm = mk();
+        let t1 = lm.begin();
+        let t2 = lm.begin();
+        lm.acquire(t1, res(1), rd()).unwrap();
+        lm.acquire(t2, res(1), rd()).unwrap();
+
+        let upgrade = |txn: TxnId| {
+            let lm = Arc::clone(&lm);
+            thread::spawn(move || {
+                let r = lm.acquire(txn, res(1), wr());
+                // Victim or winner, release immediately so the peer can
+                // make progress (strict 2PL end-of-transaction).
+                lm.release_all(txn);
+                r
+            })
+        };
+        let h1 = upgrade(t1);
+        let h2 = upgrade(t2);
+        let (r1, r2) = (h1.join().unwrap(), h2.join().unwrap());
+        // No timeout allowed; at least one must be a deadlock victim, and
+        // if exactly one dies the other must have won the write.
+        match (r1, r2) {
+            (Ok(()), Err(AcquireError::Deadlock)) => {}
+            (Err(AcquireError::Deadlock), Ok(())) => {}
+            // Both deadlocked is also a safe (if pessimistic) outcome
+            // under the Requester policy if timing interleaves detection.
+            (Err(AcquireError::Deadlock), Err(AcquireError::Deadlock)) => {}
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+        assert!(lm.stats.snapshot().deadlocks >= 1);
+    }
+
+    #[test]
+    fn youngest_victim_policy() {
+        let lm = Arc::new(
+            LockManager::new(RwSource)
+                .with_victim_policy(VictimPolicy::Youngest)
+                .with_timeout(Duration::from_secs(5)),
+        );
+        let t1 = lm.begin(); // older
+        let t2 = lm.begin(); // younger
+        lm.acquire(t1, res(1), wr()).unwrap();
+        lm.acquire(t2, res(2), wr()).unwrap();
+        let lm2 = Arc::clone(&lm);
+        let h = thread::spawn(move || {
+            let r = lm2.acquire(t2, res(1), wr());
+            if r.is_err() {
+                lm2.release_all(t2);
+            }
+            r
+        });
+        thread::sleep(Duration::from_millis(50));
+        // t1 closes the cycle; youngest (t2) must die, t1 proceeds.
+        let r1 = lm.acquire(t1, res(2), wr());
+        assert_eq!(r1, Ok(()));
+        assert_eq!(h.join().unwrap(), Err(AcquireError::Deadlock));
+        lm.release_all(t1);
+    }
+
+    #[test]
+    fn timeout_fires() {
+        let lm = Arc::new(LockManager::new(RwSource).with_timeout(Duration::from_millis(100)));
+        let t1 = lm.begin();
+        let t2 = lm.begin();
+        lm.acquire(t1, res(1), wr()).unwrap();
+        let r = lm.acquire(t2, res(1), wr());
+        assert_eq!(r, Err(AcquireError::Timeout));
+        assert_eq!(lm.stats.snapshot().timeouts, 1);
+        lm.release_all(t1);
+        lm.release_all(t2);
+    }
+
+    #[test]
+    fn fifo_fairness_no_overtaking() {
+        let lm = mk();
+        let t1 = lm.begin();
+        lm.acquire(t1, res(1), wr()).unwrap();
+        // t2 queues a write.
+        let lm2 = Arc::clone(&lm);
+        let t2 = lm.begin();
+        let h2 = thread::spawn(move || lm2.acquire(t2, res(1), wr()).map(|()| t2));
+        thread::sleep(Duration::from_millis(30));
+        // t3's read must not overtake t2.
+        assert_eq!(lm.try_acquire(lm.begin(), res(1), rd()), TryAcquire::WouldBlock);
+        lm.release_all(t1);
+        let got = h2.join().unwrap().unwrap();
+        assert_eq!(got, t2);
+        lm.release_all(t2);
+    }
+
+    #[test]
+    fn release_all_cleans_entries() {
+        let lm = mk();
+        let t = lm.begin();
+        lm.acquire(t, res(1), rd()).unwrap();
+        lm.acquire(t, res(2), rd()).unwrap();
+        assert_eq!(lm.entry_count(), 2);
+        lm.release_all(t);
+        assert_eq!(lm.entry_count(), 0);
+        assert!(lm.held_resources(t).is_empty());
+    }
+
+    #[test]
+    fn stress_many_threads_no_lost_grants() {
+        let lm = Arc::new(LockManager::new(RwSource).with_timeout(Duration::from_secs(30)));
+        let counter = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let mut hs = Vec::new();
+        for _ in 0..8 {
+            let lm = Arc::clone(&lm);
+            let counter = Arc::clone(&counter);
+            hs.push(thread::spawn(move || {
+                for _ in 0..200 {
+                    let t = lm.begin();
+                    lm.acquire(t, res(42), wr()).unwrap();
+                    // Critical section: non-atomic read-modify-write made
+                    // safe by the lock.
+                    let v = counter.load(Ordering::Relaxed);
+                    thread::yield_now();
+                    counter.store(v + 1, Ordering::Relaxed);
+                    lm.release_all(t);
+                }
+            }));
+        }
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 1600);
+    }
+
+    #[test]
+    fn concurrent_readers_dont_block_each_other() {
+        let lm = mk();
+        let mut hs = Vec::new();
+        for _ in 0..4 {
+            let lm = Arc::clone(&lm);
+            hs.push(thread::spawn(move || {
+                let t = lm.begin();
+                lm.acquire(t, res(7), rd()).unwrap();
+                thread::sleep(Duration::from_millis(20));
+                lm.release_all(t);
+            }));
+        }
+        for h in hs {
+            h.join().unwrap();
+        }
+        let s = lm.stats.snapshot();
+        assert_eq!(s.blocks, 0, "readers must all be immediate");
+    }
+}

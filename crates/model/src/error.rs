@@ -1,0 +1,83 @@
+//! Schema construction and validation errors.
+
+use std::fmt;
+
+/// Errors raised while building or validating a [`crate::Schema`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ModelError {
+    /// A class name was declared twice.
+    DuplicateClass(String),
+    /// A parent class named in an `inherits` clause does not exist.
+    UnknownParent { class: String, parent: String },
+    /// The inheritance relation contains a cycle through the named class.
+    InheritanceCycle(String),
+    /// C3 linearization failed (inconsistent multiple-inheritance order).
+    InconsistentHierarchy(String),
+    /// Two distinct fields with the same name are visible in one class
+    /// (either re-declared locally or inherited from unrelated parents).
+    AmbiguousField { class: String, field: String },
+    /// A method was defined twice in the same class.
+    DuplicateMethod { class: String, method: String },
+    /// A field was declared twice in the same class.
+    DuplicateField { class: String, field: String },
+    /// Reference to a class that does not exist.
+    UnknownClass(String),
+    /// Reference to a field not visible in the class.
+    UnknownField { class: String, field: String },
+    /// Reference to a method not visible in the class.
+    UnknownMethod { class: String, method: String },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::DuplicateClass(c) => write!(f, "class `{c}` declared twice"),
+            ModelError::UnknownParent { class, parent } => {
+                write!(f, "class `{class}` inherits unknown class `{parent}`")
+            }
+            ModelError::InheritanceCycle(c) => {
+                write!(f, "inheritance cycle through class `{c}`")
+            }
+            ModelError::InconsistentHierarchy(c) => write!(
+                f,
+                "C3 linearization failed for class `{c}` (inconsistent hierarchy)"
+            ),
+            ModelError::AmbiguousField { class, field } => write!(
+                f,
+                "field `{field}` is visible more than once in class `{class}`"
+            ),
+            ModelError::DuplicateMethod { class, method } => {
+                write!(f, "method `{method}` defined twice in class `{class}`")
+            }
+            ModelError::DuplicateField { class, field } => {
+                write!(f, "field `{field}` declared twice in class `{class}`")
+            }
+            ModelError::UnknownClass(c) => write!(f, "unknown class `{c}`"),
+            ModelError::UnknownField { class, field } => {
+                write!(f, "no field `{field}` visible in class `{class}`")
+            }
+            ModelError::UnknownMethod { class, method } => {
+                write!(f, "no method `{method}` visible in class `{class}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = ModelError::AmbiguousField {
+            class: "c2".into(),
+            field: "f1".into(),
+        };
+        assert!(e.to_string().contains("f1"));
+        assert!(e.to_string().contains("c2"));
+        let e = ModelError::InheritanceCycle("a".into());
+        assert!(e.to_string().contains("cycle"));
+    }
+}

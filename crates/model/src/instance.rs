@@ -1,0 +1,109 @@
+//! Instances: the mutable objects of the database.
+
+use crate::ids::{ClassId, FieldId, Oid};
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// One object: its class and one value per visible field of that class
+/// (positions follow `ClassInfo::all_fields`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Instance {
+    /// The proper class of the instance (exactly one, per the data model).
+    pub class: ClassId,
+    /// Field values, indexed by the class's field positions.
+    pub values: Vec<Value>,
+}
+
+impl Instance {
+    /// Creates an instance of `class` with default-initialized fields.
+    pub fn new(schema: &Schema, class: ClassId) -> Instance {
+        let ci = schema.class(class);
+        let values = ci
+            .all_fields
+            .iter()
+            .map(|&f| schema.field(f).ty.default_value())
+            .collect();
+        Instance { class, values }
+    }
+
+    /// Reads a field by id. Returns `None` if the field is not visible in
+    /// this instance's class.
+    pub fn get(&self, schema: &Schema, field: FieldId) -> Option<&Value> {
+        let pos = schema.class(self.class).field_pos(field)?;
+        self.values.get(pos)
+    }
+
+    /// Writes a field by id. Returns the old value, or `None` if the field
+    /// is not visible in this instance's class.
+    pub fn set(&mut self, schema: &Schema, field: FieldId, value: Value) -> Option<Value> {
+        let pos = schema.class(self.class).field_pos(field)?;
+        let slot = self.values.get_mut(pos)?;
+        Some(std::mem::replace(slot, value))
+    }
+
+    /// Convenience: the OID a reference field currently points to.
+    pub fn get_ref(&self, schema: &Schema, field: FieldId) -> Option<Oid> {
+        self.get(schema, field).and_then(Value::as_ref_oid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::SchemaBuilder;
+    use crate::types::FieldType;
+
+    fn schema() -> Schema {
+        let mut b = SchemaBuilder::new();
+        b.class("p").field("x", FieldType::Int);
+        b.class("q")
+            .inherits("p")
+            .field("y", FieldType::Bool)
+            .ref_field("z", "p");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn defaults_and_rw() {
+        let s = schema();
+        let q = s.class_by_name("q").unwrap();
+        let x = s.resolve_field(q, "x").unwrap();
+        let y = s.resolve_field(q, "y").unwrap();
+        let z = s.resolve_field(q, "z").unwrap();
+
+        let mut i = Instance::new(&s, q);
+        assert_eq!(i.get(&s, x), Some(&Value::Int(0)));
+        assert_eq!(i.get(&s, y), Some(&Value::Bool(false)));
+        assert_eq!(i.get(&s, z), Some(&Value::Nil));
+
+        let old = i.set(&s, x, Value::Int(42)).unwrap();
+        assert_eq!(old, Value::Int(0));
+        assert_eq!(i.get(&s, x), Some(&Value::Int(42)));
+
+        i.set(&s, z, Value::Ref(Oid(9))).unwrap();
+        assert_eq!(i.get_ref(&s, z), Some(Oid(9)));
+    }
+
+    #[test]
+    fn invisible_field_is_none() {
+        let s = schema();
+        let p = s.class_by_name("p").unwrap();
+        let q = s.class_by_name("q").unwrap();
+        let y = s.resolve_field(q, "y").unwrap();
+        let mut i = Instance::new(&s, p);
+        assert_eq!(i.get(&s, y), None);
+        assert_eq!(i.set(&s, y, Value::Bool(true)), None);
+    }
+
+    #[test]
+    fn subclass_sees_inherited_slot() {
+        let s = schema();
+        let p = s.class_by_name("p").unwrap();
+        let q = s.class_by_name("q").unwrap();
+        let x = s.resolve_field(p, "x").unwrap();
+        let mut i = Instance::new(&s, q);
+        i.set(&s, x, Value::Int(5)).unwrap();
+        assert_eq!(i.get(&s, x), Some(&Value::Int(5)));
+        assert_eq!(i.values.len(), 3);
+    }
+}

@@ -1,0 +1,127 @@
+//! The shared execution environment: schema, compiled artifacts, store,
+//! bodies and builtins, bundled for cheap cloning into schemes and
+//! worker threads.
+
+use finecc_core::CompiledSchema;
+use finecc_lang::{Builtins, ExecError, MethodBodies};
+use finecc_model::{Oid, Schema, Value};
+use finecc_store::{Database, StoreError};
+use std::sync::Arc;
+
+/// Everything a concurrency-control scheme needs to execute methods.
+#[derive(Clone)]
+pub struct Env {
+    /// The schema.
+    pub schema: Arc<Schema>,
+    /// Compiled access vectors, graphs, and commutativity matrices.
+    pub compiled: Arc<CompiledSchema>,
+    /// The object store.
+    pub db: Arc<Database>,
+    /// Parsed method bodies.
+    pub bodies: Arc<MethodBodies>,
+    /// Builtin functions.
+    pub builtins: Arc<Builtins>,
+    /// Interpreter limits.
+    pub max_depth: usize,
+    /// Interpreter loop fuel.
+    pub max_fuel: u64,
+    /// Lock-wait timeout for the schemes' lock managers. Short timeouts
+    /// turn "would block forever" into an error, which the scenario
+    /// machinery uses to probe conflicts.
+    pub lock_timeout: std::time::Duration,
+    /// Global commit-sequence counter. A scheme draws the next number
+    /// *while still holding its locks*, so the sequence is a valid
+    /// serialization order for conflicting transactions (used by the
+    /// serializability checker in `tests/`).
+    pub commit_seq: Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl Env {
+    /// Builds an environment from a parsed and compiled program, with an
+    /// empty database and standard builtins.
+    pub fn new(schema: Schema, bodies: MethodBodies, compiled: CompiledSchema) -> Env {
+        let schema = Arc::new(schema);
+        Env {
+            db: Arc::new(Database::new(Arc::clone(&schema))),
+            schema,
+            compiled: Arc::new(compiled),
+            bodies: Arc::new(bodies),
+            builtins: Arc::new(Builtins::standard()),
+            max_depth: 128,
+            max_fuel: 1_000_000,
+            lock_timeout: std::time::Duration::from_secs(10),
+            commit_seq: Arc::new(std::sync::atomic::AtomicU64::new(0)),
+        }
+    }
+
+    /// Draws the next commit sequence number.
+    pub fn next_commit_seq(&self) -> u64 {
+        self.commit_seq
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Returns the environment with a different lock-wait timeout.
+    pub fn with_lock_timeout(mut self, d: std::time::Duration) -> Env {
+        self.lock_timeout = d;
+        self
+    }
+
+    /// Parses `source`, compiles it, and builds the environment.
+    pub fn from_source(source: &str) -> Result<Env, Box<dyn std::error::Error + Send + Sync>> {
+        let (schema, bodies) = finecc_lang::build_schema(source)?;
+        let compiled = finecc_core::compile(&schema, &bodies)?;
+        Ok(Env::new(schema, bodies, compiled))
+    }
+
+    /// Maps a store error onto the interpreter's error type.
+    pub fn store_err(e: StoreError) -> ExecError {
+        match e {
+            StoreError::UnknownOid(o) => ExecError::UnknownOid(o),
+            StoreError::FieldNotVisible { oid, field } => {
+                ExecError::FieldNotVisible { oid, field }
+            }
+            other => ExecError::TypeError(other.to_string()),
+        }
+    }
+
+    /// Maps a lock acquisition failure onto the interpreter's error type
+    /// so it unwinds the executing method immediately.
+    pub fn lock_err(e: finecc_lock::AcquireError) -> ExecError {
+        ExecError::ConcurrencyAbort {
+            deadlock: e == finecc_lock::AcquireError::Deadlock,
+            msg: e.to_string(),
+        }
+    }
+
+    /// Convenience: read a field by class and name (panics on bad names;
+    /// intended for tests and examples).
+    pub fn read_named(&self, oid: Oid, class: &str, field: &str) -> Value {
+        let c = self.schema.class_by_name(class).expect("class exists");
+        let f = self.schema.resolve_field(c, field).expect("field exists");
+        self.db.read(oid, f).expect("instance exists")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use finecc_lang::parser::FIGURE1_SOURCE;
+
+    #[test]
+    fn from_source_builds() {
+        let env = Env::from_source(FIGURE1_SOURCE).unwrap();
+        assert_eq!(env.schema.class_count(), 3);
+        assert_eq!(env.compiled.total_modes(), 8);
+        assert!(env.db.is_empty());
+    }
+
+    #[test]
+    fn error_mapping() {
+        let e = Env::store_err(StoreError::UnknownOid(Oid(3)));
+        assert!(matches!(e, ExecError::UnknownOid(Oid(3))));
+        let e = Env::lock_err(finecc_lock::AcquireError::Deadlock);
+        assert!(e.is_deadlock());
+        let e = Env::lock_err(finecc_lock::AcquireError::Timeout);
+        assert!(!e.is_deadlock());
+    }
+}

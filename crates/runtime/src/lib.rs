@@ -1,0 +1,40 @@
+//! # finecc-runtime — executable concurrency-control schemes
+//!
+//! Glues the method interpreter (`finecc-lang`), the object store
+//! (`finecc-store`) and the lock manager (`finecc-lock`) into four
+//! complete, interchangeable concurrency-control schemes behind one trait
+//! ([`CcScheme`]):
+//!
+//! * [`TavScheme`] — **the paper**: one lock per *top* message, mode =
+//!   the method's access-mode index in the receiver class's generated
+//!   commutativity matrix; class locks `(mode, hierarchical?)` per §5.2;
+//!   undo logging by TAV write-projection.
+//! * [`RwScheme`] — the read/write baseline the paper criticizes
+//!   (ORION-style): every message (self-directed included) classifies its
+//!   *own* code as reader or writer and acquires instance locks
+//!   per message — exhibiting P2 (repeated controls), P3 (read→write
+//!   escalation deadlocks) and P4 (pseudo-conflicts).
+//! * [`FieldLockScheme`] — run-time field locking after Agrawal–El
+//!   Abbadi \[1\]: locks individual `(instance, field)` resources at each
+//!   access; less conservative than TAVs, much higher lock traffic (§6).
+//! * [`RelationalScheme`] — the §3/§5.2 relational decomposition: each
+//!   class's local fields form a relation, instances span tuples across
+//!   the join; tuple RW locks with IS/IX-style relation intents and
+//!   primary/foreign-key write propagation.
+//!
+//! All schemes implement strict two-phase locking with deadlock-victim
+//! abort and undo-log rollback, and expose lock-manager statistics so the
+//! experiments can compare them mechanically.
+
+pub mod env;
+pub mod scheme;
+pub mod schemes;
+pub mod txn;
+
+pub use env::Env;
+pub use scheme::{CcScheme, SchemeKind};
+pub use schemes::fieldlock::FieldLockScheme;
+pub use schemes::relational::RelationalScheme;
+pub use schemes::rw::RwScheme;
+pub use schemes::tav::TavScheme;
+pub use txn::{run_txn, Txn, TxnOutcome};

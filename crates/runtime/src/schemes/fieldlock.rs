@@ -1,0 +1,326 @@
+//! Run-time field locking (Agrawal–El Abbadi, EDBT'92 — the paper's §6
+//! comparison).
+//!
+//! Locks are taken at the finest granule, individual `(instance, field)`
+//! pairs, **at the moment of each access**. This is *less conservative*
+//! than transitive access vectors — a field behind an untaken branch is
+//! never locked — but pays for it with a lock-manager call per field
+//! access ("this technique incurs a much higher overhead") and it retains
+//! the escalation problem: a field read first and assigned later upgrades
+//! read→write mid-transaction. Experiment E8 measures both effects.
+
+use crate::env::Env;
+use crate::scheme::CcScheme;
+use crate::schemes::interpreter;
+use crate::txn::Txn;
+use finecc_lang::{DataAccess, ExecError};
+use finecc_lock::{LockManager, LockMode, ResourceId, RwSource, StatsSnapshot, READ, WRITE};
+use finecc_model::{ClassId, FieldId, MethodId, Oid, Value};
+use std::collections::HashSet;
+
+/// Run-time field locking.
+pub struct FieldLockScheme {
+    env: Env,
+    lm: LockManager<RwSource>,
+}
+
+impl FieldLockScheme {
+    /// Builds the scheme.
+    pub fn new(env: Env) -> FieldLockScheme {
+        FieldLockScheme {
+            lm: LockManager::new(RwSource).with_timeout(env.lock_timeout),
+            env,
+        }
+    }
+
+    /// The underlying lock manager.
+    pub fn lock_manager(&self) -> &LockManager<RwSource> {
+        &self.lm
+    }
+}
+
+struct FlAccess<'a> {
+    env: &'a Env,
+    lm: &'a LockManager<RwSource>,
+    txn: &'a mut Txn,
+    covered: &'a HashSet<ClassId>,
+}
+
+impl FlAccess<'_> {
+    fn is_covered(&mut self, oid: Oid) -> Result<bool, ExecError> {
+        if self.covered.is_empty() {
+            return Ok(false);
+        }
+        let class = self.env.db.class_of(oid).map_err(Env::store_err)?;
+        Ok(self.covered.contains(&class))
+    }
+}
+
+impl DataAccess for FlAccess<'_> {
+    fn class_of(&mut self, oid: Oid) -> Result<ClassId, ExecError> {
+        self.env.db.class_of(oid).map_err(Env::store_err)
+    }
+
+    fn read_field(&mut self, oid: Oid, field: FieldId) -> Result<Value, ExecError> {
+        if !self.is_covered(oid)? {
+            self.lm
+                .acquire(self.txn.id, ResourceId::Field(oid, field), LockMode::plain(READ))
+                .map_err(Env::lock_err)?;
+        }
+        self.env.db.read(oid, field).map_err(Env::store_err)
+    }
+
+    fn write_field(&mut self, oid: Oid, field: FieldId, value: Value) -> Result<(), ExecError> {
+        if !self.is_covered(oid)? {
+            // Possible read→write escalation on this very field.
+            self.lm
+                .acquire(self.txn.id, ResourceId::Field(oid, field), LockMode::plain(WRITE))
+                .map_err(Env::lock_err)?;
+            let class = self.env.db.class_of(oid).map_err(Env::store_err)?;
+            self.lm
+                .acquire(self.txn.id, ResourceId::Class(class), LockMode::class(WRITE, false))
+                .map_err(Env::lock_err)?;
+        }
+        let old = self
+            .env
+            .db
+            .write(oid, field, value)
+            .map_err(Env::store_err)?;
+        self.txn.undo.record(oid, field, old);
+        Ok(())
+    }
+
+    fn on_message(&mut self, oid: Oid, class: ClassId, _mid: MethodId) -> Result<(), ExecError> {
+        if !self.covered.contains(&class) {
+            // Presence marker: lets extent-level hierarchical locks see
+            // concurrent instance users.
+            self.lm
+                .acquire(self.txn.id, ResourceId::Class(class), LockMode::class(READ, false))
+                .map_err(Env::lock_err)?;
+        }
+        let _ = oid;
+        Ok(())
+    }
+
+    // on_self_message: no-op — field locks carry the protection.
+}
+
+impl CcScheme for FieldLockScheme {
+    fn name(&self) -> &'static str {
+        "fieldlock"
+    }
+
+    fn env(&self) -> &Env {
+        &self.env
+    }
+
+    fn begin(&self) -> Txn {
+        Txn::new(self.lm.begin())
+    }
+
+    fn send(
+        &self,
+        txn: &mut Txn,
+        oid: Oid,
+        method: &str,
+        args: &[Value],
+    ) -> Result<Value, ExecError> {
+        let covered = HashSet::new();
+        let mut da = FlAccess {
+            env: &self.env,
+            lm: &self.lm,
+            txn,
+            covered: &covered,
+        };
+        interpreter(&self.env).send(&mut da, oid, method, args)
+    }
+
+    fn send_all(
+        &self,
+        txn: &mut Txn,
+        root: ClassId,
+        method: &str,
+        args: &[Value],
+    ) -> Result<Vec<Value>, ExecError> {
+        // A dynamic scheme has no compile-time vectors; extent operations
+        // announce their transitive classification (from the compiled
+        // TAVs, which any planner for bulk operations would need anyway).
+        for &c in self.env.schema.domain(root) {
+            let table = self.env.compiled.class(c);
+            let idx = table
+                .index_of(method)
+                .ok_or_else(|| ExecError::MessageNotUnderstood {
+                    class: c,
+                    method: method.to_string(),
+                })?;
+            let m = if table.tav(idx).collapse().is_write() {
+                WRITE
+            } else {
+                READ
+            };
+            self.lm
+                .acquire(txn.id, ResourceId::Class(c), LockMode::class(m, true))
+                .map_err(Env::lock_err)?;
+        }
+        let covered: HashSet<ClassId> = self.env.schema.domain(root).iter().copied().collect();
+        let interp = interpreter(&self.env);
+        let mut out = Vec::new();
+        for oid in self.env.db.deep_extent(root) {
+            let mut da = FlAccess {
+                env: &self.env,
+                lm: &self.lm,
+                txn,
+                covered: &covered,
+            };
+            out.push(interp.send(&mut da, oid, method, args)?);
+        }
+        Ok(out)
+    }
+
+    fn send_some(
+        &self,
+        txn: &mut Txn,
+        root: ClassId,
+        oids: &[Oid],
+        method: &str,
+        args: &[Value],
+    ) -> Result<Vec<Value>, ExecError> {
+        for &c in self.env.schema.domain(root) {
+            self.lm
+                .acquire(txn.id, ResourceId::Class(c), LockMode::class(READ, false))
+                .map_err(Env::lock_err)?;
+        }
+        let covered = HashSet::new();
+        let interp = interpreter(&self.env);
+        let mut out = Vec::new();
+        for &oid in oids {
+            let mut da = FlAccess {
+                env: &self.env,
+                lm: &self.lm,
+                txn,
+                covered: &covered,
+            };
+            out.push(interp.send(&mut da, oid, method, args)?);
+        }
+        Ok(out)
+    }
+
+    fn commit(&self, mut txn: Txn) -> u64 {
+        txn.undo.clear();
+        let seq = self.env.next_commit_seq();
+        self.lm.release_all(txn.id);
+        seq
+    }
+
+    fn abort(&self, mut txn: Txn) {
+        txn.undo.rollback(&self.env.db);
+        self.lm.release_all(txn.id);
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.lm.stats.snapshot()
+    }
+
+    fn reset_stats(&self) {
+        self.lm.stats.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use finecc_lang::parser::FIGURE1_SOURCE;
+    use finecc_lock::TryAcquire;
+
+    fn setup() -> (FieldLockScheme, Oid, Oid) {
+        let env = Env::from_source(FIGURE1_SOURCE).unwrap();
+        let c1 = env.schema.class_by_name("c1").unwrap();
+        let c2 = env.schema.class_by_name("c2").unwrap();
+        let o1 = env.db.create(c1);
+        let o2 = env.db.create(c2);
+        (FieldLockScheme::new(env), o1, o2)
+    }
+
+    #[test]
+    fn locks_exactly_the_touched_fields() {
+        let (s, o1, _) = setup();
+        let mut txn = s.begin();
+        // m3 with f2=false reads only f2 — f3 stays unlocked (the branch
+        // is not taken): finer than the TAV, which would cover f3 too.
+        s.send(&mut txn, o1, "m3", &[]).unwrap();
+        let c1 = s.env().schema.class_by_name("c1").unwrap();
+        let f3 = s.env().schema.resolve_field(c1, "f3").unwrap();
+        let probe = s.lm.begin();
+        assert_eq!(
+            s.lm.try_acquire(probe, ResourceId::Field(o1, f3), LockMode::plain(WRITE)),
+            TryAcquire::Granted,
+            "untouched field is free"
+        );
+        s.lm.release_all(probe);
+        let f2 = s.env().schema.resolve_field(c1, "f2").unwrap();
+        let probe2 = s.lm.begin();
+        assert_eq!(
+            s.lm.try_acquire(probe2, ResourceId::Field(o1, f2), LockMode::plain(WRITE)),
+            TryAcquire::WouldBlock,
+            "read field is share-locked"
+        );
+        s.commit(txn);
+    }
+
+    #[test]
+    fn higher_lock_traffic_than_tav() {
+        let (s, _, o2) = setup();
+        let mut txn = s.begin();
+        s.send(&mut txn, o2, "m1", &[Value::Int(1)]).unwrap();
+        let requests = s.stats().requests;
+        s.commit(txn);
+        // TAV needs 2; per-field locking needs one call per touched field
+        // plus class markers — strictly more.
+        assert!(requests > 2, "got {requests}");
+    }
+
+    #[test]
+    fn field_escalation_possible() {
+        let (s, _, o2) = setup();
+        let mut txn = s.begin();
+        // m2 computes expr(f1,…) then assigns f1: read then write on f1.
+        s.send(&mut txn, o2, "m2", &[Value::Int(1)]).unwrap();
+        assert!(s.stats().upgrades >= 1);
+        s.commit(txn);
+    }
+
+    #[test]
+    fn disjoint_field_writers_parallel() {
+        // Like the TAV scheme (and unlike RW), m2 and m4 can interleave.
+        let (s, _, o2) = setup();
+        let mut t1 = s.begin();
+        let mut t2 = s.begin();
+        s.send(&mut t1, o2, "m2", &[Value::Int(1)]).unwrap();
+        s.send(&mut t2, o2, "m4", &[Value::Int(5), Value::Int(1)])
+            .unwrap();
+        s.commit(t1);
+        s.commit(t2);
+    }
+
+    #[test]
+    fn abort_rolls_back() {
+        let (s, _, o2) = setup();
+        let mut txn = s.begin();
+        s.send(&mut txn, o2, "m2", &[Value::Int(5)]).unwrap();
+        s.abort(txn);
+        assert_eq!(s.env().read_named(o2, "c2", "f1"), Value::Int(0));
+        assert_eq!(s.env().read_named(o2, "c2", "f4"), Value::Int(0));
+    }
+
+    #[test]
+    fn send_all_covers_domain() {
+        let (s, o1, o2) = setup();
+        let c1 = s.env().schema.class_by_name("c1").unwrap();
+        let mut txn = s.begin();
+        let r = s.send_all(&mut txn, c1, "m2", &[Value::Int(2)]).unwrap();
+        assert_eq!(r.len(), 2);
+        s.commit(txn);
+        assert_eq!(s.env().read_named(o1, "c1", "f1"), Value::Int(2));
+        assert_eq!(s.env().read_named(o2, "c2", "f4"), Value::Int(2));
+    }
+}

@@ -1,0 +1,17 @@
+//! The four concurrency-control schemes.
+
+pub mod fieldlock;
+pub mod relational;
+pub mod rw;
+pub mod tav;
+
+use crate::env::Env;
+use finecc_lang::Interpreter;
+
+/// Builds an interpreter over the environment (shared by all schemes).
+pub(crate) fn interpreter(env: &Env) -> Interpreter<'_> {
+    let mut i = Interpreter::new(&env.schema, &env.bodies, &env.builtins);
+    i.max_depth = env.max_depth;
+    i.max_fuel = env.max_fuel;
+    i
+}

@@ -1,0 +1,394 @@
+//! The relational-decomposition baseline (§3 and §5.2).
+//!
+//! Each class maps to a relation holding its **locally declared** fields;
+//! an instance of class `C` spans one tuple in every relation along `C`'s
+//! linearization, joined on the root's primary key (the paper's `f1`,
+//! which descendant relations carry as primary + foreign key).
+//!
+//! Locking follows a classical RDBMS: tuple-level read/write locks with
+//! IS/IX-style relation intents (our [`finecc_lock::LockKind::Intentional`] /
+//! [`finecc_lock::LockKind::Hierarchical`] give exactly Gray's table for two modes).
+//! A **key write propagates**: modifying the primary key of the root
+//! relation write-locks the corresponding tuples of every relation of the
+//! hierarchy (the FK maintenance the paper invokes to explain why
+//! `T1 ∦ T4` relationally, and why both would run if `m2` spared the key).
+//!
+//! This baseline is what the paper measures itself against: first normal
+//! form acts as a *coarse access vector* (§4.2), so it beats RW on
+//! disjoint-field writers but still misses the inheritance-aware
+//! parallelism of TAVs — the two are incomparable (§5.2).
+
+use crate::env::Env;
+use crate::scheme::CcScheme;
+use crate::schemes::interpreter;
+use crate::txn::Txn;
+use finecc_core::{AccessMode, AccessVector};
+use finecc_lang::{DataAccess, ExecError};
+use finecc_lock::{LockManager, LockMode, ResourceId, RwSource, StatsSnapshot, READ, WRITE};
+use finecc_model::{ClassId, FieldId, MethodId, Oid, Value};
+use std::collections::{BTreeMap, HashSet};
+
+/// Relational decomposition with tuple locking.
+pub struct RelationalScheme {
+    env: Env,
+    lm: LockManager<RwSource>,
+    /// Per class: the root of its hierarchy (last of the linearization).
+    roots: Vec<ClassId>,
+    /// Per class: the primary key — the first locally-declared field of
+    /// the hierarchy root (None if the root declares no fields).
+    keys: Vec<Option<FieldId>>,
+}
+
+impl RelationalScheme {
+    /// Builds the scheme, deriving the relational mapping from the schema.
+    pub fn new(env: Env) -> RelationalScheme {
+        let mut roots = Vec::with_capacity(env.schema.class_count());
+        let mut keys = Vec::with_capacity(env.schema.class_count());
+        for ci in env.schema.classes() {
+            let root = *ci.linearization.last().expect("linearization contains self");
+            roots.push(root);
+            keys.push(env.schema.class(root).own_fields.first().copied());
+        }
+        RelationalScheme {
+            lm: LockManager::new(RwSource).with_timeout(env.lock_timeout),
+            env,
+            roots,
+            keys,
+        }
+    }
+
+    /// The underlying lock manager.
+    pub fn lock_manager(&self) -> &LockManager<RwSource> {
+        &self.lm
+    }
+
+    /// The tuple-lock plan of an access vector evaluated on an instance of
+    /// `class`: which relations are touched, in which RW mode. A key
+    /// write escalates to write locks across the whole hierarchy (FK
+    /// propagation).
+    pub fn tuple_plan(&self, class: ClassId, av: &AccessVector) -> Vec<(ClassId, u16)> {
+        let key = self.keys[class.index()];
+        let key_written = key.is_some_and(|k| av.mode_of(k).is_write());
+        if key_written {
+            let root = self.roots[class.index()];
+            let mut rels: Vec<ClassId> = self.env.schema.class(class).linearization.clone();
+            rels.extend_from_slice(self.env.schema.domain(root));
+            rels.sort_unstable();
+            rels.dedup();
+            return rels.into_iter().map(|c| (c, WRITE)).collect();
+        }
+        let mut by_rel: BTreeMap<ClassId, AccessMode> = BTreeMap::new();
+        for (f, m) in av.iter() {
+            let owner = self.env.schema.field(f).owner;
+            let e = by_rel.entry(owner).or_insert(AccessMode::Null);
+            *e = e.join(m);
+        }
+        by_rel
+            .into_iter()
+            .map(|(c, m)| (c, if m.is_write() { WRITE } else { READ }))
+            .collect()
+    }
+
+    /// The joined relation-lock plan of an extent operation over the
+    /// domain rooted at `root`.
+    fn extent_plan(&self, root: ClassId, method: &str) -> Result<Vec<(ClassId, u16)>, ExecError> {
+        let mut joined: BTreeMap<ClassId, u16> = BTreeMap::new();
+        for &c in self.env.schema.domain(root) {
+            let table = self.env.compiled.class(c);
+            let idx = table
+                .index_of(method)
+                .ok_or_else(|| ExecError::MessageNotUnderstood {
+                    class: c,
+                    method: method.to_string(),
+                })?;
+            for (rel, m) in self.tuple_plan(c, table.tav(idx)) {
+                let e = joined.entry(rel).or_insert(READ);
+                *e = (*e).max(m);
+            }
+        }
+        Ok(joined.into_iter().collect())
+    }
+}
+
+struct RelAccess<'a> {
+    env: &'a Env,
+    lm: &'a LockManager<RwSource>,
+    scheme: &'a RelationalScheme,
+    txn: &'a mut Txn,
+    /// Relations covered by a hierarchical lock.
+    covered: &'a HashSet<ClassId>,
+}
+
+impl DataAccess for RelAccess<'_> {
+    fn class_of(&mut self, oid: Oid) -> Result<ClassId, ExecError> {
+        self.env.db.class_of(oid).map_err(Env::store_err)
+    }
+
+    fn read_field(&mut self, oid: Oid, field: FieldId) -> Result<Value, ExecError> {
+        self.env.db.read(oid, field).map_err(Env::store_err)
+    }
+
+    fn write_field(&mut self, oid: Oid, field: FieldId, value: Value) -> Result<(), ExecError> {
+        self.env
+            .db
+            .write(oid, field, value)
+            .map(drop)
+            .map_err(Env::store_err)
+    }
+
+    fn on_message(&mut self, oid: Oid, class: ClassId, mid: MethodId) -> Result<(), ExecError> {
+        // The whole top message is the relational "query": its TAV is the
+        // statically analyzed access pattern the planner would lock for.
+        let tav = self
+            .env
+            .compiled
+            .tav_of(class, mid)
+            .ok_or_else(|| ExecError::MessageNotUnderstood {
+                class,
+                method: format!("{mid}"),
+            })?
+            .clone();
+        for (rel, m) in self.scheme.tuple_plan(class, &tav) {
+            if self.covered.contains(&rel) {
+                continue;
+            }
+            self.lm
+                .acquire(self.txn.id, ResourceId::Relation(rel), LockMode::class(m, false))
+                .map_err(Env::lock_err)?;
+            self.lm
+                .acquire(self.txn.id, ResourceId::Tuple(rel, oid), LockMode::plain(m))
+                .map_err(Env::lock_err)?;
+        }
+        self.txn
+            .undo
+            .record_projection(&self.env.db, oid, tav.write_fields())
+            .map_err(Env::store_err)?;
+        Ok(())
+    }
+
+    // on_self_message: no-op — the plan covered the whole execution.
+}
+
+impl CcScheme for RelationalScheme {
+    fn name(&self) -> &'static str {
+        "relational"
+    }
+
+    fn env(&self) -> &Env {
+        &self.env
+    }
+
+    fn begin(&self) -> Txn {
+        Txn::new(self.lm.begin())
+    }
+
+    fn send(
+        &self,
+        txn: &mut Txn,
+        oid: Oid,
+        method: &str,
+        args: &[Value],
+    ) -> Result<Value, ExecError> {
+        let covered = HashSet::new();
+        let mut da = RelAccess {
+            env: &self.env,
+            lm: &self.lm,
+            scheme: self,
+            txn,
+            covered: &covered,
+        };
+        interpreter(&self.env).send(&mut da, oid, method, args)
+    }
+
+    fn send_all(
+        &self,
+        txn: &mut Txn,
+        root: ClassId,
+        method: &str,
+        args: &[Value],
+    ) -> Result<Vec<Value>, ExecError> {
+        let plan = self.extent_plan(root, method)?;
+        let mut covered = HashSet::new();
+        for (rel, m) in plan {
+            self.lm
+                .acquire(txn.id, ResourceId::Relation(rel), LockMode::class(m, true))
+                .map_err(Env::lock_err)?;
+            covered.insert(rel);
+        }
+        let interp = interpreter(&self.env);
+        let mut out = Vec::new();
+        for oid in self.env.db.deep_extent(root) {
+            let mut da = RelAccess {
+                env: &self.env,
+                lm: &self.lm,
+                scheme: self,
+                txn,
+                covered: &covered,
+            };
+            out.push(interp.send(&mut da, oid, method, args)?);
+        }
+        Ok(out)
+    }
+
+    fn send_some(
+        &self,
+        txn: &mut Txn,
+        root: ClassId,
+        oids: &[Oid],
+        method: &str,
+        args: &[Value],
+    ) -> Result<Vec<Value>, ExecError> {
+        for (rel, m) in self.extent_plan(root, method)? {
+            self.lm
+                .acquire(txn.id, ResourceId::Relation(rel), LockMode::class(m, false))
+                .map_err(Env::lock_err)?;
+        }
+        let covered = HashSet::new();
+        let interp = interpreter(&self.env);
+        let mut out = Vec::new();
+        for &oid in oids {
+            let mut da = RelAccess {
+                env: &self.env,
+                lm: &self.lm,
+                scheme: self,
+                txn,
+                covered: &covered,
+            };
+            out.push(interp.send(&mut da, oid, method, args)?);
+        }
+        Ok(out)
+    }
+
+    fn commit(&self, mut txn: Txn) -> u64 {
+        txn.undo.clear();
+        let seq = self.env.next_commit_seq();
+        self.lm.release_all(txn.id);
+        seq
+    }
+
+    fn abort(&self, mut txn: Txn) {
+        txn.undo.rollback(&self.env.db);
+        self.lm.release_all(txn.id);
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.lm.stats.snapshot()
+    }
+
+    fn reset_stats(&self) {
+        self.lm.stats.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use finecc_lang::parser::FIGURE1_SOURCE;
+    use finecc_lock::TryAcquire;
+
+    fn setup() -> (RelationalScheme, Oid, Oid) {
+        let env = Env::from_source(FIGURE1_SOURCE).unwrap();
+        let c1 = env.schema.class_by_name("c1").unwrap();
+        let c2 = env.schema.class_by_name("c2").unwrap();
+        let o1 = env.db.create(c1);
+        let o2 = env.db.create(c2);
+        (RelationalScheme::new(env), o1, o2)
+    }
+
+    #[test]
+    fn key_write_propagates_to_child_relations() {
+        // §5.2: "T1 locks one tuple of r1 in write mode and the associated
+        // tuple of r2 in write mode too (because f1 … is modified)".
+        let (s, o1, _) = setup();
+        let c1 = s.env().schema.class_by_name("c1").unwrap();
+        let c2 = s.env().schema.class_by_name("c2").unwrap();
+        let table = s.env().compiled.class(c1);
+        let idx = table.index_of("m1").unwrap();
+        let plan = s.tuple_plan(c1, table.tav(idx));
+        assert_eq!(plan, vec![(c1, WRITE), (c2, WRITE)]);
+        let _ = o1;
+    }
+
+    #[test]
+    fn non_key_access_locks_touched_relations_only() {
+        let (s, _, _) = setup();
+        let c1 = s.env().schema.class_by_name("c1").unwrap();
+        let c2 = s.env().schema.class_by_name("c2").unwrap();
+        // m3 reads f2, f3 (both in r1): plan = {r1: READ}.
+        let t1 = s.env().compiled.class(c1);
+        let plan = s.tuple_plan(c1, t1.tav(t1.index_of("m3").unwrap()));
+        assert_eq!(plan, vec![(c1, READ)]);
+        // m4 on c2 touches f5, f6 (both in r2): plan = {r2: WRITE}.
+        let t2 = s.env().compiled.class(c2);
+        let plan = s.tuple_plan(c2, t2.tav(t2.index_of("m4").unwrap()));
+        assert_eq!(plan, vec![(c2, WRITE)]);
+    }
+
+    #[test]
+    fn disjoint_relation_writers_parallel() {
+        // T-style check: a key-sparing writer in r2 (m4) runs against a
+        // reader of r1 (m3) on the same instance.
+        let (s, _, o2) = setup();
+        let mut t1 = s.begin();
+        let mut t2 = s.begin();
+        s.send(&mut t1, o2, "m4", &[Value::Int(5), Value::Int(1)])
+            .unwrap();
+        s.send(&mut t2, o2, "m3", &[]).unwrap();
+        s.commit(t1);
+        s.commit(t2);
+        assert_eq!(s.stats().blocks, 0);
+    }
+
+    #[test]
+    fn key_writer_blocks_child_relation_extent() {
+        // T1 (m1 on a c1 instance, key write → X tuples in r1 and r2)
+        // vs T4 (m4 on all of domain c2 → hierarchical X on r2): conflict.
+        let (s, o1, _) = setup();
+        let mut t1 = s.begin();
+        s.send(&mut t1, o1, "m1", &[Value::Int(1)]).unwrap();
+        let c2 = s.env().schema.class_by_name("c2").unwrap();
+        let probe = s.lm.begin();
+        let r = s
+            .lm
+            .try_acquire(probe, ResourceId::Relation(c2), LockMode::class(WRITE, true));
+        assert_eq!(r, TryAcquire::WouldBlock);
+        s.commit(t1);
+    }
+
+    #[test]
+    fn execution_and_abort_correct() {
+        let (s, _, o2) = setup();
+        let mut txn = s.begin();
+        s.send(&mut txn, o2, "m1", &[Value::Int(3)]).unwrap();
+        assert_eq!(s.env().read_named(o2, "c2", "f1"), Value::Int(3));
+        s.abort(txn);
+        assert_eq!(s.env().read_named(o2, "c2", "f1"), Value::Int(0));
+        assert_eq!(s.env().read_named(o2, "c2", "f4"), Value::Int(0));
+    }
+
+    #[test]
+    fn extent_plan_joins_domain() {
+        let (s, _, _) = setup();
+        let c1 = s.env().schema.class_by_name("c1").unwrap();
+        let c2 = s.env().schema.class_by_name("c2").unwrap();
+        // m1 over domain(c1): key write in both classes → both relations X.
+        let plan = s.extent_plan(c1, "m1").unwrap();
+        assert_eq!(plan, vec![(c1, WRITE), (c2, WRITE)]);
+        // m3 over domain(c1): reads r1 only.
+        let plan = s.extent_plan(c1, "m3").unwrap();
+        assert_eq!(plan, vec![(c1, READ)]);
+        let _ = c2;
+    }
+
+    #[test]
+    fn send_all_runs_under_relation_locks() {
+        let (s, o1, o2) = setup();
+        let c1 = s.env().schema.class_by_name("c1").unwrap();
+        let mut txn = s.begin();
+        let r = s.send_all(&mut txn, c1, "m2", &[Value::Int(2)]).unwrap();
+        assert_eq!(r.len(), 2);
+        s.commit(txn);
+        assert_eq!(s.env().read_named(o1, "c1", "f1"), Value::Int(2));
+        assert_eq!(s.env().read_named(o2, "c2", "f4"), Value::Int(2));
+    }
+}

@@ -1,0 +1,361 @@
+//! The read/write baseline (ORION-style, per-message control).
+//!
+//! This is the scheme §3 criticizes: only two instance modes exist, and
+//! **every message wants control** — a self-directed message re-locks the
+//! receiver with its own reader/writer classification (derived from its
+//! *direct* code, the only thing a per-message monitor can see).
+//! Consequences, measured by experiments E5–E7:
+//!
+//! * P2 — invoking `m1` costs three controls instead of one;
+//! * P3 — `m1` (reader) read-locks, then `m2` (writer) escalates to a
+//!   write lock: the System R deadlock pattern;
+//! * P4 — `m2` and `m4` both collapse to "writer" and conflict although
+//!   they touch disjoint fields.
+
+use crate::env::Env;
+use crate::scheme::CcScheme;
+use crate::schemes::interpreter;
+use crate::txn::Txn;
+use finecc_lang::{DataAccess, ExecError};
+use finecc_lock::{LockManager, LockMode, ResourceId, RwSource, StatsSnapshot, READ, WRITE};
+use finecc_model::{ClassId, FieldId, MethodId, Oid, Value};
+use std::collections::HashSet;
+
+/// Per-message read/write instance locking.
+pub struct RwScheme {
+    env: Env,
+    lm: LockManager<RwSource>,
+}
+
+impl RwScheme {
+    /// Builds the scheme.
+    pub fn new(env: Env) -> RwScheme {
+        RwScheme {
+            lm: LockManager::new(RwSource).with_timeout(env.lock_timeout),
+            env,
+        }
+    }
+
+    /// The underlying lock manager.
+    pub fn lock_manager(&self) -> &LockManager<RwSource> {
+        &self.lm
+    }
+
+    /// A method's reader/writer classification from its **direct** access
+    /// vector — what a per-message monitor knows when the message is sent.
+    fn classify(&self, mid: MethodId) -> u16 {
+        if self.env.compiled.extraction.dav(mid).collapse().is_write() {
+            WRITE
+        } else {
+            READ
+        }
+    }
+
+    /// A method's *transitive* classification — used only for announcing
+    /// extent-level (hierarchical) locks, where even an RW system must
+    /// consider the whole operation.
+    fn classify_tav(&self, class: ClassId, method: &str) -> Result<u16, ExecError> {
+        let table = self.env.compiled.class(class);
+        let idx = table
+            .index_of(method)
+            .ok_or_else(|| ExecError::MessageNotUnderstood {
+                class,
+                method: method.to_string(),
+            })?;
+        Ok(if table.tav(idx).collapse().is_write() {
+            WRITE
+        } else {
+            READ
+        })
+    }
+}
+
+struct RwAccess<'a> {
+    env: &'a Env,
+    lm: &'a LockManager<RwSource>,
+    scheme: &'a RwScheme,
+    txn: &'a mut Txn,
+    covered: &'a HashSet<ClassId>,
+}
+
+impl RwAccess<'_> {
+    fn control(&mut self, oid: Oid, class: ClassId, mid: MethodId) -> Result<(), ExecError> {
+        let m = self.scheme.classify(mid);
+        if self.covered.contains(&class) {
+            // Hierarchically covered: escalation surfaces at class level.
+            if m == WRITE {
+                self.lm
+                    .acquire(self.txn.id, ResourceId::Class(class), LockMode::class(WRITE, true))
+                    .map_err(Env::lock_err)?;
+            }
+            return Ok(());
+        }
+        self.lm
+            .acquire(self.txn.id, ResourceId::Class(class), LockMode::class(m, false))
+            .map_err(Env::lock_err)?;
+        self.lm
+            .acquire(self.txn.id, ResourceId::Instance(oid, class), LockMode::plain(m))
+            .map_err(Env::lock_err)?;
+        Ok(())
+    }
+}
+
+impl DataAccess for RwAccess<'_> {
+    fn class_of(&mut self, oid: Oid) -> Result<ClassId, ExecError> {
+        self.env.db.class_of(oid).map_err(Env::store_err)
+    }
+
+    fn read_field(&mut self, oid: Oid, field: FieldId) -> Result<Value, ExecError> {
+        self.env.db.read(oid, field).map_err(Env::store_err)
+    }
+
+    fn write_field(&mut self, oid: Oid, field: FieldId, value: Value) -> Result<(), ExecError> {
+        let old = self
+            .env
+            .db
+            .write(oid, field, value)
+            .map_err(Env::store_err)?;
+        // First-write-wins before-image (per-field logging: an RW system
+        // has no access vectors to project through).
+        self.txn.undo.record(oid, field, old);
+        Ok(())
+    }
+
+    fn on_message(&mut self, oid: Oid, class: ClassId, mid: MethodId) -> Result<(), ExecError> {
+        self.control(oid, class, mid)
+    }
+
+    /// Per-message control: this is what produces the locking overhead
+    /// and the read→write escalations of §3.
+    fn on_self_message(
+        &mut self,
+        oid: Oid,
+        class: ClassId,
+        mid: MethodId,
+    ) -> Result<(), ExecError> {
+        self.control(oid, class, mid)
+    }
+}
+
+impl CcScheme for RwScheme {
+    fn name(&self) -> &'static str {
+        "rw"
+    }
+
+    fn env(&self) -> &Env {
+        &self.env
+    }
+
+    fn begin(&self) -> Txn {
+        Txn::new(self.lm.begin())
+    }
+
+    fn send(
+        &self,
+        txn: &mut Txn,
+        oid: Oid,
+        method: &str,
+        args: &[Value],
+    ) -> Result<Value, ExecError> {
+        let covered = HashSet::new();
+        let mut da = RwAccess {
+            env: &self.env,
+            lm: &self.lm,
+            scheme: self,
+            txn,
+            covered: &covered,
+        };
+        interpreter(&self.env).send(&mut da, oid, method, args)
+    }
+
+    fn send_all(
+        &self,
+        txn: &mut Txn,
+        root: ClassId,
+        method: &str,
+        args: &[Value],
+    ) -> Result<Vec<Value>, ExecError> {
+        // Announce the transitive classification hierarchically: an RW
+        // system planning an extent operation knows it from the query.
+        for &c in self.env.schema.domain(root) {
+            let m = self.classify_tav(c, method)?;
+            self.lm
+                .acquire(txn.id, ResourceId::Class(c), LockMode::class(m, true))
+                .map_err(Env::lock_err)?;
+        }
+        let covered: HashSet<ClassId> = self.env.schema.domain(root).iter().copied().collect();
+        let interp = interpreter(&self.env);
+        let mut out = Vec::new();
+        for oid in self.env.db.deep_extent(root) {
+            let mut da = RwAccess {
+                env: &self.env,
+                lm: &self.lm,
+                scheme: self,
+                txn,
+                covered: &covered,
+            };
+            out.push(interp.send(&mut da, oid, method, args)?);
+        }
+        Ok(out)
+    }
+
+    fn send_some(
+        &self,
+        txn: &mut Txn,
+        root: ClassId,
+        oids: &[Oid],
+        method: &str,
+        args: &[Value],
+    ) -> Result<Vec<Value>, ExecError> {
+        for &c in self.env.schema.domain(root) {
+            let mid = self
+                .env
+                .schema
+                .resolve_method(c, method)
+                .ok_or_else(|| ExecError::MessageNotUnderstood {
+                    class: c,
+                    method: method.to_string(),
+                })?;
+            let m = self.classify(mid);
+            self.lm
+                .acquire(txn.id, ResourceId::Class(c), LockMode::class(m, false))
+                .map_err(Env::lock_err)?;
+        }
+        let covered = HashSet::new();
+        let interp = interpreter(&self.env);
+        let mut out = Vec::new();
+        for &oid in oids {
+            let mut da = RwAccess {
+                env: &self.env,
+                lm: &self.lm,
+                scheme: self,
+                txn,
+                covered: &covered,
+            };
+            out.push(interp.send(&mut da, oid, method, args)?);
+        }
+        Ok(out)
+    }
+
+    fn commit(&self, mut txn: Txn) -> u64 {
+        txn.undo.clear();
+        let seq = self.env.next_commit_seq();
+        self.lm.release_all(txn.id);
+        seq
+    }
+
+    fn abort(&self, mut txn: Txn) {
+        txn.undo.rollback(&self.env.db);
+        self.lm.release_all(txn.id);
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.lm.stats.snapshot()
+    }
+
+    fn reset_stats(&self) {
+        self.lm.stats.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use finecc_lang::parser::FIGURE1_SOURCE;
+    use finecc_lock::TryAcquire;
+
+    fn setup() -> (RwScheme, Oid, Oid) {
+        let env = Env::from_source(FIGURE1_SOURCE).unwrap();
+        let c1 = env.schema.class_by_name("c1").unwrap();
+        let c2 = env.schema.class_by_name("c2").unwrap();
+        let o1 = env.db.create(c1);
+        let o2 = env.db.create(c2);
+        (RwScheme::new(env), o1, o2)
+    }
+
+    #[test]
+    fn per_message_control_overhead() {
+        // P2 reproduced: m1 on a c2 instance = top control + three
+        // self-message controls (m2, c1.m2, m3), each 2 lock requests.
+        let (s, _, o2) = setup();
+        let mut txn = s.begin();
+        s.send(&mut txn, o2, "m1", &[Value::Int(1)]).unwrap();
+        let st = s.stats();
+        assert_eq!(st.requests, 8, "4 controls × (class + instance)");
+        s.commit(txn);
+    }
+
+    #[test]
+    fn escalation_reproduced() {
+        // P3 reproduced: m1 read-locks, then m2 escalates to write.
+        let (s, o1, _) = setup();
+        let mut txn = s.begin();
+        s.send(&mut txn, o1, "m1", &[Value::Int(1)]).unwrap();
+        assert!(s.stats().upgrades >= 1, "read→write escalation happened");
+        s.commit(txn);
+    }
+
+    #[test]
+    fn pseudo_conflict_reproduced() {
+        // P4 reproduced: m2 and m4 (disjoint fields!) conflict under RW.
+        let (s, _, o2) = setup();
+        let mut t1 = s.begin();
+        s.send(&mut t1, o2, "m2", &[Value::Int(1)]).unwrap();
+        let c2 = s.env().schema.class_by_name("c2").unwrap();
+        let probe = s.lm.begin();
+        let r = s
+            .lm
+            .try_acquire(probe, ResourceId::Instance(o2, c2), LockMode::plain(WRITE));
+        assert_eq!(r, TryAcquire::WouldBlock, "m4 would block behind m2");
+        s.commit(t1);
+    }
+
+    #[test]
+    fn execution_still_correct() {
+        let (s, _, o2) = setup();
+        let mut txn = s.begin();
+        s.send(&mut txn, o2, "m1", &[Value::Int(3)]).unwrap();
+        s.commit(txn);
+        assert_eq!(s.env().read_named(o2, "c2", "f1"), Value::Int(3));
+        assert_eq!(s.env().read_named(o2, "c2", "f4"), Value::Int(3));
+    }
+
+    #[test]
+    fn abort_restores_per_field_images() {
+        let (s, _, o2) = setup();
+        let mut txn = s.begin();
+        s.send(&mut txn, o2, "m2", &[Value::Int(9)]).unwrap();
+        s.abort(txn);
+        assert_eq!(s.env().read_named(o2, "c2", "f1"), Value::Int(0));
+        assert_eq!(s.env().read_named(o2, "c2", "f4"), Value::Int(0));
+    }
+
+    #[test]
+    fn readers_share() {
+        let (s, o1, _) = setup();
+        let mut t1 = s.begin();
+        let mut t2 = s.begin();
+        // m3 is a pure reader when f2 is false.
+        s.send(&mut t1, o1, "m3", &[]).unwrap();
+        s.send(&mut t2, o1, "m3", &[]).unwrap();
+        s.commit(t1);
+        s.commit(t2);
+        assert_eq!(s.stats().blocks, 0);
+    }
+
+    #[test]
+    fn send_all_uses_transitive_classification() {
+        let (s, _, _) = setup();
+        let c1 = s.env().schema.class_by_name("c1").unwrap();
+        let mut txn = s.begin();
+        // m1 transitively writes → hierarchical WRITE on c1 and c2.
+        s.send_all(&mut txn, c1, "m1", &[Value::Int(1)]).unwrap();
+        let c2 = s.env().schema.class_by_name("c2").unwrap();
+        let probe = s.lm.begin();
+        let r = s
+            .lm
+            .try_acquire(probe, ResourceId::Class(c2), LockMode::class(READ, false));
+        assert_eq!(r, TryAcquire::WouldBlock, "intentional read blocked by hier write");
+        s.commit(txn);
+    }
+}

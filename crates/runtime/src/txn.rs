@@ -1,0 +1,114 @@
+//! Transactions and the abort/retry loop.
+
+use crate::scheme::CcScheme;
+use finecc_lang::ExecError;
+use finecc_model::TxnId;
+use finecc_store::UndoLog;
+
+/// One transaction: identifier plus its undo log. Created by
+/// [`CcScheme::begin`], consumed by [`CcScheme::commit`]/[`CcScheme::abort`].
+pub struct Txn {
+    /// The transaction id (also its age for victim selection).
+    pub id: TxnId,
+    /// Before-images recorded during execution.
+    pub undo: UndoLog,
+}
+
+impl Txn {
+    /// Creates a transaction with an empty undo log.
+    pub fn new(id: TxnId) -> Txn {
+        Txn {
+            id,
+            undo: UndoLog::new(),
+        }
+    }
+}
+
+/// How a [`run_txn`] attempt ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TxnOutcome<T> {
+    /// Committed after `retries` deadlock aborts.
+    Committed {
+        /// The closure's result.
+        value: T,
+        /// Number of deadlock retries before success.
+        retries: u32,
+    },
+    /// Gave up after exhausting `max_retries` deadlock aborts.
+    Exhausted {
+        /// Deadlock aborts performed.
+        retries: u32,
+    },
+    /// Failed with a non-retryable error (aborted, rolled back).
+    Failed(ExecError),
+}
+
+impl<T> TxnOutcome<T> {
+    /// `true` if the transaction committed.
+    pub fn is_committed(&self) -> bool {
+        matches!(self, TxnOutcome::Committed { .. })
+    }
+
+    /// The committed value, if any.
+    pub fn value(self) -> Option<T> {
+        match self {
+            TxnOutcome::Committed { value, .. } => Some(value),
+            _ => None,
+        }
+    }
+}
+
+/// Runs `body` as a transaction against `scheme`, committing on success,
+/// aborting (undo + release) on error, and retrying deadlock victims up
+/// to `max_retries` times. This is the standard driver used by the
+/// simulator, the examples and the stress tests.
+pub fn run_txn<T>(
+    scheme: &dyn CcScheme,
+    max_retries: u32,
+    mut body: impl FnMut(&mut Txn) -> Result<T, ExecError>,
+) -> TxnOutcome<T> {
+    let mut retries = 0;
+    loop {
+        let mut txn = scheme.begin();
+        match body(&mut txn) {
+            Ok(value) => {
+                scheme.commit(txn);
+                return TxnOutcome::Committed { value, retries };
+            }
+            Err(e) if e.is_deadlock() => {
+                scheme.abort(txn);
+                retries += 1;
+                if retries > max_retries {
+                    return TxnOutcome::Exhausted { retries };
+                }
+                // Brief backoff proportional to the retry count keeps
+                // rival victims from re-colliding in lockstep.
+                std::thread::yield_now();
+            }
+            Err(e) => {
+                scheme.abort(txn);
+                return TxnOutcome::Failed(e);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_helpers() {
+        let c: TxnOutcome<i32> = TxnOutcome::Committed {
+            value: 7,
+            retries: 1,
+        };
+        assert!(c.is_committed());
+        assert_eq!(c.value(), Some(7));
+        let f: TxnOutcome<i32> = TxnOutcome::Failed(ExecError::FuelExhausted);
+        assert!(!f.is_committed());
+        assert_eq!(f.value(), None);
+        let e: TxnOutcome<i32> = TxnOutcome::Exhausted { retries: 3 };
+        assert_eq!(e.value(), None);
+    }
+}

@@ -1,0 +1,200 @@
+//! Concurrent and sequential workload execution.
+
+use crate::workload::TxnOp;
+use finecc_runtime::{run_txn, CcScheme, TxnOutcome};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Executor configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecConfig {
+    /// Worker threads.
+    pub threads: usize,
+    /// Deadlock retries per transaction before giving up.
+    pub max_retries: u32,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            threads: 4,
+            max_retries: 10,
+        }
+    }
+}
+
+/// Aggregate result of an execution run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExecReport {
+    /// Transactions that committed.
+    pub committed: u64,
+    /// Transactions that exhausted their deadlock retries.
+    pub exhausted: u64,
+    /// Transactions that failed with a non-retryable error.
+    pub failed: u64,
+    /// Total deadlock retries across all transactions.
+    pub retries: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Lock-manager statistics accumulated during the run.
+    pub lock: finecc_lock::StatsSnapshot,
+}
+
+impl ExecReport {
+    /// Committed transactions per second.
+    pub fn throughput(&self) -> f64 {
+        if self.elapsed.as_secs_f64() == 0.0 {
+            0.0
+        } else {
+            self.committed as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+}
+
+/// Runs the workload across `cfg.threads` workers (ops are dealt
+/// round-robin), with per-transaction deadlock retry. Lock statistics are
+/// measured relative to the scheme's counters at entry.
+pub fn run_concurrent(scheme: &dyn CcScheme, ops: &[TxnOp], cfg: ExecConfig) -> ExecReport {
+    let before = scheme.stats();
+    let committed = AtomicU64::new(0);
+    let exhausted = AtomicU64::new(0);
+    let failed = AtomicU64::new(0);
+    let retries = AtomicU64::new(0);
+    let next = AtomicUsize::new(0);
+    let start = Instant::now();
+
+    std::thread::scope(|scope| {
+        for _ in 0..cfg.threads.max(1) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= ops.len() {
+                    break;
+                }
+                let op = &ops[i];
+                match run_txn(scheme, cfg.max_retries, |txn| op.run(scheme, txn)) {
+                    TxnOutcome::Committed { retries: r, .. } => {
+                        committed.fetch_add(1, Ordering::Relaxed);
+                        retries.fetch_add(u64::from(r), Ordering::Relaxed);
+                    }
+                    TxnOutcome::Exhausted { retries: r } => {
+                        exhausted.fetch_add(1, Ordering::Relaxed);
+                        retries.fetch_add(u64::from(r), Ordering::Relaxed);
+                    }
+                    TxnOutcome::Failed(_) => {
+                        failed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+
+    ExecReport {
+        committed: committed.into_inner(),
+        exhausted: exhausted.into_inner(),
+        failed: failed.into_inner(),
+        retries: retries.into_inner(),
+        elapsed: start.elapsed(),
+        lock: scheme.stats().since(&before),
+    }
+}
+
+/// Deterministic single-threaded execution (ops in order).
+pub fn run_sequential(scheme: &dyn CcScheme, ops: &[TxnOp], max_retries: u32) -> ExecReport {
+    run_concurrent(
+        scheme,
+        ops,
+        ExecConfig {
+            threads: 1,
+            max_retries,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{
+        generate_env, generate_workload, populate_random, SchemaGenConfig, WorkloadConfig,
+    };
+    use finecc_runtime::SchemeKind;
+
+    fn workload_env() -> finecc_runtime::Env {
+        let env = generate_env(&SchemaGenConfig {
+            classes: 6,
+            seed: 17,
+            ..SchemaGenConfig::default()
+        });
+        populate_random(&env, 4);
+        env
+    }
+
+    #[test]
+    fn sequential_commits_everything() {
+        let env = workload_env();
+        let wl = generate_workload(
+            &env,
+            &WorkloadConfig {
+                txns: 100,
+                seed: 1,
+                ..WorkloadConfig::default()
+            },
+        );
+        let scheme = SchemeKind::Tav.build(env);
+        let r = run_sequential(scheme.as_ref(), &wl.ops, 5);
+        assert_eq!(r.committed, 100);
+        assert_eq!(r.failed, 0);
+        assert_eq!(r.exhausted, 0);
+        assert!(r.lock.requests > 0);
+    }
+
+    #[test]
+    fn concurrent_all_schemes_complete() {
+        for kind in SchemeKind::ALL {
+            let env = workload_env();
+            let wl = generate_workload(
+                &env,
+                &WorkloadConfig {
+                    txns: 200,
+                    seed: 2,
+                    ..WorkloadConfig::default()
+                },
+            );
+            let scheme = kind.build(env);
+            let r = run_concurrent(
+                scheme.as_ref(),
+                &wl.ops,
+                ExecConfig {
+                    threads: 4,
+                    max_retries: 20,
+                },
+            );
+            assert_eq!(r.failed, 0, "{kind}: non-retryable failures");
+            assert_eq!(
+                r.committed + r.exhausted,
+                200,
+                "{kind}: every txn accounted for"
+            );
+            assert!(
+                r.committed >= 190,
+                "{kind}: unexpectedly many exhausted txns ({r:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn throughput_is_positive() {
+        let env = workload_env();
+        let wl = generate_workload(
+            &env,
+            &WorkloadConfig {
+                txns: 50,
+                seed: 3,
+                ..WorkloadConfig::default()
+            },
+        );
+        let scheme = SchemeKind::Rw.build(env);
+        let r = run_concurrent(scheme.as_ref(), &wl.ops, ExecConfig::default());
+        assert!(r.throughput() > 0.0);
+        assert!(r.elapsed > Duration::ZERO);
+    }
+}

@@ -1,0 +1,152 @@
+//! The paper's Figure 1 as a reusable experiment fixture.
+
+use finecc_model::{ClassId, Oid, Value};
+use finecc_runtime::Env;
+use std::time::Duration;
+
+/// Figure 1 source, re-exported from the parser crate.
+pub use finecc_lang::parser::FIGURE1_SOURCE;
+
+/// The §5.2 *variant*: identical to Figure 1 except that `c1.m2` does not
+/// modify the key field `f1` (it updates `f2` instead). The paper remarks
+/// that with this change the relational schema would admit `T1‖T3‖T4`
+/// (but still not `T2‖T3‖T4`).
+pub const FIGURE1_NO_KEY_WRITE_SOURCE: &str = r#"
+class c1 {
+  fields {
+    f1: integer;
+    f2: boolean;
+    f3: c3;
+  }
+  method m1(p1) is
+    send m2(p1) to self;
+    send m3 to self
+  end
+  method m2(p1) is
+    f2 := cond(f1, p1)
+  end
+  method m3 is
+    if f2 then
+      send m to f3
+    end
+  end
+}
+
+class c2 inherits c1 {
+  fields {
+    f4: integer;
+    f5: integer;
+    f6: string;
+  }
+  method m2(p1) is redefined as
+    send c1.m2(p1) to self;
+    f4 := expr(f5, p1)
+  end
+  method m4(p1, p2) is
+    if cond(f5, p1) then
+      f6 := expr(f6, p2)
+    end
+  end
+}
+
+class c3 {
+  fields {
+    g1: integer;
+  }
+  method m is
+    g1 := g1 + 1
+  end
+}
+"#;
+
+/// A populated Figure 1 database: class ids and the created instances.
+pub struct Figure1Db {
+    /// The environment (schema, compiled artifacts, store).
+    pub env: Env,
+    /// Class c1.
+    pub c1: ClassId,
+    /// Class c2.
+    pub c2: ClassId,
+    /// Class c3.
+    pub c3: ClassId,
+    /// Proper instances of c1.
+    pub c1_instances: Vec<Oid>,
+    /// Proper instances of c2.
+    pub c2_instances: Vec<Oid>,
+    /// Proper instances of c3 (referenced through `f3`).
+    pub c3_instances: Vec<Oid>,
+}
+
+/// Builds a populated Figure 1 database with `n_per_class` instances of
+/// c1 and of c2 (each wired to its own c3 instance through `f3`), using a
+/// short lock timeout suitable for conflict probing.
+pub fn populate(source: &str, n_per_class: usize, lock_timeout: Duration) -> Figure1Db {
+    let env = Env::from_source(source)
+        .expect("fixture source compiles")
+        .with_lock_timeout(lock_timeout);
+    let c1 = env.schema.class_by_name("c1").unwrap();
+    let c2 = env.schema.class_by_name("c2").unwrap();
+    let c3 = env.schema.class_by_name("c3").unwrap();
+    let f3 = env.schema.resolve_field(c1, "f3").unwrap();
+    let f5 = env.schema.resolve_field(c2, "f5").unwrap();
+
+    let mut c1_instances = Vec::new();
+    let mut c2_instances = Vec::new();
+    let mut c3_instances = Vec::new();
+    for i in 0..n_per_class {
+        let target = env.db.create(c3);
+        c3_instances.push(target);
+        let o1 = env
+            .db
+            .create_with(c1, [(f3, Value::Ref(target))])
+            .unwrap();
+        c1_instances.push(o1);
+
+        let target = env.db.create(c3);
+        c3_instances.push(target);
+        let o2 = env
+            .db
+            .create_with(
+                c2,
+                [(f3, Value::Ref(target)), (f5, Value::Int(i as i64 + 1))],
+            )
+            .unwrap();
+        c2_instances.push(o2);
+    }
+    Figure1Db {
+        env,
+        c1,
+        c2,
+        c3,
+        c1_instances,
+        c2_instances,
+        c3_instances,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn populate_wires_references() {
+        let fx = populate(FIGURE1_SOURCE, 3, Duration::from_millis(100));
+        assert_eq!(fx.c1_instances.len(), 3);
+        assert_eq!(fx.c2_instances.len(), 3);
+        assert_eq!(fx.c3_instances.len(), 6);
+        assert_eq!(fx.env.db.deep_extent(fx.c1).len(), 6, "c1 domain spans c2");
+        assert_eq!(fx.env.db.extent(fx.c3).len(), 6);
+    }
+
+    #[test]
+    fn no_key_write_variant_compiles_and_differs() {
+        let fx = populate(FIGURE1_NO_KEY_WRITE_SOURCE, 1, Duration::from_millis(100));
+        let t = fx.env.compiled.class(fx.c1);
+        let m1 = t.index_of("m1").unwrap();
+        let f1 = fx.env.schema.resolve_field(fx.c1, "f1").unwrap();
+        let f2 = fx.env.schema.resolve_field(fx.c1, "f2").unwrap();
+        use finecc_core::AccessMode::*;
+        assert_eq!(t.tav(m1).mode_of(f1), Read, "key only read in variant");
+        assert_eq!(t.tav(m1).mode_of(f2), Write);
+    }
+}

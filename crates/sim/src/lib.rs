@@ -1,0 +1,32 @@
+//! # finecc-sim — workloads, scenarios, and the concurrent executor
+//!
+//! Everything the experiments need beyond the library itself:
+//!
+//! * [`figure1`] — the paper's running example as a reusable fixture
+//!   (schema source, populated databases, and a no-key-write variant for
+//!   the §5.2 relational remark).
+//! * [`scenarios`] — the T1–T4 machinery of §5.2: runs each transaction's
+//!   lock acquisition against a scheme and probes pairwise compatibility,
+//!   reproducing the paper's "either T1‖T3‖T4 or T2‖T3‖T4" result and the
+//!   baselines' weaker outcomes.
+//! * [`workload`] — seeded random schema/program generation (inheritance
+//!   chains, overrides, self-call graphs) and transaction mixes with
+//!   hot-spot skew.
+//! * [`exec`] — a multi-threaded transaction executor with commit/abort/
+//!   retry accounting.
+//! * [`stepper`] — a deterministic round-robin driver for reproducible
+//!   schedules.
+//! * [`metrics`] — experiment result aggregation and table rendering.
+
+pub mod exec;
+pub mod figure1;
+pub mod metrics;
+pub mod scenarios;
+pub mod stepper;
+pub mod workload;
+
+pub use exec::{run_concurrent, run_sequential, ExecConfig, ExecReport};
+pub use metrics::{render_table, Metrics};
+pub use scenarios::{scenario_outcomes, ScenarioOutcome, TxnKind};
+pub use stepper::{run_stepped, StepReport};
+pub use workload::{GeneratedWorkload, SchemaGenConfig, TxnMix, WorkloadConfig};

@@ -1,0 +1,170 @@
+//! Deterministic interleaved execution.
+//!
+//! The threaded executor ([`crate::exec`]) measures real contention but
+//! its interleavings are nondeterministic. The stepper runs a set of
+//! transactions *one lock request at a time* in a fixed round-robin
+//! order, using the lock manager's non-blocking `try_acquire` through
+//! the schemes' normal code path, by virtue of a short lock timeout and
+//! single-threaded retry: a transaction that would block is aborted,
+//! rolled back, and re-queued behind the others.
+//!
+//! The result is a fully reproducible schedule: same seed → same grants,
+//! same aborts, same final state — which is what the property tests and
+//! regression experiments need.
+
+use crate::workload::TxnOp;
+use finecc_runtime::CcScheme;
+use std::collections::VecDeque;
+
+/// Outcome of a deterministic run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StepReport {
+    /// Transactions committed, in commit order (indices into the input).
+    pub commit_order: Vec<usize>,
+    /// Total aborts (would-block or deadlock) before success.
+    pub aborts: u64,
+    /// Transactions that exceeded the retry budget (left uncommitted).
+    pub starved: Vec<usize>,
+}
+
+/// Runs `ops` to completion in deterministic rounds.
+///
+/// Strategy: keep a FIFO of pending transactions. Each round pops one
+/// transaction and runs it to completion; if it hits a concurrency abort
+/// (lock timeout/deadlock — with a single driver thread any block is
+/// permanent, so short timeouts are the scheme's `WouldBlock`), it is
+/// rolled back and re-enqueued. `max_rounds` bounds livelock.
+pub fn run_stepped(
+    scheme: &dyn CcScheme,
+    ops: &[TxnOp],
+    max_rounds_per_txn: u32,
+) -> StepReport {
+    let mut pending: VecDeque<(usize, u32)> = (0..ops.len()).map(|i| (i, 0)).collect();
+    let mut report = StepReport::default();
+    while let Some((i, tries)) = pending.pop_front() {
+        let mut txn = scheme.begin();
+        match ops[i].run(scheme, &mut txn) {
+            Ok(()) => {
+                scheme.commit(txn);
+                report.commit_order.push(i);
+            }
+            Err(finecc_lang::ExecError::ConcurrencyAbort { .. }) => {
+                scheme.abort(txn);
+                report.aborts += 1;
+                if tries + 1 >= max_rounds_per_txn {
+                    report.starved.push(i);
+                } else {
+                    pending.push_back((i, tries + 1));
+                }
+            }
+            Err(e) => panic!("stepper transaction failed non-retryably: {e}"),
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{
+        generate_env, generate_workload, populate_random, SchemaGenConfig, WorkloadConfig,
+    };
+    use finecc_runtime::SchemeKind;
+
+    fn fixture(seed: u64) -> (finecc_runtime::Env, Vec<TxnOp>) {
+        let env = generate_env(&SchemaGenConfig {
+            classes: 5,
+            seed,
+            ..SchemaGenConfig::default()
+        });
+        populate_random(&env, 3);
+        let wl = generate_workload(
+            &env,
+            &WorkloadConfig {
+                txns: 60,
+                seed: seed ^ 0xabcd,
+                ..WorkloadConfig::default()
+            },
+        );
+        (env, wl.ops)
+    }
+
+    #[test]
+    fn single_driver_commits_everything_in_order() {
+        let (env, ops) = fixture(3);
+        let scheme = SchemeKind::Tav.build(env);
+        let r = run_stepped(scheme.as_ref(), &ops, 10);
+        // One driver, strict 2PL released at each commit: nothing can
+        // block, so commit order == submission order, zero aborts.
+        assert_eq!(r.commit_order, (0..ops.len()).collect::<Vec<_>>());
+        assert_eq!(r.aborts, 0);
+        assert!(r.starved.is_empty());
+    }
+
+    #[test]
+    fn deterministic_across_runs_and_schemes() {
+        for kind in SchemeKind::ALL {
+            let (env1, ops) = fixture(9);
+            let s1 = kind.build(env1);
+            let r1 = run_stepped(s1.as_ref(), &ops, 10);
+            let snap1 = s1.env().db.snapshot();
+
+            let (env2, ops2) = fixture(9);
+            let s2 = kind.build(env2);
+            let r2 = run_stepped(s2.as_ref(), &ops2, 10);
+            let snap2 = s2.env().db.snapshot();
+
+            assert_eq!(r1, r2, "{kind}: stepper must be deterministic");
+            assert_eq!(snap1, snap2, "{kind}: final states must agree");
+        }
+    }
+
+    #[test]
+    fn stepped_matches_threaded_final_state_for_commuting_ops() {
+        // All ops commute → threaded and stepped runs converge to the
+        // same state regardless of interleaving.
+        let env = finecc_runtime::Env::from_source(
+            "class c { fields { a: integer; } method bump is a := a + 1 end }",
+        )
+        .unwrap();
+        let c = env.schema.class_by_name("c").unwrap();
+        let oid = env.db.create(c);
+        let ops: Vec<TxnOp> = (0..50)
+            .map(|_| TxnOp::One {
+                oid,
+                method: "bump".into(),
+                args: vec![],
+            })
+            .collect();
+        let stepped = SchemeKind::Tav.build(env.clone());
+        run_stepped(stepped.as_ref(), &ops, 10);
+
+        let env2 = finecc_runtime::Env::from_source(
+            "class c { fields { a: integer; } method bump is a := a + 1 end }",
+        )
+        .unwrap();
+        let c2 = env2.schema.class_by_name("c").unwrap();
+        let oid2 = env2.db.create(c2);
+        let ops2: Vec<TxnOp> = (0..50)
+            .map(|_| TxnOp::One {
+                oid: oid2,
+                method: "bump".into(),
+                args: vec![],
+            })
+            .collect();
+        let threaded = SchemeKind::Tav.build(env2);
+        let r = crate::exec::run_concurrent(
+            threaded.as_ref(),
+            &ops2,
+            crate::exec::ExecConfig {
+                threads: 4,
+                max_retries: 50,
+            },
+        );
+        assert_eq!(r.committed, 50);
+        assert_eq!(
+            stepped.env().read_named(oid, "c", "a"),
+            threaded.env().read_named(oid2, "c", "a"),
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Store errors.
+
+use finecc_model::{ClassId, FieldId, Oid};
+use std::fmt;
+
+/// Errors raised by [`crate::Database`] operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// No instance with this OID exists (never created, or deleted).
+    UnknownOid(Oid),
+    /// The field is not visible in the instance's class.
+    FieldNotVisible {
+        /// Target instance.
+        oid: Oid,
+        /// Offending field.
+        field: FieldId,
+    },
+    /// The value's type does not match the field's declared type.
+    TypeMismatch {
+        /// Target field.
+        field: FieldId,
+        /// Declared type, rendered.
+        expected: String,
+        /// Actual value type name.
+        got: &'static str,
+    },
+    /// A reference field was assigned an instance outside the declared
+    /// target domain.
+    RefDomainMismatch {
+        /// Target field.
+        field: FieldId,
+        /// Required domain root.
+        expected_domain: ClassId,
+        /// Class of the assigned instance.
+        got_class: ClassId,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::UnknownOid(o) => write!(f, "no instance {o}"),
+            StoreError::FieldNotVisible { oid, field } => {
+                write!(f, "field {field} not visible on {oid}")
+            }
+            StoreError::TypeMismatch {
+                field,
+                expected,
+                got,
+            } => write!(f, "field {field} expects {expected}, got {got}"),
+            StoreError::RefDomainMismatch {
+                field,
+                expected_domain,
+                got_class,
+            } => write!(
+                f,
+                "field {field} must reference domain {expected_domain}, got class {got_class}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(StoreError::UnknownOid(Oid(3)).to_string().contains("oid:3"));
+        let e = StoreError::TypeMismatch {
+            field: FieldId(1),
+            expected: "integer".into(),
+            got: "string",
+        };
+        assert!(e.to_string().contains("integer"));
+    }
+}

@@ -1,0 +1,154 @@
+//! End-to-end reproduction of every concrete artifact printed in the
+//! paper: Table 1, the §4.3 worked access vectors, Figure 2, Table 2, and
+//! the c1 restriction remark.
+
+use finecc::core::{compile, AccessMode, AccessVector};
+use finecc::lang::build_schema;
+use finecc::lang::parser::FIGURE1_SOURCE;
+use finecc::model::{FieldId, Schema};
+
+fn fixture() -> (Schema, finecc::core::CompiledSchema) {
+    let (schema, bodies) = build_schema(FIGURE1_SOURCE).expect("Figure 1 parses");
+    let compiled = compile(&schema, &bodies).expect("Figure 1 compiles");
+    (schema, compiled)
+}
+
+fn vector(s: &Schema, av: &AccessVector) -> Vec<(String, AccessMode)> {
+    let c2 = s.class_by_name("c2").unwrap();
+    s.class(c2)
+        .all_fields
+        .iter()
+        .map(|&f| (s.field(f).name.clone(), av.mode_of(f)))
+        .collect()
+}
+
+#[test]
+fn table1_compatibility() {
+    use AccessMode::*;
+    // The exact 3×3 relation printed as Table 1.
+    let expected = [
+        (Null, Null, true),
+        (Null, Read, true),
+        (Null, Write, true),
+        (Read, Null, true),
+        (Read, Read, true),
+        (Read, Write, false),
+        (Write, Null, true),
+        (Write, Read, false),
+        (Write, Write, false),
+    ];
+    for (a, b, want) in expected {
+        assert_eq!(a.compatible(b), want, "{a} vs {b}");
+    }
+}
+
+#[test]
+fn section_4_3_all_five_tavs() {
+    use AccessMode::*;
+    let (s, comp) = fixture();
+    let c2 = s.class_by_name("c2").unwrap();
+    let t = comp.class(c2);
+    let m = |name: &str| vector(&s, t.tav(t.index_of(name).unwrap()));
+    let expect = |pairs: [(&str, AccessMode); 6]| -> Vec<(String, AccessMode)> {
+        pairs.iter().map(|&(n, m)| (n.to_string(), m)).collect()
+    };
+
+    assert_eq!(
+        m("m3"),
+        expect([("f1", Null), ("f2", Read), ("f3", Read), ("f4", Null), ("f5", Null), ("f6", Null)])
+    );
+    assert_eq!(
+        m("m4"),
+        expect([("f1", Null), ("f2", Null), ("f3", Null), ("f4", Null), ("f5", Read), ("f6", Write)])
+    );
+    assert_eq!(
+        m("m2"),
+        expect([("f1", Write), ("f2", Read), ("f3", Null), ("f4", Write), ("f5", Read), ("f6", Null)])
+    );
+    assert_eq!(
+        m("m1"),
+        expect([("f1", Write), ("f2", Read), ("f3", Read), ("f4", Write), ("f5", Read), ("f6", Null)])
+    );
+    // The PSC vertex (c1,m2) keeps its DAV inside c2's graph.
+    let c1 = s.class_by_name("c1").unwrap();
+    let m2c1 = s.resolve_method(c1, "m2").unwrap();
+    assert_eq!(
+        vector(&s, comp.tav_of(c2, m2c1).unwrap()),
+        expect([("f1", Write), ("f2", Read), ("f3", Null), ("f4", Null), ("f5", Null), ("f6", Null)])
+    );
+}
+
+#[test]
+fn figure2_graph_shape() {
+    let (s, comp) = fixture();
+    let c2 = s.class_by_name("c2").unwrap();
+    let g = comp.graph(c2);
+    assert_eq!(g.vertex_count(), 5, "Figure 2 has five vertices");
+    assert_eq!(g.edge_count(), 3, "Figure 2 has three edges");
+    let dot = g.to_dot(&s);
+    assert!(dot.contains("digraph"));
+}
+
+#[test]
+fn table2_generated_matrix() {
+    let (s, comp) = fixture();
+    let c2 = s.class_by_name("c2").unwrap();
+    let t = comp.class(c2);
+    let rows = [
+        ("m1", [false, false, true, true]),
+        ("m2", [false, false, true, true]),
+        ("m3", [true, true, true, true]),
+        ("m4", [true, true, true, false]),
+    ];
+    for (a, row) in rows {
+        for (j, want) in row.into_iter().enumerate() {
+            let b = &t.method_names[j];
+            assert_eq!(t.commute_names(a, b), Some(want), "Table 2 ({a},{b})");
+        }
+    }
+}
+
+#[test]
+fn c1_matrix_is_table2_restriction() {
+    let (s, comp) = fixture();
+    let c1 = s.class_by_name("c1").unwrap();
+    let c2 = s.class_by_name("c2").unwrap();
+    let t1 = comp.class(c1);
+    let t2 = comp.class(c2);
+    for a in ["m1", "m2", "m3"] {
+        for b in ["m1", "m2", "m3"] {
+            assert_eq!(
+                t1.commute_names(a, b),
+                t2.commute_names(a, b),
+                "restriction property at ({a},{b})"
+            );
+        }
+    }
+}
+
+#[test]
+fn paper_join_example_of_section_4_1() {
+    use AccessMode::*;
+    let x = FieldId(0);
+    let y = FieldId(1);
+    let z = FieldId(2);
+    let t = FieldId(3);
+    let a = AccessVector::from_pairs([(x, Write), (y, Read), (z, Read)]);
+    let b = AccessVector::from_pairs([(x, Read), (t, Read)]);
+    let j = a.join(&b);
+    assert_eq!(
+        j,
+        AccessVector::from_pairs([(x, Write), (y, Read), (z, Read), (t, Read)])
+    );
+}
+
+#[test]
+fn fields_and_methods_counts_match_figure1() {
+    let (s, _) = fixture();
+    let c1 = s.class_by_name("c1").unwrap();
+    let c2 = s.class_by_name("c2").unwrap();
+    assert_eq!(s.class(c1).all_fields.len(), 3);
+    assert_eq!(s.class(c2).all_fields.len(), 6);
+    assert_eq!(s.class(c1).methods.len(), 3);
+    assert_eq!(s.class(c2).methods.len(), 4);
+}

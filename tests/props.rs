@@ -1,0 +1,174 @@
+//! Property-based tests over randomly generated schemas: the algebraic
+//! invariants of the paper's construction must hold for *every* program,
+//! not just Figure 1.
+
+use finecc::core::{AccessMode, AccessVector};
+use finecc::model::FieldId;
+use finecc::sim::workload::{generate_env, SchemaGenConfig};
+use proptest::prelude::*;
+
+fn cfg_strategy() -> impl Strategy<Value = SchemaGenConfig> {
+    (
+        1usize..14,
+        any::<u64>(),
+        0usize..5,
+        1usize..6,
+        0.0f64..1.0,
+        0.0f64..0.8,
+    )
+        .prop_map(|(classes, seed, min_f, methods_hi, write_prob, self_call_prob)| {
+            SchemaGenConfig {
+                classes,
+                seed,
+                fields_per_class: (min_f, min_f + 3),
+                methods_per_class: (1, methods_hi),
+                write_prob,
+                self_call_prob,
+                ..SchemaGenConfig::default()
+            }
+        })
+}
+
+fn av_strategy() -> impl Strategy<Value = AccessVector> {
+    proptest::collection::vec((0u32..24, 0u8..3), 0..12).prop_map(|pairs| {
+        AccessVector::from_pairs(pairs.into_iter().map(|(f, m)| {
+            let mode = match m {
+                0 => AccessMode::Null,
+                1 => AccessMode::Read,
+                _ => AccessMode::Write,
+            };
+            (FieldId(f), mode)
+        }))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Join is a semilattice on arbitrary vectors (Property 1).
+    #[test]
+    fn av_join_semilattice(a in av_strategy(), b in av_strategy(), c in av_strategy()) {
+        prop_assert_eq!(&a.join(&a), &a);
+        prop_assert_eq!(a.join(&b), b.join(&a));
+        prop_assert_eq!(a.join(&b).join(&c), a.join(&b.join(&c)));
+        // Least upper bound.
+        prop_assert!(a.le(&a.join(&b)));
+        prop_assert!(b.le(&a.join(&b)));
+    }
+
+    /// Commutativity (Definition 5) is symmetric, and joining can only
+    /// destroy commutativity, never create it (monotone conservatism).
+    #[test]
+    fn av_commutes_symmetric_and_antitone(a in av_strategy(), b in av_strategy(), c in av_strategy()) {
+        prop_assert_eq!(a.commutes(&b), b.commutes(&a));
+        if !a.commutes(&b) {
+            prop_assert!(!a.join(&c).commutes(&b), "join must preserve conflicts");
+        }
+    }
+
+    /// For every generated schema: the compiler succeeds and, per class
+    /// and method, TAV ⊒ DAV pointwise, TAVs satisfy the Definition 10
+    /// fixpoint over the late-binding graph, SCC members share TAVs, and
+    /// the generated matrix agrees with raw vector commutativity.
+    #[test]
+    fn compiled_schema_invariants(cfg in cfg_strategy()) {
+        let env = generate_env(&cfg);
+        let schema = &env.schema;
+        let compiled = &env.compiled;
+
+        for ci in schema.classes() {
+            let table = compiled.class(ci.id);
+            let graph = compiled.graph(ci.id);
+            let tavs = &compiled.vertex_tavs[ci.id.index()];
+
+            // Matrix is symmetric and matches the raw vectors.
+            for i in 0..table.mode_count() {
+                prop_assert!(table.dav(i).le(table.tav(i)), "TAV ⊒ DAV");
+                for j in 0..table.mode_count() {
+                    prop_assert_eq!(table.commute(i, j), table.commute(j, i));
+                    prop_assert_eq!(
+                        table.commute(i, j),
+                        table.tav(i).commutes(table.tav(j)),
+                        "matrix must equal vector commutativity"
+                    );
+                }
+            }
+
+            // Definition 10 fixpoint: TAV(v) = DAV(v) ⊔ ⨆ TAV(succ).
+            for (v, outs) in graph.edges.iter().enumerate() {
+                let mut expect = compiled.extraction.dav(graph.verts[v]).clone();
+                for &w in outs {
+                    expect.join_assign(&tavs[w as usize]);
+                }
+                prop_assert_eq!(&tavs[v], &expect, "fixpoint at vertex {}", v);
+            }
+        }
+    }
+
+    /// Reader-only methods never conflict with each other, in any class
+    /// of any generated schema.
+    #[test]
+    fn readers_always_commute(cfg in cfg_strategy()) {
+        let env = generate_env(&cfg);
+        for ci in env.schema.classes() {
+            let table = env.compiled.class(ci.id);
+            let readers: Vec<usize> = (0..table.mode_count())
+                .filter(|&i| table.tav(i).is_read_only())
+                .collect();
+            for &i in &readers {
+                for &j in &readers {
+                    prop_assert!(table.commute(i, j), "two readers must commute");
+                }
+            }
+        }
+    }
+
+    /// The RW collapse is coarser than commutativity: whenever the RW
+    /// classification says two methods are compatible (reader-reader),
+    /// the commutativity matrix agrees — TAVs only ever ADD parallelism.
+    #[test]
+    fn tav_dominates_rw(cfg in cfg_strategy()) {
+        let env = generate_env(&cfg);
+        for ci in env.schema.classes() {
+            let table = env.compiled.class(ci.id);
+            for i in 0..table.mode_count() {
+                for j in 0..table.mode_count() {
+                    let rw_compatible = table.tav(i).is_read_only() && table.tav(j).is_read_only();
+                    if rw_compatible {
+                        prop_assert!(table.commute(i, j));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Undo round-trip: any prefix of writes on a random instance is
+    /// fully reverted by the log.
+    #[test]
+    fn undo_roundtrip(cfg in cfg_strategy(), writes in proptest::collection::vec((0u32..64, -50i64..50), 1..20)) {
+        use finecc::store::UndoLog;
+        use finecc::model::Value;
+
+        let env = generate_env(&cfg);
+        // Pick the class with the most fields.
+        let Some(ci) = env.schema.classes().max_by_key(|c| c.all_fields.len()) else {
+            return Ok(());
+        };
+        if ci.all_fields.is_empty() {
+            return Ok(());
+        }
+        let class = ci.id;
+        let fields = ci.all_fields.clone();
+        let oid = env.db.create(class);
+        let before = env.db.snapshot();
+
+        let mut log = UndoLog::new();
+        for (fsel, v) in writes {
+            let f = fields[fsel as usize % fields.len()];
+            let old = env.db.write(oid, f, Value::Int(v)).unwrap();
+            log.record(oid, f, old);
+        }
+        log.rollback(&env.db);
+        prop_assert_eq!(env.db.snapshot(), before);
+    }
+}
