@@ -11,7 +11,12 @@ use std::hint::black_box;
 
 fn bench_nested(c: &mut Criterion) {
     let mut group = c.benchmark_group("nested_call_depth8");
-    for kind in [SchemeKind::Tav, SchemeKind::Rw, SchemeKind::FieldLock] {
+    for kind in [
+        SchemeKind::Tav,
+        SchemeKind::Rw,
+        SchemeKind::FieldLock,
+        SchemeKind::Mvcc,
+    ] {
         let env = env_of(&chain_schema(8));
         let chain = env.schema.class_by_name("chain").unwrap();
         let oid = env.db.create(chain);

@@ -1,6 +1,6 @@
 //! Experiment E12 — the "evaluation table the paper never had": one
 //! generated mixed workload (single-instance / some-of-domain /
-//! whole-domain transactions with hot-spot skew) executed under all four
+//! whole-domain transactions with hot-spot skew) executed under all five
 //! schemes, side by side, at several contention levels.
 //!
 //! Shapes: the TAV scheme issues the fewest lock requests at equal
@@ -8,7 +8,11 @@
 //! the true (commutativity-aware) conflict rate. RW pays per-message
 //! traffic and escalation deadlocks; field locking pays per-field
 //! traffic; relational sits between, losing only inheritance-aware
-//! parallelism (key-cascade writes).
+//! parallelism (key-cascade writes). The MVCC scheme issues **zero**
+//! lock requests — its cost shows up instead as optimistic aborts
+//! (first-updater-wins validation failures, a function of how often
+//! concurrent transactions overlap on written fields, not of skew
+//! alone) and version-chain maintenance, reported in the second table.
 
 use finecc_runtime::SchemeKind;
 use finecc_sim::workload::{
@@ -20,6 +24,7 @@ fn main() {
     let txns = 600usize;
     println!("mixed workload, 4 threads, {txns} txns, 10-class schema, by hot-spot skew\n");
     let mut rows = Vec::new();
+    let mut mvcc_rows = Vec::new();
     for (label, hot_frac, hot_set) in [
         ("low contention", 0.05, 16usize),
         ("medium contention", 0.4, 6),
@@ -56,9 +61,42 @@ fn main() {
             assert_eq!(report.failed, 0, "{kind}: non-retryable failure");
             let m = Metrics::from_report(format!("{label} / {kind}"), &report);
             rows.push(m.row());
+            if let Some(v) = report.mvcc {
+                mvcc_rows.push(vec![
+                    label.to_string(),
+                    v.commits.to_string(),
+                    v.aborts.to_string(),
+                    v.write_conflicts.to_string(),
+                    format!("{:.2}", v.mean_chain_len()),
+                    v.chain_len_max.to_string(),
+                    v.versions_created.to_string(),
+                    v.versions_reclaimed.to_string(),
+                ]);
+            }
         }
     }
     println!("{}", render_table(&Metrics::headers(), &rows));
+    println!(
+        "mvcc detail (no locks: its concurrency costs are optimistic aborts and versions)\n"
+    );
+    println!(
+        "{}",
+        render_table(
+            &[
+                "contention",
+                "commits",
+                "aborts",
+                "ww conflicts",
+                "mean chain",
+                "max chain",
+                "versions",
+                "reclaimed",
+            ],
+            &mvcc_rows
+        )
+    );
     println!("shapes: tav has the lowest lock traffic per committed txn and");
-    println!("zero upgrades; rw/fieldlock escalate; all schemes commit all txns.");
+    println!("zero upgrades; rw/fieldlock escalate; mvcc trades lock traffic for");
+    println!("a handful of optimistic aborts (driven by written-field overlap,");
+    println!("not skew alone); all schemes commit all txns.");
 }

@@ -1,0 +1,715 @@
+//! The versioned heap: chains, transaction registry, commit/abort, GC.
+
+use crate::stats::MvccStats;
+use crate::{Ts, TS_PENDING};
+use finecc_model::{FieldId, Oid, TxnId, Value};
+use finecc_store::{Database, StoreError};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+
+const SHARD_COUNT: usize = 64;
+
+/// How often (in commits) the heap runs an opportunistic GC pass.
+const GC_EVERY_COMMITS: u64 = 64;
+
+/// A write was refused because another transaction got to the field
+/// first (first-updater-wins at field granularity — two transactions
+/// writing *disjoint* fields of one object never conflict, matching the
+/// paper's fine-granularity theme).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MvccConflict {
+    /// The contended object.
+    pub oid: Oid,
+    /// The contended field.
+    pub field: FieldId,
+    /// `Some(t)` when a version of the field is pending in live
+    /// transaction `t`; `None` when a transaction already *committed* a
+    /// newer version of the field than the writer's snapshot.
+    pub pending_in: Option<TxnId>,
+}
+
+impl std::fmt::Display for MvccConflict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.pending_in {
+            Some(t) => write!(
+                f,
+                "write-write conflict on {}.{}: pending version of {t}",
+                self.oid, self.field
+            ),
+            None => write!(
+                f,
+                "write-write conflict on {}.{}: committed after this snapshot",
+                self.oid, self.field
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MvccConflict {}
+
+/// What [`MvccHeap::write`] did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WriteOutcome {
+    /// A fresh pending version record was installed on the chain.
+    NewVersion,
+    /// The transaction already owned the chain head; the before-image set
+    /// was extended in place.
+    MergedVersion,
+}
+
+/// One version record: the before-images of the fields its writer
+/// modified, i.e. everything needed to roll the object *back* past that
+/// writer.
+#[derive(Debug)]
+struct VersionRecord {
+    writer: TxnId,
+    /// Commit timestamp; [`TS_PENDING`] until the writer commits.
+    commit_ts: Ts,
+    /// `(field, value before this writer's first write of the field)`.
+    before: Vec<(FieldId, Value)>,
+}
+
+impl VersionRecord {
+    fn before_of(&self, field: FieldId) -> Option<&Value> {
+        self.before.iter().find(|(f, _)| *f == field).map(|(_, v)| v)
+    }
+}
+
+/// A per-OID chain, ordered by *installation*, newest record first.
+/// Invariants:
+///
+/// * each transaction owns at most one record per chain (merged on
+///   repeated writes);
+/// * two records that touch a common field are ordered consistently by
+///   install position *and* commit timestamp (field-level
+///   first-updater-wins forbids concurrently pending writers of one
+///   field), so newest-first before-image application per field is
+///   well-defined — records touching disjoint fields may commit out of
+///   install order, which is why readers walk the whole chain;
+/// * the base store holds every field's newest (possibly pending) value.
+#[derive(Debug, Default)]
+struct Chain {
+    records: Vec<VersionRecord>,
+}
+
+#[derive(Default)]
+struct TxnState {
+    snapshot_ts: Ts,
+    /// Objects this transaction installed pending versions on.
+    write_set: HashSet<Oid>,
+}
+
+/// The multi-version heap over a base [`Database`].
+pub struct MvccHeap {
+    base: Arc<Database>,
+    shards: Box<[Mutex<HashMap<Oid, Chain>>]>,
+    txns: Mutex<HashMap<TxnId, TxnState>>,
+    /// Snapshot registry: `ts → number of holders` (transactions and
+    /// standalone snapshots). The minimum key is the GC horizon.
+    epochs: Mutex<BTreeMap<Ts, usize>>,
+    /// Serializes commits: timestamp draw + chain flips + publication
+    /// happen atomically with respect to new snapshots.
+    commit_lock: Mutex<Ts>,
+    /// The latest *fully published* commit timestamp; the snapshot source.
+    last_committed: std::sync::atomic::AtomicU64,
+    commits_since_gc: std::sync::atomic::AtomicU64,
+    /// Live counters.
+    pub stats: MvccStats,
+}
+
+impl MvccHeap {
+    /// Creates a heap versioning `base`.
+    pub fn new(base: Arc<Database>) -> MvccHeap {
+        let shards = (0..SHARD_COUNT)
+            .map(|_| Mutex::new(HashMap::new()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        MvccHeap {
+            base,
+            shards,
+            txns: Mutex::new(HashMap::new()),
+            epochs: Mutex::new(BTreeMap::new()),
+            commit_lock: Mutex::new(0),
+            last_committed: std::sync::atomic::AtomicU64::new(0),
+            commits_since_gc: std::sync::atomic::AtomicU64::new(0),
+            stats: MvccStats::default(),
+        }
+    }
+
+    /// The base store (authoritative for the newest values).
+    pub fn base(&self) -> &Database {
+        &self.base
+    }
+
+    #[inline]
+    fn shard(&self, oid: Oid) -> &Mutex<HashMap<Oid, Chain>> {
+        &self.shards[(oid.raw() as usize) % SHARD_COUNT]
+    }
+
+    /// The latest fully published commit timestamp.
+    pub fn current_ts(&self) -> Ts {
+        self.last_committed.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// Atomically reads the current committed timestamp and registers it
+    /// as a live epoch. Reading under the epochs lock closes the race
+    /// against a concurrent [`MvccHeap::gc`] (which computes its horizon
+    /// under the same lock): a snapshot is either visible to the GC or
+    /// taken after it, never in between — in the latter case its
+    /// timestamp is at or above the horizon, so the versions it can
+    /// demand were not reclaimable.
+    fn register_snapshot_epoch(&self) -> Ts {
+        let mut epochs = self.epochs.lock();
+        let ts = self.current_ts();
+        *epochs.entry(ts).or_insert(0) += 1;
+        ts
+    }
+
+    fn unregister_epoch(&self, ts: Ts) {
+        let mut e = self.epochs.lock();
+        match e.get_mut(&ts) {
+            Some(n) if *n > 1 => *n -= 1,
+            Some(_) => {
+                e.remove(&ts);
+            }
+            None => debug_assert!(false, "unregistering unknown epoch {ts}"),
+        }
+    }
+
+    /// Registers a transaction, assigning it a snapshot of the latest
+    /// committed state. Returns the snapshot timestamp.
+    pub fn begin(&self, txn: TxnId) -> Ts {
+        let ts = self.register_snapshot_epoch();
+        let prev = self.txns.lock().insert(
+            txn,
+            TxnState {
+                snapshot_ts: ts,
+                write_set: HashSet::new(),
+            },
+        );
+        debug_assert!(prev.is_none(), "transaction {txn} already registered");
+        self.stats.bump_begins();
+        ts
+    }
+
+    /// The registered snapshot timestamp of `txn`.
+    pub fn snapshot_ts(&self, txn: TxnId) -> Option<Ts> {
+        self.txns.lock().get(&txn).map(|s| s.snapshot_ts)
+    }
+
+    /// The number of objects `txn` has written so far.
+    pub fn write_set_len(&self, txn: TxnId) -> usize {
+        self.txns.lock().get(&txn).map_or(0, |s| s.write_set.len())
+    }
+
+    /// Reconstructs `field` of `oid` as of snapshot `ts`, seeing the
+    /// pending writes of `as_txn` (pass `None` for a pure snapshot read).
+    ///
+    /// Takes **no logical locks**: reconstruction walks the version chain
+    /// under the chain shard's short physical mutex only.
+    pub fn read_as(
+        &self,
+        ts: Ts,
+        as_txn: Option<TxnId>,
+        oid: Oid,
+        field: FieldId,
+    ) -> Result<Value, StoreError> {
+        let shard = self.shard(oid).lock();
+        let mut value = self.base.read(oid, field)?;
+        if let Some(chain) = shard.get(&oid) {
+            // Walk the whole chain (records touching disjoint fields may
+            // commit out of install order, so there is no early stop):
+            // revert every version that is invisible to this snapshot.
+            // Records sharing a field are install- and timestamp-ordered,
+            // so newest-first application lands on the value as of `ts`.
+            for rec in &chain.records {
+                let visible = if rec.commit_ts == TS_PENDING {
+                    as_txn == Some(rec.writer)
+                } else {
+                    rec.commit_ts <= ts
+                };
+                if !visible {
+                    if let Some(before) = rec.before_of(field) {
+                        value = before.clone();
+                    }
+                }
+            }
+        }
+        drop(shard);
+        self.stats.bump_snapshot_reads();
+        Ok(value)
+    }
+
+    /// Snapshot read through a registered transaction (sees its own
+    /// pending writes).
+    pub fn read(&self, txn: TxnId, oid: Oid, field: FieldId) -> Result<Value, StoreError> {
+        let ts = self
+            .snapshot_ts(txn)
+            .unwrap_or_else(|| panic!("transaction {txn} is not registered with the mvcc heap"));
+        self.read_as(ts, Some(txn), oid, field)
+    }
+
+    /// Writes `field` of `oid` in transaction `txn`: first-updater-wins
+    /// conflict check, pending-version installation, then write-through
+    /// to the base store. Returns what happened to the chain.
+    pub fn write(
+        &self,
+        txn: TxnId,
+        oid: Oid,
+        field: FieldId,
+        value: Value,
+    ) -> Result<WriteOutcome, MvccWriteError> {
+        let snapshot_ts = self
+            .snapshot_ts(txn)
+            .unwrap_or_else(|| panic!("transaction {txn} is not registered with the mvcc heap"));
+        let mut shard = self.shard(oid).lock();
+        let chain = shard.entry(oid).or_default();
+
+        // First-updater-wins admission control, at field granularity:
+        // another live transaction with a pending version of this field,
+        // or a version of it committed after this snapshot, wins.
+        for rec in &chain.records {
+            if rec.writer == txn || rec.before_of(field).is_none() {
+                continue;
+            }
+            if rec.commit_ts == TS_PENDING {
+                self.stats.bump_write_conflicts();
+                return Err(MvccWriteError::Conflict(MvccConflict {
+                    oid,
+                    field,
+                    pending_in: Some(rec.writer),
+                }));
+            }
+            if rec.commit_ts > snapshot_ts {
+                self.stats.bump_write_conflicts();
+                return Err(MvccWriteError::Conflict(MvccConflict {
+                    oid,
+                    field,
+                    pending_in: None,
+                }));
+            }
+        }
+
+        // Type/domain checks and the before-image come from the base
+        // store; `write` returns the previous value.
+        let before = self.base.write(oid, field, value)?;
+        let own = chain
+            .records
+            .iter_mut()
+            .find(|r| r.commit_ts == TS_PENDING && r.writer == txn);
+        let outcome = if let Some(own) = own {
+            if own.before_of(field).is_none() {
+                own.before.push((field, before));
+            }
+            WriteOutcome::MergedVersion
+        } else {
+            chain.records.insert(
+                0,
+                VersionRecord {
+                    writer: txn,
+                    commit_ts: TS_PENDING,
+                    before: vec![(field, before)],
+                },
+            );
+            self.stats.bump_versions_created();
+            self.txns
+                .lock()
+                .get_mut(&txn)
+                .expect("registered above")
+                .write_set
+                .insert(oid);
+            WriteOutcome::NewVersion
+        };
+        self.stats.sample_chain_len(chain.records.len() as u64);
+        Ok(outcome)
+    }
+
+    /// Commits `txn`: draws the next commit timestamp, flips every
+    /// pending record of the transaction to it, then publishes the
+    /// timestamp for new snapshots. Infallible by construction — all
+    /// conflicts were detected at write time. Returns the commit
+    /// timestamp; a **read-only** transaction serializes at (and
+    /// returns) its snapshot timestamp without ever touching the global
+    /// commit lock, keeping the reader path coordination-free end to
+    /// end.
+    pub fn commit(&self, txn: TxnId) -> Ts {
+        let state = self
+            .txns
+            .lock()
+            .remove(&txn)
+            .unwrap_or_else(|| panic!("transaction {txn} is not registered with the mvcc heap"));
+
+        if state.write_set.is_empty() {
+            self.unregister_epoch(state.snapshot_ts);
+            self.stats.bump_commits();
+            return state.snapshot_ts;
+        }
+
+        let mut last = self.commit_lock.lock();
+        let commit_ts = *last + 1;
+        for &oid in &state.write_set {
+            let mut shard = self.shard(oid).lock();
+            let chain = shard.get_mut(&oid).expect("written chain exists");
+            let own = chain
+                .records
+                .iter_mut()
+                .find(|r| r.commit_ts == TS_PENDING && r.writer == txn)
+                .expect("pending record owned by committer");
+            own.commit_ts = commit_ts;
+        }
+        *last = commit_ts;
+        // Publish only after every chain is flipped: a snapshot taken at
+        // `commit_ts` must observe all of the transaction's writes.
+        self.last_committed
+            .store(commit_ts, std::sync::atomic::Ordering::Release);
+        drop(last);
+
+        self.unregister_epoch(state.snapshot_ts);
+        self.stats.bump_commits();
+        let n = self
+            .commits_since_gc
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            + 1;
+        if n.is_multiple_of(GC_EVERY_COMMITS) {
+            self.gc();
+        }
+        commit_ts
+    }
+
+    /// Aborts `txn`: restores every before-image of its pending records
+    /// into the base store and removes the records. Returns the number of
+    /// objects rolled back.
+    pub fn abort(&self, txn: TxnId) -> usize {
+        let state = self
+            .txns
+            .lock()
+            .remove(&txn)
+            .unwrap_or_else(|| panic!("transaction {txn} is not registered with the mvcc heap"));
+        let mut rolled_back = 0;
+        for &oid in &state.write_set {
+            let mut shard = self.shard(oid).lock();
+            let chain = shard.get_mut(&oid).expect("written chain exists");
+            let idx = chain
+                .records
+                .iter()
+                .position(|r| r.commit_ts == TS_PENDING && r.writer == txn)
+                .expect("pending record owned by aborter");
+            let own = chain.records.remove(idx);
+            for (field, before) in own.before {
+                // No other live transaction wrote these fields (they
+                // would have conflicted), so restoring is safe. The
+                // instance may have been deleted concurrently; the undo
+                // then has nothing to restore (same contract as
+                // `UndoLog::rollback`).
+                let _ = self.base.write_unchecked(oid, field, before);
+            }
+            if chain.records.is_empty() {
+                shard.remove(&oid);
+            }
+            rolled_back += 1;
+        }
+        // Abort-discarded records count as reclaimed, so created and
+        // reclaimed balance once GC has drained the committed history.
+        self.stats.add_versions_reclaimed(rolled_back as u64);
+        self.unregister_epoch(state.snapshot_ts);
+        self.stats.bump_aborts();
+        rolled_back
+    }
+
+    /// Opens a standalone read snapshot of the latest committed state.
+    pub fn snapshot(self: &Arc<Self>) -> crate::Snapshot {
+        let ts = self.register_snapshot_epoch();
+        crate::Snapshot::new(Arc::clone(self), ts)
+    }
+
+    pub(crate) fn release_snapshot(&self, ts: Ts) {
+        self.unregister_epoch(ts);
+    }
+
+    /// The oldest snapshot any reader may still demand. Versions
+    /// committed at or before this horizon can never be reconstructed
+    /// *past* again.
+    pub fn gc_horizon(&self) -> Ts {
+        self.epochs
+            .lock()
+            .keys()
+            .next()
+            .copied()
+            .unwrap_or_else(|| self.current_ts())
+    }
+
+    /// Epoch-based garbage collection: drops every version record whose
+    /// commit timestamp is at or below the horizon — no active or future
+    /// snapshot can ever need to reconstruct *past* such a record.
+    /// Returns the number of records reclaimed.
+    pub fn gc(&self) -> usize {
+        let horizon = self.gc_horizon();
+        let mut reclaimed = 0;
+        for shard in self.shards.iter() {
+            let mut shard = shard.lock();
+            shard.retain(|_, chain| {
+                let before = chain.records.len();
+                chain
+                    .records
+                    .retain(|r| r.commit_ts == TS_PENDING || r.commit_ts > horizon);
+                reclaimed += before - chain.records.len();
+                !chain.records.is_empty()
+            });
+        }
+        self.stats.add_versions_reclaimed(reclaimed as u64);
+        reclaimed
+    }
+
+    /// Number of live version records across all chains (diagnostics).
+    pub fn live_versions(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().values().map(|c| c.records.len()).sum::<usize>()).sum()
+    }
+
+    /// Number of objects with a live chain (diagnostics).
+    pub fn live_chains(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+}
+
+/// Why an MVCC write failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MvccWriteError {
+    /// First-updater-wins conflict; the transaction must abort (and may
+    /// retry with a fresh snapshot).
+    Conflict(MvccConflict),
+    /// The base store rejected the write (unknown OID, type mismatch, …).
+    Store(StoreError),
+}
+
+impl From<StoreError> for MvccWriteError {
+    fn from(e: StoreError) -> MvccWriteError {
+        MvccWriteError::Store(e)
+    }
+}
+
+impl std::fmt::Display for MvccWriteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MvccWriteError::Conflict(c) => c.fmt(f),
+            MvccWriteError::Store(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for MvccWriteError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use finecc_model::{ClassId, FieldType, Schema, SchemaBuilder};
+
+    fn setup() -> (Arc<Schema>, Arc<MvccHeap>, ClassId, FieldId, FieldId) {
+        let mut b = SchemaBuilder::new();
+        b.class("a")
+            .field("x", FieldType::Int)
+            .field("y", FieldType::Int);
+        let schema = Arc::new(b.finish().unwrap());
+        let db = Arc::new(Database::new(Arc::clone(&schema)));
+        let a = schema.class_by_name("a").unwrap();
+        let x = schema.resolve_field(a, "x").unwrap();
+        let y = schema.resolve_field(a, "y").unwrap();
+        (schema, Arc::new(MvccHeap::new(db)), a, x, y)
+    }
+
+    #[test]
+    fn read_your_writes_and_isolation() {
+        let (_, heap, a, x, _) = setup();
+        let o = heap.base().create(a);
+        heap.begin(TxnId(1));
+        heap.begin(TxnId(2));
+        heap.write(TxnId(1), o, x, Value::Int(7)).unwrap();
+        // Writer sees its own write; a concurrent snapshot does not.
+        assert_eq!(heap.read(TxnId(1), o, x), Ok(Value::Int(7)));
+        assert_eq!(heap.read(TxnId(2), o, x), Ok(Value::Int(0)));
+        heap.commit(TxnId(1));
+        // T2's snapshot predates the commit: still the old value.
+        assert_eq!(heap.read(TxnId(2), o, x), Ok(Value::Int(0)));
+        heap.commit(TxnId(2));
+        // A fresh snapshot sees the committed value.
+        heap.begin(TxnId(3));
+        assert_eq!(heap.read(TxnId(3), o, x), Ok(Value::Int(7)));
+        heap.abort(TxnId(3));
+    }
+
+    #[test]
+    fn first_updater_wins_per_field() {
+        let (_, heap, a, x, _) = setup();
+        let o = heap.base().create(a);
+        heap.begin(TxnId(1));
+        heap.begin(TxnId(2));
+        heap.write(TxnId(1), o, x, Value::Int(1)).unwrap();
+        // Same field: pending conflict.
+        let err = heap.write(TxnId(2), o, x, Value::Int(2)).unwrap_err();
+        assert_eq!(
+            err,
+            MvccWriteError::Conflict(MvccConflict {
+                oid: o,
+                field: x,
+                pending_in: Some(TxnId(1)),
+            })
+        );
+        heap.commit(TxnId(1));
+        // T2's snapshot is now stale: committed-after-snapshot conflict.
+        let err = heap.write(TxnId(2), o, x, Value::Int(2)).unwrap_err();
+        assert_eq!(
+            err,
+            MvccWriteError::Conflict(MvccConflict {
+                oid: o,
+                field: x,
+                pending_in: None,
+            })
+        );
+        heap.abort(TxnId(2));
+        assert_eq!(heap.stats.snapshot().write_conflicts, 2);
+    }
+
+    #[test]
+    fn disjoint_fields_of_one_object_never_conflict() {
+        // The multi-version analogue of the paper's P4 fix: writers of
+        // disjoint fields of the SAME object both commit, out of install
+        // order, and snapshots reconstruct each field independently.
+        let (_, heap, a, x, y) = setup();
+        let o = heap.base().create(a);
+        heap.begin(TxnId(1));
+        heap.begin(TxnId(2));
+        heap.write(TxnId(1), o, x, Value::Int(10)).unwrap();
+        heap.write(TxnId(2), o, y, Value::Int(20)).unwrap();
+        let snap = heap.snapshot();
+        // Install order is T1 then T2, commit order T2 then T1.
+        let ts2 = heap.commit(TxnId(2));
+        let mid = heap.snapshot();
+        let ts1 = heap.commit(TxnId(1));
+        assert!(ts2 < ts1);
+        assert_eq!(heap.stats.snapshot().write_conflicts, 0);
+        // Pre-commit snapshot: neither write; mid snapshot: only T2's.
+        assert_eq!(snap.read(o, x), Ok(Value::Int(0)));
+        assert_eq!(snap.read(o, y), Ok(Value::Int(0)));
+        assert_eq!(mid.read(o, x), Ok(Value::Int(0)));
+        assert_eq!(mid.read(o, y), Ok(Value::Int(20)));
+        assert_eq!(heap.base().read(o, x), Ok(Value::Int(10)));
+        assert_eq!(heap.base().read(o, y), Ok(Value::Int(20)));
+    }
+
+    #[test]
+    fn abort_restores_before_images() {
+        let (_, heap, a, x, y) = setup();
+        let o = heap.base().create(a);
+        heap.begin(TxnId(1));
+        heap.write(TxnId(1), o, x, Value::Int(5)).unwrap();
+        heap.write(TxnId(1), o, x, Value::Int(6)).unwrap();
+        heap.write(TxnId(1), o, y, Value::Int(7)).unwrap();
+        assert_eq!(heap.abort(TxnId(1)), 1, "one object rolled back");
+        assert_eq!(heap.base().read(o, x), Ok(Value::Int(0)));
+        assert_eq!(heap.base().read(o, y), Ok(Value::Int(0)));
+        assert_eq!(heap.live_chains(), 0, "aborted chain is removed");
+    }
+
+    #[test]
+    fn snapshots_are_stable_and_pin_versions() {
+        let (_, heap, a, x, _) = setup();
+        let o = heap.base().create(a);
+        // Commit three successive values, snapshotting between commits.
+        let mut snaps = Vec::new();
+        for (i, v) in [10, 20, 30].into_iter().enumerate() {
+            snaps.push(heap.snapshot());
+            let t = TxnId(i as u64 + 1);
+            heap.begin(t);
+            heap.write(t, o, x, Value::Int(v)).unwrap();
+            heap.commit(t);
+        }
+        assert_eq!(snaps[0].read(o, x), Ok(Value::Int(0)));
+        assert_eq!(snaps[1].read(o, x), Ok(Value::Int(10)));
+        assert_eq!(snaps[2].read(o, x), Ok(Value::Int(20)));
+        // Nothing at or below the oldest active snapshot can be pruned
+        // past it: all three versions stay reachable.
+        heap.gc();
+        assert_eq!(snaps[0].read(o, x), Ok(Value::Int(0)));
+        drop(snaps);
+        // With every snapshot released the whole history is reclaimable.
+        let reclaimed = heap.gc();
+        assert!(reclaimed >= 3, "got {reclaimed}");
+        assert_eq!(heap.live_versions(), 0);
+        assert_eq!(heap.base().read(o, x), Ok(Value::Int(30)));
+    }
+
+    #[test]
+    fn commit_is_atomic_across_objects() {
+        let (_, heap, a, x, _) = setup();
+        let o1 = heap.base().create(a);
+        let o2 = heap.base().create(a);
+        heap.begin(TxnId(1));
+        heap.write(TxnId(1), o1, x, Value::Int(1)).unwrap();
+        heap.write(TxnId(1), o2, x, Value::Int(2)).unwrap();
+        let snap_before = heap.snapshot();
+        let ts = heap.commit(TxnId(1));
+        let snap_after = heap.snapshot();
+        assert!(snap_after.ts() >= ts);
+        // The pre-commit snapshot sees neither write; the post-commit
+        // snapshot sees both.
+        assert_eq!(snap_before.read(o1, x), Ok(Value::Int(0)));
+        assert_eq!(snap_before.read(o2, x), Ok(Value::Int(0)));
+        assert_eq!(snap_after.read(o1, x), Ok(Value::Int(1)));
+        assert_eq!(snap_after.read(o2, x), Ok(Value::Int(2)));
+    }
+
+    #[test]
+    fn commit_timestamps_are_monotone_and_unique() {
+        let (_, heap, a, x, _) = setup();
+        let o = heap.base().create(a);
+        let mut last = 0;
+        for i in 0..10u64 {
+            let t = TxnId(i + 1);
+            heap.begin(t);
+            heap.write(t, o, x, Value::Int(i as i64)).unwrap();
+            let ts = heap.commit(t);
+            assert!(ts > last);
+            last = ts;
+        }
+        assert_eq!(heap.current_ts(), last);
+    }
+
+    #[test]
+    fn store_errors_pass_through_without_installing_versions() {
+        let (_, heap, a, x, _) = setup();
+        let o = heap.base().create(a);
+        heap.begin(TxnId(1));
+        let err = heap.write(TxnId(1), o, x, Value::Bool(true)).unwrap_err();
+        assert!(matches!(
+            err,
+            MvccWriteError::Store(StoreError::TypeMismatch { .. })
+        ));
+        assert_eq!(heap.live_versions(), 0);
+        assert_eq!(heap.write_set_len(TxnId(1)), 0);
+        heap.abort(TxnId(1));
+    }
+
+    #[test]
+    fn concurrent_writers_disjoint_objects_all_commit() {
+        let (_, heap, a, x, _) = setup();
+        let oids: Vec<Oid> = (0..8).map(|_| heap.base().create(a)).collect();
+        std::thread::scope(|s| {
+            for (i, &oid) in oids.iter().enumerate() {
+                let heap = &heap;
+                s.spawn(move || {
+                    for round in 0..50u64 {
+                        let t = TxnId((i as u64) << 32 | round | 1 << 63);
+                        heap.begin(t);
+                        heap.write(t, oid, x, Value::Int(round as i64)).unwrap();
+                        heap.commit(t);
+                    }
+                });
+            }
+        });
+        for &oid in &oids {
+            assert_eq!(heap.base().read(oid, x), Ok(Value::Int(49)));
+        }
+        assert_eq!(heap.stats.snapshot().commits, 400);
+        assert_eq!(heap.stats.snapshot().write_conflicts, 0);
+    }
+}

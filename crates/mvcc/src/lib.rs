@@ -1,0 +1,50 @@
+//! # finecc-mvcc — the multi-version object heap
+//!
+//! A multi-version concurrency layer over [`finecc_store::Database`],
+//! giving the scheme matrix its optimistic/multi-version point of
+//! comparison (after Larson et al., *High-Performance Concurrency Control
+//! Mechanisms for Main-Memory Databases*, VLDB 2012):
+//!
+//! * **Version chains** ([`heap::MvccHeap`]) — per-OID chains of version
+//!   records ordered newest-first by commit timestamp. The *current*
+//!   value of every field stays materialized in the base
+//!   [`finecc_store::Database`] (so non-MVCC consumers keep working);
+//!   chain records hold the before-images needed to reconstruct any
+//!   registered snapshot — the rollback-segment organization.
+//! * **Timestamps** — a monotonically increasing commit-timestamp
+//!   allocator; transaction snapshots read the latest fully published
+//!   commit timestamp, so a snapshot never observes a half-flipped
+//!   transaction.
+//! * **Snapshots** ([`snapshot::Snapshot`]) — first-class read-only
+//!   views: no logical locks, stable for their whole lifetime, and
+//!   registered with the GC so the versions they need stay alive.
+//! * **Write conflicts** — first-updater-wins at **field granularity**
+//!   (the paper's granularity): a write fails immediately with
+//!   [`MvccConflict`] iff another live transaction holds a pending
+//!   version of the *same field*, or a version of it committed after the
+//!   writer's snapshot. Writers of disjoint fields of one object never
+//!   conflict — the multi-version analogue of the paper's P4 fix. A
+//!   transaction that never conflicts is guaranteed to commit —
+//!   validation cannot fail later, so commit is infallible.
+//! * **Garbage collection** — epoch-based: active snapshots pin a
+//!   horizon; versions committed at or before the horizon can never be
+//!   demanded again and are reclaimed ([`MvccHeap::gc`], also run
+//!   opportunistically every few commits).
+//!
+//! The executable scheme built on this heap lives in
+//! `finecc_runtime::schemes::mvcc`.
+
+pub mod heap;
+pub mod snapshot;
+pub mod stats;
+
+pub use heap::{MvccConflict, MvccHeap, MvccWriteError, WriteOutcome};
+pub use snapshot::Snapshot;
+pub use stats::{MvccStats, MvccStatsSnapshot};
+
+/// Commit timestamps. `0` is the genesis timestamp (before any commit);
+/// pending versions carry [`TS_PENDING`].
+pub type Ts = u64;
+
+/// The sentinel timestamp of a not-yet-committed version record.
+pub const TS_PENDING: Ts = u64::MAX;

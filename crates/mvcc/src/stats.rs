@@ -1,0 +1,176 @@
+//! MVCC statistics: the optimistic-scheme counterpart of
+//! `finecc_lock::LockStats` — experiments report the two side by side.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters of an [`crate::MvccHeap`].
+#[derive(Debug, Default)]
+pub struct MvccStats {
+    begins: AtomicU64,
+    commits: AtomicU64,
+    aborts: AtomicU64,
+    write_conflicts: AtomicU64,
+    snapshot_reads: AtomicU64,
+    versions_created: AtomicU64,
+    versions_reclaimed: AtomicU64,
+    chain_len_sum: AtomicU64,
+    chain_len_samples: AtomicU64,
+    chain_len_max: AtomicU64,
+}
+
+macro_rules! bumpers {
+    ($($bump:ident => $field:ident),* $(,)?) => {$(
+        pub(crate) fn $bump(&self) {
+            self.$field.fetch_add(1, Ordering::Relaxed);
+        }
+    )*};
+}
+
+impl MvccStats {
+    bumpers! {
+        bump_begins => begins,
+        bump_commits => commits,
+        bump_aborts => aborts,
+        bump_write_conflicts => write_conflicts,
+        bump_snapshot_reads => snapshot_reads,
+        bump_versions_created => versions_created,
+    }
+
+    pub(crate) fn add_versions_reclaimed(&self, n: u64) {
+        self.versions_reclaimed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn sample_chain_len(&self, len: u64) {
+        self.chain_len_sum.fetch_add(len, Ordering::Relaxed);
+        self.chain_len_samples.fetch_add(1, Ordering::Relaxed);
+        self.chain_len_max.fetch_max(len, Ordering::Relaxed);
+    }
+
+    /// Snapshots all counters.
+    pub fn snapshot(&self) -> MvccStatsSnapshot {
+        MvccStatsSnapshot {
+            begins: self.begins.load(Ordering::Relaxed),
+            commits: self.commits.load(Ordering::Relaxed),
+            aborts: self.aborts.load(Ordering::Relaxed),
+            write_conflicts: self.write_conflicts.load(Ordering::Relaxed),
+            snapshot_reads: self.snapshot_reads.load(Ordering::Relaxed),
+            versions_created: self.versions_created.load(Ordering::Relaxed),
+            versions_reclaimed: self.versions_reclaimed.load(Ordering::Relaxed),
+            chain_len_sum: self.chain_len_sum.load(Ordering::Relaxed),
+            chain_len_samples: self.chain_len_samples.load(Ordering::Relaxed),
+            chain_len_max: self.chain_len_max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        self.begins.store(0, Ordering::Relaxed);
+        self.commits.store(0, Ordering::Relaxed);
+        self.aborts.store(0, Ordering::Relaxed);
+        self.write_conflicts.store(0, Ordering::Relaxed);
+        self.snapshot_reads.store(0, Ordering::Relaxed);
+        self.versions_created.store(0, Ordering::Relaxed);
+        self.versions_reclaimed.store(0, Ordering::Relaxed);
+        self.chain_len_sum.store(0, Ordering::Relaxed);
+        self.chain_len_samples.store(0, Ordering::Relaxed);
+        self.chain_len_max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of [`MvccStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MvccStatsSnapshot {
+    /// Transactions begun.
+    pub begins: u64,
+    /// Transactions committed.
+    pub commits: u64,
+    /// Transactions aborted (all causes).
+    pub aborts: u64,
+    /// Writes refused by first-updater-wins validation.
+    pub write_conflicts: u64,
+    /// Snapshot field reads served.
+    pub snapshot_reads: u64,
+    /// Version records installed.
+    pub versions_created: u64,
+    /// Version records reclaimed — by epoch GC or discarded by abort
+    /// rollback. After a full GC with no live transactions this equals
+    /// [`MvccStatsSnapshot::versions_created`].
+    pub versions_reclaimed: u64,
+    /// Sum of chain lengths sampled at each write.
+    pub chain_len_sum: u64,
+    /// Number of chain-length samples.
+    pub chain_len_samples: u64,
+    /// Longest chain observed at a write.
+    pub chain_len_max: u64,
+}
+
+impl MvccStatsSnapshot {
+    /// Mean version-chain length observed at writes.
+    pub fn mean_chain_len(&self) -> f64 {
+        if self.chain_len_samples == 0 {
+            0.0
+        } else {
+            self.chain_len_sum as f64 / self.chain_len_samples as f64
+        }
+    }
+
+    /// The difference `self - earlier`, counter-wise (saturating).
+    pub fn since(&self, earlier: &MvccStatsSnapshot) -> MvccStatsSnapshot {
+        MvccStatsSnapshot {
+            begins: self.begins.saturating_sub(earlier.begins),
+            commits: self.commits.saturating_sub(earlier.commits),
+            aborts: self.aborts.saturating_sub(earlier.aborts),
+            write_conflicts: self.write_conflicts.saturating_sub(earlier.write_conflicts),
+            snapshot_reads: self.snapshot_reads.saturating_sub(earlier.snapshot_reads),
+            versions_created: self.versions_created.saturating_sub(earlier.versions_created),
+            versions_reclaimed: self
+                .versions_reclaimed
+                .saturating_sub(earlier.versions_reclaimed),
+            chain_len_sum: self.chain_len_sum.saturating_sub(earlier.chain_len_sum),
+            chain_len_samples: self
+                .chain_len_samples
+                .saturating_sub(earlier.chain_len_samples),
+            // A maximum does not difference; keep the later value.
+            chain_len_max: self.chain_len_max,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reset_and_mean() {
+        let s = MvccStats::default();
+        s.bump_commits();
+        s.sample_chain_len(2);
+        s.sample_chain_len(4);
+        let snap = s.snapshot();
+        assert_eq!(snap.commits, 1);
+        assert_eq!(snap.mean_chain_len(), 3.0);
+        assert_eq!(snap.chain_len_max, 4);
+        s.reset();
+        assert_eq!(s.snapshot(), MvccStatsSnapshot::default());
+        assert_eq!(s.snapshot().mean_chain_len(), 0.0);
+    }
+
+    #[test]
+    fn since_diffs() {
+        let a = MvccStatsSnapshot {
+            commits: 5,
+            write_conflicts: 1,
+            ..Default::default()
+        };
+        let b = MvccStatsSnapshot {
+            commits: 9,
+            write_conflicts: 4,
+            chain_len_max: 7,
+            ..Default::default()
+        };
+        let d = b.since(&a);
+        assert_eq!(d.commits, 4);
+        assert_eq!(d.write_conflicts, 3);
+        assert_eq!(d.chain_len_max, 7);
+    }
+}

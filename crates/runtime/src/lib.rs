@@ -1,9 +1,9 @@
 //! # finecc-runtime — executable concurrency-control schemes
 //!
 //! Glues the method interpreter (`finecc-lang`), the object store
-//! (`finecc-store`) and the lock manager (`finecc-lock`) into four
-//! complete, interchangeable concurrency-control schemes behind one trait
-//! ([`CcScheme`]):
+//! (`finecc-store`), the lock manager (`finecc-lock`) and the version
+//! heap (`finecc-mvcc`) into five complete, interchangeable
+//! concurrency-control schemes behind one trait ([`CcScheme`]):
 //!
 //! * [`TavScheme`] — **the paper**: one lock per *top* message, mode =
 //!   the method's access-mode index in the receiver class's generated
@@ -21,10 +21,16 @@
 //!   class's local fields form a relation, instances span tuples across
 //!   the join; tuple RW locks with IS/IX-style relation intents and
 //!   primary/foreign-key write propagation.
+//! * [`MvccScheme`] — the optimistic/multi-version point of comparison
+//!   (not in the paper): snapshot reads take no locks at all, writes are
+//!   validated first-updater-wins against per-OID version chains, and
+//!   superseded versions are garbage-collected by epoch.
 //!
-//! All schemes implement strict two-phase locking with deadlock-victim
-//! abort and undo-log rollback, and expose lock-manager statistics so the
-//! experiments can compare them mechanically.
+//! The four lock schemes implement strict two-phase locking with
+//! deadlock-victim abort and undo-log rollback; the MVCC scheme aborts
+//! and retries write-write conflicts instead. All expose lock-manager
+//! (and, where applicable, version-heap) statistics so the experiments
+//! can compare them mechanically.
 
 pub mod env;
 pub mod scheme;
@@ -34,6 +40,7 @@ pub mod txn;
 pub use env::Env;
 pub use scheme::{CcScheme, SchemeKind};
 pub use schemes::fieldlock::FieldLockScheme;
+pub use schemes::mvcc::MvccScheme;
 pub use schemes::relational::RelationalScheme;
 pub use schemes::rw::RwScheme;
 pub use schemes::tav::TavScheme;

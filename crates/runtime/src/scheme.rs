@@ -5,6 +5,7 @@ use crate::txn::Txn;
 use finecc_lang::ExecError;
 use finecc_lock::StatsSnapshot;
 use finecc_model::{ClassId, Oid, Value};
+use finecc_mvcc::MvccStatsSnapshot;
 
 /// A complete concurrency-control scheme: transaction lifecycle plus the
 /// four §5.2 access patterns.
@@ -17,10 +18,15 @@ use finecc_model::{ClassId, Oid, Value};
 /// * [`CcScheme::send_some`] — pattern (iii): a message to **selected**
 ///   instances of a domain (intentional class locks + per-instance locks).
 ///
-/// All schemes are strict 2PL: locks accumulate during the transaction
-/// and are released only by [`CcScheme::commit`] / [`CcScheme::abort`].
+/// The four lock schemes are strict 2PL: locks accumulate during the
+/// transaction and are released only by [`CcScheme::commit`] /
+/// [`CcScheme::abort`]. The mvcc scheme takes no locks at all — its
+/// admission control is optimistic (versioned reads, first-updater-wins
+/// writes), so its lock statistics are identically zero and conflicts
+/// surface as retryable aborts instead of blocking.
 pub trait CcScheme: Send + Sync {
-    /// Scheme name for reports ("tav", "rw", "fieldlock", "relational").
+    /// Scheme name for reports ("tav", "rw", "fieldlock", "relational",
+    /// "mvcc").
     fn name(&self) -> &'static str;
 
     /// The shared environment.
@@ -62,9 +68,12 @@ pub trait CcScheme: Send + Sync {
         args: &[Value],
     ) -> Result<Vec<Value>, ExecError>;
 
-    /// Commits: discards the undo log, draws a commit sequence number
-    /// (while locks are still held — strict 2PL makes it a serialization
-    /// order for conflicting transactions), then releases all locks.
+    /// Commits the transaction and returns a commit sequence number that
+    /// serializes conflicting transactions. Lock schemes draw it while
+    /// locks are still held (strict 2PL), then release all locks; the
+    /// mvcc scheme returns the commit timestamp that flipped its
+    /// versions (read-only mvcc transactions serialize at — and return —
+    /// their snapshot timestamp, which is unique only among writers).
     fn commit(&self, txn: Txn) -> u64;
 
     /// Aborts: rolls the undo log back, then releases all locks.
@@ -75,9 +84,15 @@ pub trait CcScheme: Send + Sync {
 
     /// Resets the statistics counters.
     fn reset_stats(&self);
+
+    /// Multi-version statistics, for schemes backed by a version heap
+    /// (`None` for the pure locking schemes).
+    fn mvcc_stats(&self) -> Option<MvccStatsSnapshot> {
+        None
+    }
 }
 
-/// The four schemes, for configuration surfaces (CLI flags, workload
+/// The five schemes, for configuration surfaces (CLI flags, workload
 /// matrices).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum SchemeKind {
@@ -89,15 +104,18 @@ pub enum SchemeKind {
     FieldLock,
     /// Relational decomposition with tuple locking.
     Relational,
+    /// Multi-version snapshot reads with optimistic write validation.
+    Mvcc,
 }
 
 impl SchemeKind {
     /// All kinds, in comparison order.
-    pub const ALL: [SchemeKind; 4] = [
+    pub const ALL: [SchemeKind; 5] = [
         SchemeKind::Tav,
         SchemeKind::Rw,
         SchemeKind::FieldLock,
         SchemeKind::Relational,
+        SchemeKind::Mvcc,
     ];
 
     /// Constructs the scheme over an environment.
@@ -111,6 +129,7 @@ impl SchemeKind {
             SchemeKind::Relational => {
                 Box::new(crate::schemes::relational::RelationalScheme::new(env))
             }
+            SchemeKind::Mvcc => Box::new(crate::schemes::mvcc::MvccScheme::new(env)),
         }
     }
 
@@ -121,6 +140,7 @@ impl SchemeKind {
             SchemeKind::Rw => "rw",
             SchemeKind::FieldLock => "fieldlock",
             SchemeKind::Relational => "relational",
+            SchemeKind::Mvcc => "mvcc",
         }
     }
 }
@@ -137,8 +157,9 @@ mod tests {
 
     #[test]
     fn kinds_enumerate_and_name() {
-        assert_eq!(SchemeKind::ALL.len(), 4);
+        assert_eq!(SchemeKind::ALL.len(), 5);
         assert_eq!(SchemeKind::Tav.to_string(), "tav");
         assert_eq!(SchemeKind::Relational.name(), "relational");
+        assert_eq!(SchemeKind::Mvcc.name(), "mvcc");
     }
 }

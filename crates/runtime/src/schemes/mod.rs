@@ -1,6 +1,7 @@
-//! The four concurrency-control schemes.
+//! The five concurrency-control schemes.
 
 pub mod fieldlock;
+pub mod mvcc;
 pub mod relational;
 pub mod rw;
 pub mod tav;

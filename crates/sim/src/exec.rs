@@ -38,6 +38,9 @@ pub struct ExecReport {
     pub elapsed: Duration,
     /// Lock-manager statistics accumulated during the run.
     pub lock: finecc_lock::StatsSnapshot,
+    /// Version-heap statistics accumulated during the run (`None` for
+    /// the pure locking schemes).
+    pub mvcc: Option<finecc_mvcc::MvccStatsSnapshot>,
 }
 
 impl ExecReport {
@@ -56,6 +59,7 @@ impl ExecReport {
 /// measured relative to the scheme's counters at entry.
 pub fn run_concurrent(scheme: &dyn CcScheme, ops: &[TxnOp], cfg: ExecConfig) -> ExecReport {
     let before = scheme.stats();
+    let mvcc_before = scheme.mvcc_stats();
     let committed = AtomicU64::new(0);
     let exhausted = AtomicU64::new(0);
     let failed = AtomicU64::new(0);
@@ -95,6 +99,9 @@ pub fn run_concurrent(scheme: &dyn CcScheme, ops: &[TxnOp], cfg: ExecConfig) -> 
         retries: retries.into_inner(),
         elapsed: start.elapsed(),
         lock: scheme.stats().since(&before),
+        mvcc: scheme
+            .mvcc_stats()
+            .map(|after| after.since(&mvcc_before.unwrap_or_default())),
     }
 }
 
@@ -179,6 +186,34 @@ mod tests {
                 "{kind}: unexpectedly many exhausted txns ({r:?})"
             );
         }
+    }
+
+    #[test]
+    fn mvcc_reports_version_stats_and_lock_schemes_dont() {
+        let env = workload_env();
+        let wl = generate_workload(
+            &env,
+            &WorkloadConfig {
+                txns: 100,
+                seed: 4,
+                ..WorkloadConfig::default()
+            },
+        );
+        let scheme = SchemeKind::Mvcc.build(env);
+        let r = run_concurrent(scheme.as_ref(), &wl.ops, ExecConfig::default());
+        let m = r.mvcc.expect("mvcc scheme reports heap stats");
+        assert_eq!(m.commits, r.committed, "every commit is a heap commit");
+        assert!(m.versions_created > 0);
+        assert_eq!(
+            r.lock,
+            finecc_lock::StatsSnapshot::default(),
+            "snapshot reads and optimistic writes take no locks"
+        );
+
+        let env = workload_env();
+        let scheme = SchemeKind::Tav.build(env);
+        let r = run_sequential(scheme.as_ref(), &wl.ops, 5);
+        assert!(r.mvcc.is_none(), "lock schemes have no version heap");
     }
 
     #[test]

@@ -53,7 +53,13 @@ pub mod lock {
     pub use finecc_lock::*;
 }
 
-/// Executable concurrency-control schemes (TAV, RW, relational, field locks).
+/// The multi-version heap (version chains, snapshots, epoch GC).
+pub mod mvcc {
+    pub use finecc_mvcc::*;
+}
+
+/// Executable concurrency-control schemes (TAV, RW, relational, field
+/// locks, MVCC).
 pub mod runtime {
     pub use finecc_runtime::*;
 }

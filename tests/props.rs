@@ -3,9 +3,13 @@
 //! not just Figure 1.
 
 use finecc::core::{AccessMode, AccessVector};
-use finecc::model::FieldId;
+use finecc::model::{FieldId, FieldType, Oid, SchemaBuilder, TxnId, Value};
+use finecc::mvcc::{MvccHeap, MvccWriteError};
 use finecc::sim::workload::{generate_env, SchemaGenConfig};
+use finecc::store::Database;
 use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
 
 fn cfg_strategy() -> impl Strategy<Value = SchemaGenConfig> {
     (
@@ -27,6 +31,41 @@ fn cfg_strategy() -> impl Strategy<Value = SchemaGenConfig> {
                 ..SchemaGenConfig::default()
             }
         })
+}
+
+/// One step of a randomly interleaved multi-transaction MVCC history
+/// over four transaction slots and six objects.
+#[derive(Clone, Debug)]
+enum MvccStep {
+    /// Write `val` to object `oid` in slot `slot`'s open transaction
+    /// (opening one if needed).
+    Write { slot: usize, oid: usize, val: i64 },
+    /// Commit slot's open transaction, if any.
+    Commit(usize),
+    /// Abort slot's open transaction, if any.
+    Abort(usize),
+}
+
+fn mvcc_step_strategy() -> impl Strategy<Value = MvccStep> {
+    prop_oneof![
+        (0usize..4, 0usize..6, -100i64..100)
+            .prop_map(|(slot, oid, val)| MvccStep::Write { slot, oid, val }),
+        (0usize..4).prop_map(MvccStep::Commit),
+        (0usize..4).prop_map(MvccStep::Abort),
+    ]
+}
+
+/// A one-class fixture for driving the version heap directly.
+fn mvcc_fixture(objects: usize) -> (Arc<MvccHeap>, Vec<Oid>, FieldId) {
+    let mut b = SchemaBuilder::new();
+    b.class("obj").field("v", FieldType::Int);
+    let schema = Arc::new(b.finish().unwrap());
+    let db = Arc::new(Database::new(Arc::clone(&schema)));
+    let heap = Arc::new(MvccHeap::new(db));
+    let class = schema.class_by_name("obj").unwrap();
+    let field = schema.resolve_field(class, "v").unwrap();
+    let oids: Vec<Oid> = (0..objects).map(|_| heap.base().create(class)).collect();
+    (heap, oids, field)
 }
 
 fn av_strategy() -> impl Strategy<Value = AccessVector> {
@@ -170,5 +209,144 @@ proptest! {
         }
         log.rollback(&env.db);
         prop_assert_eq!(env.db.snapshot(), before);
+    }
+
+    /// Snapshot-isolation safety: in ANY interleaved history the mvcc
+    /// heap admits, committed transactions that ran concurrently have
+    /// disjoint write sets (no write-write conflicts survive
+    /// first-updater-wins validation), the final store state equals the
+    /// commit-timestamp-order replay of the committed write sets, aborted
+    /// transactions leave no trace, and GC drains every superseded
+    /// version once no snapshot is live.
+    #[test]
+    fn mvcc_committed_histories_are_ww_conflict_free(
+        steps in proptest::collection::vec(mvcc_step_strategy(), 1..60)
+    ) {
+        struct Open {
+            id: TxnId,
+            begin_ts: u64,
+            writes: HashMap<Oid, i64>,
+        }
+        let (heap, oids, field) = mvcc_fixture(6);
+        let mut next_id = 1u64;
+        let mut open: Vec<Option<Open>> = (0..4).map(|_| None).collect();
+        // Committed transactions: (begin_ts, commit_ts, write set).
+        let mut committed: Vec<(u64, u64, HashMap<Oid, i64>)> = Vec::new();
+
+        for step in steps {
+            match step {
+                MvccStep::Write { slot, oid, val } => {
+                    if open[slot].is_none() {
+                        let id = TxnId(next_id);
+                        next_id += 1;
+                        let begin_ts = heap.begin(id);
+                        open[slot] = Some(Open { id, begin_ts, writes: HashMap::new() });
+                    }
+                    let txn = open[slot].as_mut().expect("opened above");
+                    match heap.write(txn.id, oids[oid], field, Value::Int(val)) {
+                        Ok(_) => {
+                            txn.writes.insert(oids[oid], val);
+                        }
+                        Err(MvccWriteError::Conflict(_)) => {
+                            // First-updater-wins refusal: the transaction
+                            // aborts, like a deadlock victim would.
+                            let txn = open[slot].take().expect("still open");
+                            heap.abort(txn.id);
+                        }
+                        Err(MvccWriteError::Store(e)) => {
+                            prop_assert!(false, "unexpected store error: {e}");
+                        }
+                    }
+                }
+                MvccStep::Commit(slot) => {
+                    if let Some(txn) = open[slot].take() {
+                        let commit_ts = heap.commit(txn.id);
+                        committed.push((txn.begin_ts, commit_ts, txn.writes));
+                    }
+                }
+                MvccStep::Abort(slot) => {
+                    if let Some(txn) = open[slot].take() {
+                        heap.abort(txn.id);
+                    }
+                }
+            }
+        }
+        // Close stragglers: commit is infallible for admitted writes.
+        for txn in open.into_iter().flatten() {
+            let commit_ts = heap.commit(txn.id);
+            committed.push((txn.begin_ts, commit_ts, txn.writes));
+        }
+
+        // (1) Concurrent committed transactions never share an object.
+        for i in 0..committed.len() {
+            for j in i + 1..committed.len() {
+                let (a_begin, a_commit, a_writes) = &committed[i];
+                let (b_begin, b_commit, b_writes) = &committed[j];
+                let concurrent = a_begin < b_commit && b_begin < a_commit;
+                if concurrent {
+                    prop_assert!(
+                        a_writes.keys().all(|o| !b_writes.contains_key(o)),
+                        "concurrent commits share a written object: \
+                         [{a_begin},{a_commit}) vs [{b_begin},{b_commit})"
+                    );
+                }
+            }
+        }
+
+        // (2) Final state == last-committer-wins replay in commit order.
+        committed.sort_by_key(|(_, commit_ts, _)| *commit_ts);
+        let mut expect: HashMap<Oid, i64> = HashMap::new();
+        for (_, _, writes) in &committed {
+            for (oid, val) in writes {
+                expect.insert(*oid, *val);
+            }
+        }
+        for &oid in &oids {
+            let got = heap.base().read(oid, field).expect("object exists");
+            let want = Value::Int(expect.get(&oid).copied().unwrap_or(0));
+            prop_assert_eq!(got, want, "replay mismatch at {}", oid);
+        }
+
+        // (3) No transaction is live: GC reclaims the whole history.
+        heap.gc();
+        prop_assert_eq!(heap.live_versions(), 0);
+    }
+
+    /// Snapshot stability: a snapshot taken mid-history returns the same
+    /// values no matter how many transactions commit after it.
+    #[test]
+    fn mvcc_snapshots_are_stable(
+        prefix in proptest::collection::vec((0usize..4, -50i64..50), 0..12),
+        suffix in proptest::collection::vec((0usize..4, -50i64..50), 0..12),
+    ) {
+        let (heap, oids, field) = mvcc_fixture(4);
+        let mut next_id = 1u64;
+        let mut run = |writes: &[(usize, i64)], heap: &Arc<MvccHeap>| {
+            for &(oid, val) in writes {
+                let id = TxnId(next_id);
+                next_id += 1;
+                heap.begin(id);
+                heap.write(id, oids[oid], field, Value::Int(val))
+                    .expect("serial writers never conflict");
+                heap.commit(id);
+            }
+        };
+        run(&prefix, &heap);
+        let snap = heap.snapshot();
+        let observed: Vec<Value> = oids
+            .iter()
+            .map(|&o| snap.read(o, field).expect("object exists"))
+            .collect();
+        run(&suffix, &heap);
+        // GC while the snapshot is live must not steal its versions.
+        heap.gc();
+        for (i, &oid) in oids.iter().enumerate() {
+            prop_assert_eq!(
+                snap.read(oid, field).expect("object exists"),
+                observed[i].clone(),
+                "snapshot view drifted for {}",
+                oid
+            );
+        }
     }
 }

@@ -8,6 +8,17 @@
 //! This is the strongest end-to-end correctness check in the suite: it
 //! would catch a wrong commutativity matrix (allowing non-commuting
 //! overlap), a broken lock manager, or a broken undo path.
+//!
+//! The mvcc scheme participates by a deliberate property of THIS schema:
+//! every method's read set is contained in its own write set (the only
+//! cross-object read, `peer`, is never written after setup), so every
+//! snapshot-isolation anomaly would coincide with a write-write conflict
+//! — which first-updater-wins refuses — and commit-timestamp order is a
+//! true serialization order here. Do not add a method that reads a
+//! mutable field it does not write (the write-skew shape): under mvcc
+//! such a schema is serializable only modulo write skew, and this test
+//! would start failing nondeterministically for mvcc alone. That
+//! anomaly is pinned separately in `tests/snapshot_isolation.rs`.
 
 use finecc::model::{Oid, Value};
 use finecc::runtime::{CcScheme, Env, SchemeKind, TxnOutcome};

@@ -1,0 +1,263 @@
+//! Vendored, API-compatible subset of `criterion`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! ships the slice of the criterion API its benches use: benchmark
+//! groups, `bench_function`/`bench_with_input`, `iter`/`iter_with_setup`,
+//! and throughput annotation. Measurement is honest but simple — no
+//! outlier analysis or HTML reports: each benchmark is warmed up, then
+//! sampled `sample_size` times, and the mean/min wall-clock per
+//! iteration is printed.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Work-per-iteration annotation used to derive rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The benchmark driver handed to `criterion_group!` functions.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let sample_size = self.default_sample_size;
+        run_benchmark(&name.into(), sample_size, None, f);
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Annotates the work performed per iteration.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.sample_size, self.throughput, f);
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.sample_size, self.throughput, |b| f(b, input));
+    }
+
+    /// Ends the group (printing is already done per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier of the form `function/parameter`.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// The per-benchmark timing handle.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    measuring: bool,
+}
+
+impl Bencher {
+    /// Times `routine`, running it enough times per sample to beat timer
+    /// granularity.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        if !self.measuring {
+            // Calibration pass: find an iteration count that takes ≥ ~1ms.
+            let mut iters = 1u64;
+            loop {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(routine());
+                }
+                let elapsed = t.elapsed();
+                if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                    self.iters_per_sample = iters;
+                    break;
+                }
+                iters *= 2;
+            }
+            self.measuring = true;
+            return;
+        }
+        let t = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            std::hint::black_box(routine());
+        }
+        self.samples.push(t.elapsed() / self.iters_per_sample as u32);
+    }
+
+    /// Times `routine` on a fresh `setup()` product, excluding setup time.
+    pub fn iter_with_setup<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+    ) {
+        if !self.measuring {
+            self.iters_per_sample = 1;
+            let input = setup();
+            std::hint::black_box(routine(input));
+            self.measuring = true;
+            return;
+        }
+        let input = setup();
+        let t = Instant::now();
+        std::hint::black_box(routine(input));
+        self.samples.push(t.elapsed());
+    }
+}
+
+fn run_benchmark(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: 1,
+        measuring: false,
+    };
+    // Calibration/warmup call, then timed samples.
+    f(&mut b);
+    for _ in 0..sample_size {
+        f(&mut b);
+    }
+    if b.samples.is_empty() {
+        println!("  {label}: no samples recorded");
+        return;
+    }
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    let min = *b.samples.iter().min().expect("non-empty");
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => {
+            format!(" ({:.0} elem/s)", n as f64 / mean.as_secs_f64())
+        }
+        Throughput::Bytes(n) => format!(" ({:.0} B/s)", n as f64 / mean.as_secs_f64()),
+    });
+    println!(
+        "  {label}: mean {mean:?}, min {min:?} over {} samples{}",
+        b.samples.len(),
+        rate.unwrap_or_default()
+    );
+}
+
+/// Re-export used by older bench code; prefer `std::hint::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3).throughput(Throughput::Elements(10));
+        let mut runs = 0u64;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn iter_with_setup_excludes_setup() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g2");
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::new("id", 42), &3u64, |b, &n| {
+            b.iter_with_setup(|| vec![0u8; n as usize], |v| v.len())
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,221 @@
+//! Vendored, API-compatible subset of `rand`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! ships the slice of the `rand` API it uses: [`rngs::StdRng`] (a
+//! deterministic xoshiro256** generator), [`SeedableRng::seed_from_u64`],
+//! and [`RngExt`] with `random_range`/`random_bool`. All experiment
+//! randomness in this repository is seeded, so determinism — not
+//! cryptographic quality — is the requirement.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A half-open or inclusive range that knows how to sample itself.
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from the range. Panics on empty ranges.
+    fn sample_from(self, rng: &mut dyn RngCore) -> T;
+}
+
+/// Convenience sampling methods, available on every [`RngCore`].
+pub trait RngExt: RngCore {
+    /// A uniform sample from `range`.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// A full-range random value of a primitive type.
+    fn random<T: FromRng>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_rng(self)
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+/// Types constructible from raw generator output (for [`RngExt::random`]).
+pub trait FromRng {
+    /// Draws a uniformly distributed value.
+    fn from_rng(rng: &mut dyn RngCore) -> Self;
+}
+
+impl FromRng for u64 {
+    fn from_rng(rng: &mut dyn RngCore) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl FromRng for u32 {
+    fn from_rng(rng: &mut dyn RngCore) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl FromRng for bool {
+    fn from_rng(rng: &mut dyn RngCore) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Maps 64 random bits onto `[0, 1)`.
+fn unit_f64(bits: u64) -> f64 {
+    // 53 significant bits, the float's full precision.
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+macro_rules! int_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = (rng.next_u64() as u128) % span;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from(self, rng: &mut dyn RngCore) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let draw = (rng.next_u64() as u128) % span;
+                (lo as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + unit_f64(rng.next_u64()) * (self.end - self.start)
+    }
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard deterministic generator: xoshiro256** seeded through
+    /// SplitMix64 (the reference seeding procedure).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// The items most callers want.
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::{RngCore, RngExt, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: usize = rng.random_range(3..10);
+            assert!((3..10).contains(&v));
+            let w: i64 = rng.random_range(-50i64..50);
+            assert!((-50..50).contains(&w));
+            let x: usize = rng.random_range(2..=2);
+            assert_eq!(x, 2);
+            let f: f64 = rng.random_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn bool_probabilities_are_sane() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 10_000;
+        let hits = (0..n).filter(|_| rng.random_bool(0.3)).count();
+        let frac = hits as f64 / n as f64;
+        assert!((0.25..0.35).contains(&frac), "got {frac}");
+        assert!((0..100).all(|_| !rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+    }
+}

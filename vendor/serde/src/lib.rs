@@ -1,0 +1,21 @@
+//! Vendored no-op stand-in for `serde`'s derive macros.
+//!
+//! The build environment has no access to crates.io. The workspace only
+//! *derives* `Serialize`/`Deserialize` on its model types (as forward
+//! compatibility for a future wire format) and never serializes anything,
+//! so the derives expand to nothing. Swapping in the real `serde` is a
+//! one-line Cargo change and requires no source edits.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
