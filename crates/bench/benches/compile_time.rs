@@ -46,7 +46,14 @@ fn bench_compile(c: &mut Criterion) {
         });
 
         group.bench_with_input(BenchmarkId::new("parse_only", classes), &classes, |b, _| {
-            b.iter(|| black_box(finecc_lang::build_schema(black_box(&src)).unwrap().0.class_count()))
+            b.iter(|| {
+                black_box(
+                    finecc_lang::build_schema(black_box(&src))
+                        .unwrap()
+                        .0
+                        .class_count(),
+                )
+            })
         });
     }
     group.finish();

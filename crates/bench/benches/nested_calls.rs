@@ -16,6 +16,7 @@ fn bench_nested(c: &mut Criterion) {
         SchemeKind::Rw,
         SchemeKind::FieldLock,
         SchemeKind::Mvcc,
+        SchemeKind::MvccSsi,
     ] {
         let env = env_of(&chain_schema(8));
         let chain = env.schema.class_by_name("chain").unwrap();
@@ -27,7 +28,7 @@ fn bench_nested(c: &mut Criterion) {
                 let v = scheme
                     .send(&mut txn, oid, "m0", black_box(&[Value::Int(1)]))
                     .unwrap();
-                scheme.commit(txn);
+                scheme.commit(txn).unwrap();
                 black_box(v)
             })
         });
@@ -42,15 +43,24 @@ fn bench_nested(c: &mut Criterion) {
     let oid = env.db.create(chain);
     struct Raw<'a>(&'a finecc_runtime::Env);
     impl finecc_lang::DataAccess for Raw<'_> {
-        fn class_of(&mut self, oid: finecc_model::Oid) -> Result<finecc_model::ClassId, finecc_lang::ExecError> {
-            self.0.db.class_of(oid).map_err(finecc_runtime::Env::store_err)
+        fn class_of(
+            &mut self,
+            oid: finecc_model::Oid,
+        ) -> Result<finecc_model::ClassId, finecc_lang::ExecError> {
+            self.0
+                .db
+                .class_of(oid)
+                .map_err(finecc_runtime::Env::store_err)
         }
         fn read_field(
             &mut self,
             oid: finecc_model::Oid,
             f: finecc_model::FieldId,
         ) -> Result<Value, finecc_lang::ExecError> {
-            self.0.db.read(oid, f).map_err(finecc_runtime::Env::store_err)
+            self.0
+                .db
+                .read(oid, f)
+                .map_err(finecc_runtime::Env::store_err)
         }
         fn write_field(
             &mut self,
@@ -70,7 +80,11 @@ fn bench_nested(c: &mut Criterion) {
     group.bench_function("no_cc", |b| {
         b.iter(|| {
             let mut raw = Raw(&env);
-            black_box(interp.send(&mut raw, oid, "m0", black_box(&[Value::Int(1)])).unwrap())
+            black_box(
+                interp
+                    .send(&mut raw, oid, "m0", black_box(&[Value::Int(1)]))
+                    .unwrap(),
+            )
         })
     });
     group.finish();

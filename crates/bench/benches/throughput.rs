@@ -3,11 +3,11 @@
 //! hot-spot skew). The shape claim: tav ≥ rw on contended workloads.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use finecc_runtime::SchemeKind;
 use finecc_sim::workload::{
     generate_env, generate_workload, populate_random, SchemaGenConfig, WorkloadConfig,
 };
 use finecc_sim::{run_concurrent, ExecConfig};
-use finecc_runtime::SchemeKind;
 use std::hint::black_box;
 
 fn bench_throughput(c: &mut Criterion) {

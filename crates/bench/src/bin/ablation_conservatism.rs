@@ -43,8 +43,9 @@ fn run(kind: SchemeKind, write_fraction_pct: i64, txns: usize) -> (u64, u64) {
             let scheme = Arc::clone(&scheme);
             s.spawn(move || {
                 for _ in 0..txns {
-                    let out =
-                        run_txn(scheme.as_ref(), 100, |txn| scheme.send(txn, oid, "reader", &[]));
+                    let out = run_txn(scheme.as_ref(), 100, |txn| {
+                        scheme.send(txn, oid, "reader", &[])
+                    });
                     assert!(out.is_committed());
                 }
             });
@@ -79,12 +80,11 @@ fn main() {
     let tav0_blocks: u64 = rows[0][3].parse().unwrap();
     let fl0_reqs: u64 = rows[1][2].parse().unwrap();
     let tav0_reqs: u64 = rows[0][2].parse().unwrap();
-    println!(
-        "  tav still conflicts ({tav0_blocks} blocks: impossible executions are locked),"
+    println!("  tav still conflicts ({tav0_blocks} blocks: impossible executions are locked),");
+    println!("  fieldlock avoids them but issues {fl0_reqs} lock calls vs tav's {tav0_reqs}.");
+    assert!(
+        fl0_reqs > tav0_reqs,
+        "fieldlock must cost more lock traffic"
     );
-    println!(
-        "  fieldlock avoids them but issues {fl0_reqs} lock calls vs tav's {tav0_reqs}."
-    );
-    assert!(fl0_reqs > tav0_reqs, "fieldlock must cost more lock traffic");
     println!("\nThis is the paper's §6 interpreter-vs-compiler trade-off, measured.");
 }

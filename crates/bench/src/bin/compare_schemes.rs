@@ -1,6 +1,6 @@
 //! Experiment E12 — the "evaluation table the paper never had": one
 //! generated mixed workload (single-instance / some-of-domain /
-//! whole-domain transactions with hot-spot skew) executed under all five
+//! whole-domain transactions with hot-spot skew) executed under all six
 //! schemes, side by side, at several contention levels.
 //!
 //! Shapes: the TAV scheme issues the fewest lock requests at equal
@@ -8,12 +8,18 @@
 //! the true (commutativity-aware) conflict rate. RW pays per-message
 //! traffic and escalation deadlocks; field locking pays per-field
 //! traffic; relational sits between, losing only inheritance-aware
-//! parallelism (key-cascade writes). The MVCC scheme issues **zero**
-//! lock requests — its cost shows up instead as optimistic aborts
-//! (first-updater-wins validation failures, a function of how often
-//! concurrent transactions overlap on written fields, not of skew
-//! alone) and version-chain maintenance, reported in the second table.
+//! parallelism (key-cascade writes). The two MVCC schemes issue **zero**
+//! lock requests — their cost shows up instead as optimistic aborts,
+//! split into two distinct classes in the second table: ww conflicts
+//! (first-updater-wins validation failures, identical machinery at both
+//! isolation levels) and, for `mvcc-ssi` only, commit-time SSI
+//! validation aborts (dangerous structures) — the price of buying
+//! serializability back.
+//!
+//! `FINECC_BENCH_TXNS` overrides the per-cell transaction count (the CI
+//! bench-smoke job sets it low so the matrix runs in seconds).
 
+use finecc_bench::txns_per_cell;
 use finecc_runtime::SchemeKind;
 use finecc_sim::workload::{
     generate_env, generate_workload, populate_random, SchemaGenConfig, WorkloadConfig,
@@ -21,7 +27,7 @@ use finecc_sim::workload::{
 use finecc_sim::{render_table, run_concurrent, ExecConfig, Metrics};
 
 fn main() {
-    let txns = 600usize;
+    let txns = txns_per_cell(600);
     println!("mixed workload, 4 threads, {txns} txns, 10-class schema, by hot-spot skew\n");
     let mut rows = Vec::new();
     let mut mvcc_rows = Vec::new();
@@ -59,14 +65,21 @@ fn main() {
                 },
             );
             assert_eq!(report.failed, 0, "{kind}: non-retryable failure");
+            if kind != SchemeKind::MvccSsi {
+                assert_eq!(report.ssi_aborts(), 0, "{kind}: ssi aborts without ssi");
+            }
             let m = Metrics::from_report(format!("{label} / {kind}"), &report);
             rows.push(m.row());
             if let Some(v) = report.mvcc {
                 mvcc_rows.push(vec![
                     label.to_string(),
+                    kind.name().to_string(),
+                    kind.isolation().expect("mvcc kind").to_string(),
                     v.commits.to_string(),
                     v.aborts.to_string(),
                     v.write_conflicts.to_string(),
+                    v.ssi_aborts.to_string(),
+                    v.ssi_edges.to_string(),
                     format!("{:.2}", v.mean_chain_len()),
                     v.chain_len_max.to_string(),
                     v.versions_created.to_string(),
@@ -77,16 +90,21 @@ fn main() {
     }
     println!("{}", render_table(&Metrics::headers(), &rows));
     println!(
-        "mvcc detail (no locks: its concurrency costs are optimistic aborts and versions)\n"
+        "mvcc detail (no locks: concurrency costs are optimistic aborts and versions;\n\
+         'ssi aborts' is the distinct commit-time validation abort class of mvcc-ssi)\n"
     );
     println!(
         "{}",
         render_table(
             &[
                 "contention",
+                "scheme",
+                "isolation",
                 "commits",
                 "aborts",
                 "ww conflicts",
+                "ssi aborts",
+                "rw edges",
                 "mean chain",
                 "max chain",
                 "versions",
@@ -97,6 +115,8 @@ fn main() {
     );
     println!("shapes: tav has the lowest lock traffic per committed txn and");
     println!("zero upgrades; rw/fieldlock escalate; mvcc trades lock traffic for");
-    println!("a handful of optimistic aborts (driven by written-field overlap,");
-    println!("not skew alone); all schemes commit all txns.");
+    println!("optimistic aborts (driven by written-field overlap, not skew");
+    println!("alone); mvcc-ssi adds a second abort class — commit-time dangerous");
+    println!("structures — as the price of serializability; all schemes commit");
+    println!("all txns.");
 }

@@ -22,8 +22,16 @@ fn main() {
         let facts = analyze(&schema, mi.owner, &mi.sig.params, bodies.body(mi.id))
             .expect("analysis succeeds");
         let class = &schema.class(mi.owner).name;
-        let rd: Vec<&str> = facts.reads.iter().map(|&f| schema.field(f).name.as_str()).collect();
-        let wr: Vec<&str> = facts.writes.iter().map(|&f| schema.field(f).name.as_str()).collect();
+        let rd: Vec<&str> = facts
+            .reads
+            .iter()
+            .map(|&f| schema.field(f).name.as_str())
+            .collect();
+        let wr: Vec<&str> = facts
+            .writes
+            .iter()
+            .map(|&f| schema.field(f).name.as_str())
+            .collect();
         let dsc: Vec<&str> = facts.self_calls.iter().map(String::as_str).collect();
         let psc: Vec<String> = facts
             .prefixed_calls

@@ -70,7 +70,14 @@ fn main() {
     println!(
         "{}",
         finecc_sim::render_table(
-            &["scheme", "committed", "deadlocks", "upgrades", "blocks", "deadlocks/txn"],
+            &[
+                "scheme",
+                "committed",
+                "deadlocks",
+                "upgrades",
+                "blocks",
+                "deadlocks/txn"
+            ],
             &rows
         )
     );
@@ -79,5 +86,8 @@ fn main() {
     let tav = deadlocks(&rows[2]);
     println!("shape check: deadlocks(rw) = {rw} >> deadlocks(tav) = {tav}");
     assert!(tav == 0, "announcing the strongest mode up front kills P3");
-    assert!(rw > 0, "per-message escalation must deadlock under contention");
+    assert!(
+        rw > 0,
+        "per-message escalation must deadlock under contention"
+    );
 }

@@ -40,12 +40,16 @@ fn main() {
     let c2 = env.schema.class_by_name("c2").unwrap();
     let oid = env.db.create(c2);
     let tav = SchemeKind::Tav.build(env.clone());
-    let out = run_txn(tav.as_ref(), 3, |txn| tav.send(txn, oid, "m1", &[Value::Int(1)]));
+    let out = run_txn(tav.as_ref(), 3, |txn| {
+        tav.send(txn, oid, "m1", &[Value::Int(1)])
+    });
     assert!(out.is_committed());
     let env2 = env_of(finecc_lang::parser::FIGURE1_SOURCE);
     let oid2 = env2.db.create(c2);
     let rw = SchemeKind::Rw.build(env2);
-    let out = run_txn(rw.as_ref(), 3, |txn| rw.send(txn, oid2, "m1", &[Value::Int(1)]));
+    let out = run_txn(rw.as_ref(), 3, |txn| {
+        rw.send(txn, oid2, "m1", &[Value::Int(1)])
+    });
     assert!(out.is_committed());
     println!(
         "\nFigure 1, m1 on a c2 instance: tav = {} requests, rw = {} requests",

@@ -48,7 +48,11 @@ fn run(kind: SchemeKind, writers: usize, threads: usize, per_thread: usize) -> (
         })
         .sum();
     assert_eq!(total, (threads * per_thread) as i64);
-    (st.blocks, st.deadlocks, threads as f64 * per_thread as f64 / elapsed)
+    (
+        st.blocks,
+        st.deadlocks,
+        threads as f64 * per_thread as f64 / elapsed,
+    )
 }
 
 fn main() {

@@ -5,8 +5,7 @@
 //! request script.
 
 use finecc_lock::{
-    CommutSource, LockManager, LockMode, ResourceId, RwSource, TryAcquire, READ,
-    WRITE,
+    CommutSource, LockManager, LockMode, ResourceId, RwSource, TryAcquire, READ, WRITE,
 };
 use finecc_model::{ClassId, Oid};
 use rand::rngs::StdRng;

@@ -7,6 +7,17 @@
 use finecc_runtime::Env;
 use std::fmt::Write as _;
 
+/// Transaction count for an experiment cell: `FINECC_BENCH_TXNS`
+/// overrides `default` (the CI bench-smoke job sets it low so the
+/// scheme matrix runs in seconds).
+pub fn txns_per_cell(default: usize) -> usize {
+    std::env::var("FINECC_BENCH_TXNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
 /// A self-call chain of configurable depth: `m0` calls `m1` calls …
 /// `m{d-1}`, which finally writes a field. Used by the locking-overhead
 /// experiment (E5): the paper's P2 is that per-message schemes pay one
@@ -132,7 +143,10 @@ mod tests {
         let hot = env.schema.class_by_name("hot").unwrap();
         let t = env.compiled.class(hot);
         let outer = t.index_of("outer").unwrap();
-        assert!(t.dav(outer).is_read_only(), "outer alone looks like a reader");
+        assert!(
+            t.dav(outer).is_read_only(),
+            "outer alone looks like a reader"
+        );
         assert!(!t.tav(outer).is_read_only(), "its TAV announces the write");
     }
 

@@ -267,7 +267,9 @@ class plain inherits counter {
     #[test]
     fn declare_is_idempotent_and_orderless() {
         let mut a = AdHocRelations::new();
-        a.declare("c", "x", "y").declare("c", "y", "x").declare("c", "x", "y");
+        a.declare("c", "x", "y")
+            .declare("c", "y", "x")
+            .declare("c", "x", "y");
         assert_eq!(a.grants["c"].len(), 1);
     }
 }

@@ -196,17 +196,12 @@ impl AccessVector {
     /// Pointwise order: `self ⊑ other` iff every field's mode in `self`
     /// is ≤ its mode in `other`. (`TAV ⊒ DAV` is the key invariant.)
     pub fn le(&self, other: &AccessVector) -> bool {
-        self.entries
-            .iter()
-            .all(|&(f, m)| m <= other.mode_of(f))
+        self.entries.iter().all(|&(f, m)| m <= other.mode_of(f))
     }
 
     /// Renders the vector in the paper's notation over the given field
     /// universe, e.g. `(Write f1, Read f2, Null f3)`.
-    pub fn display_over<'a>(
-        &self,
-        fields: impl IntoIterator<Item = (FieldId, &'a str)>,
-    ) -> String {
+    pub fn display_over<'a>(&self, fields: impl IntoIterator<Item = (FieldId, &'a str)>) -> String {
         let parts: Vec<String> = fields
             .into_iter()
             .map(|(f, name)| format!("{} {name}", self.mode_of(f)))

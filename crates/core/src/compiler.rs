@@ -214,11 +214,7 @@ mod tests {
         s.resolve_field(c, name).unwrap()
     }
 
-    fn modes(
-        s: &Schema,
-        av: &AccessVector,
-        fields: &[(&str, &str)],
-    ) -> Vec<AccessMode> {
+    fn modes(s: &Schema, av: &AccessVector, fields: &[(&str, &str)]) -> Vec<AccessMode> {
         fields
             .iter()
             .map(|&(c, f)| av.mode_of(fid(s, c, f)))
@@ -242,19 +238,31 @@ mod tests {
 
         // TAV(c2,m3) = (Null, Read f2, Read f3, Null, Null, Null)
         let m3 = t.index_of("m3").unwrap();
-        assert_eq!(modes(&s, t.tav(m3), &all), [Null, Read, Read, Null, Null, Null]);
+        assert_eq!(
+            modes(&s, t.tav(m3), &all),
+            [Null, Read, Read, Null, Null, Null]
+        );
 
         // TAV(c2,m4) = (…, Read f5, Write f6)
         let m4 = t.index_of("m4").unwrap();
-        assert_eq!(modes(&s, t.tav(m4), &all), [Null, Null, Null, Null, Read, Write]);
+        assert_eq!(
+            modes(&s, t.tav(m4), &all),
+            [Null, Null, Null, Null, Read, Write]
+        );
 
         // TAV(c2,m2) = (Write f1, Read f2, Null f3, Write f4, Read f5, Null f6)
         let m2 = t.index_of("m2").unwrap();
-        assert_eq!(modes(&s, t.tav(m2), &all), [Write, Read, Null, Write, Read, Null]);
+        assert_eq!(
+            modes(&s, t.tav(m2), &all),
+            [Write, Read, Null, Write, Read, Null]
+        );
 
         // TAV(c2,m1) = (Write f1, Read f2, Read f3, Write f4, Read f5, Null f6)
         let m1 = t.index_of("m1").unwrap();
-        assert_eq!(modes(&s, t.tav(m1), &all), [Write, Read, Read, Write, Read, Null]);
+        assert_eq!(
+            modes(&s, t.tav(m1), &all),
+            [Write, Read, Read, Write, Read, Null]
+        );
 
         // And the PSC-only vertex (c1,m2) inside c2's graph keeps its DAV.
         let c1 = s.class_by_name("c1").unwrap();
@@ -312,7 +320,11 @@ mod tests {
         let m1 = t1.index_of("m1").unwrap();
         let tav = t1.tav(m1);
         assert_eq!(tav.mode_of(fid(&s, "c1", "f1")), Write);
-        assert_eq!(tav.mode_of(fid(&s, "c2", "f4")), Null, "c1 never touches f4");
+        assert_eq!(
+            tav.mode_of(fid(&s, "c2", "f4")),
+            Null,
+            "c1 never touches f4"
+        );
     }
 
     #[test]

@@ -25,11 +25,11 @@ impl fmt::Display for CompileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CompileError::Analysis {
-                class,
-                name,
-                cause,
-                ..
-            } => write!(f, "analysis of method `{name}` (class {class}) failed: {cause}"),
+                class, name, cause, ..
+            } => write!(
+                f,
+                "analysis of method `{name}` (class {class}) failed: {cause}"
+            ),
         }
     }
 }

@@ -59,14 +59,15 @@ pub fn extract(schema: &Schema, bodies: &MethodBodies) -> Result<Extraction, Com
         external_sends: Vec::with_capacity(n),
     };
     for mi in schema.methods() {
-        let facts = analyze(schema, mi.owner, &mi.sig.params, bodies.body(mi.id)).map_err(
-            |cause| CompileError::Analysis {
-                class: mi.owner,
-                method: mi.id,
-                name: mi.sig.name.clone(),
-                cause,
-            },
-        )?;
+        let facts =
+            analyze(schema, mi.owner, &mi.sig.params, bodies.body(mi.id)).map_err(|cause| {
+                CompileError::Analysis {
+                    class: mi.owner,
+                    method: mi.id,
+                    name: mi.sig.name.clone(),
+                    cause,
+                }
+            })?;
         ex.davs.push(AccessVector::from_reads_writes(
             facts.reads.iter().copied(),
             facts.writes.iter().copied(),

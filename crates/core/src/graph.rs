@@ -164,8 +164,7 @@ mod tests {
         // m2 resolves to c2's override; (c1,m2) is the PSC target.
         let (s, g) = figure2_graph();
         assert_eq!(g.vertex_count(), 5);
-        let mut labels: Vec<String> =
-            (0..g.vertex_count()).map(|v| g.label(&s, v)).collect();
+        let mut labels: Vec<String> = (0..g.vertex_count()).map(|v| g.label(&s, v)).collect();
         labels.sort();
         assert_eq!(
             labels,

@@ -17,8 +17,8 @@
 //! For schema-shape changes (new classes/methods/fields), fall back to
 //! [`crate::compile`]; identifiers are re-assigned there.
 
-use crate::compiler::{vertex_tavs_of, CompiledSchema};
 use crate::commut::ClassTable;
+use crate::compiler::{vertex_tavs_of, CompiledSchema};
 use crate::error::CompileError;
 use crate::extract::Extraction;
 use crate::graph::LbrGraph;
@@ -48,14 +48,15 @@ pub fn recompile(
     let mut extraction: Extraction = prev.extraction.clone();
     for &mid in changed {
         let mi = schema.method(mid);
-        let facts = analyze(schema, mi.owner, &mi.sig.params, bodies.body(mid)).map_err(
-            |cause| CompileError::Analysis {
-                class: mi.owner,
-                method: mid,
-                name: mi.sig.name.clone(),
-                cause,
-            },
-        )?;
+        let facts =
+            analyze(schema, mi.owner, &mi.sig.params, bodies.body(mid)).map_err(|cause| {
+                CompileError::Analysis {
+                    class: mi.owner,
+                    method: mid,
+                    name: mi.sig.name.clone(),
+                    cause,
+                }
+            })?;
         extraction.davs[mid.index()] = crate::av::AccessVector::from_reads_writes(
             facts.reads.iter().copied(),
             facts.writes.iter().copied(),
@@ -74,8 +75,7 @@ pub fn recompile(
         pscs.sort_unstable();
         pscs.dedup();
         extraction.pscs[mid.index()] = pscs;
-        extraction.external_sends[mid.index()] =
-            facts.external_sends.iter().cloned().collect();
+        extraction.external_sends[mid.index()] = facts.external_sends.iter().cloned().collect();
     }
 
     // 2. Affected classes: old graph contains a changed vertex. (A body
@@ -190,8 +190,7 @@ mod tests {
     fn unaffected_classes_are_reused() {
         // Changing c1.m2 affects c1 and c2 (both graphs contain it) but
         // not c3.
-        let (schema, old_bodies, new_bodies, mid) =
-            figure1_with_new_body("c1", "m2", "f2 := true");
+        let (schema, old_bodies, new_bodies, mid) = figure1_with_new_body("c1", "m2", "f2 := true");
         let prev = compile(&schema, &old_bodies).unwrap();
         let (_, report) = recompile(&schema, &new_bodies, &prev, &[mid]).unwrap();
         let c1 = schema.class_by_name("c1").unwrap();
@@ -241,8 +240,7 @@ mod tests {
     fn analysis_errors_surface() {
         // Replace c1.m2's body with one referencing an unknown name; the
         // incremental path must report the analysis failure.
-        let (schema, old_bodies, new_bodies, mid) =
-            figure1_with_new_body("c1", "m2", "ghost := 1");
+        let (schema, old_bodies, new_bodies, mid) = figure1_with_new_body("c1", "m2", "ghost := 1");
         let prev = compile(&schema, &old_bodies).unwrap();
         let err = recompile(&schema, &new_bodies, &prev, &[mid]).unwrap_err();
         let CompileError::Analysis { name, .. } = err;

@@ -40,7 +40,7 @@ pub use commut::ClassTable;
 pub use compiler::{compile, CompiledSchema};
 pub use error::CompileError;
 pub use extract::{extract, Extraction};
-pub use incremental::{recompile, RecompileReport};
 pub use graph::LbrGraph;
+pub use incremental::{recompile, RecompileReport};
 pub use mode::AccessMode;
 pub use recovery::{before_image, write_projection};

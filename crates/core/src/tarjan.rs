@@ -214,7 +214,13 @@ mod tests {
         // 100_000-vertex path: recursive Tarjan would overflow here.
         let n = 100_000;
         let adj: Vec<Vec<u32>> = (0..n)
-            .map(|i| if i + 1 < n { vec![(i + 1) as u32] } else { vec![] })
+            .map(|i| {
+                if i + 1 < n {
+                    vec![(i + 1) as u32]
+                } else {
+                    vec![]
+                }
+            })
             .collect();
         let comps = sccs(&adj);
         assert_eq!(comps.len(), n);

@@ -273,8 +273,14 @@ mod tests {
         let (s, b) = setup();
         let (facts, _) = facts_of(&s, &b, "c1", "m2");
         // DAV(c1,m2) = (Write f1, Read f2, Null f3)
-        assert_eq!(facts.writes.iter().copied().collect::<Vec<_>>(), [fid(&s, "c1", "f1")]);
-        assert_eq!(facts.reads.iter().copied().collect::<Vec<_>>(), [fid(&s, "c1", "f2")]);
+        assert_eq!(
+            facts.writes.iter().copied().collect::<Vec<_>>(),
+            [fid(&s, "c1", "f1")]
+        );
+        assert_eq!(
+            facts.reads.iter().copied().collect::<Vec<_>>(),
+            [fid(&s, "c1", "f2")]
+        );
         assert!(facts.self_calls.is_empty());
         assert!(facts.prefixed_calls.is_empty());
     }
@@ -307,8 +313,14 @@ mod tests {
         let (s, b) = setup();
         let (facts, _) = facts_of(&s, &b, "c2", "m2");
         // DAV(c2,m2) = (Null,Null,Null, Write f4, Read f5, Null f6)
-        assert_eq!(facts.writes.iter().copied().collect::<Vec<_>>(), [fid(&s, "c2", "f4")]);
-        assert_eq!(facts.reads.iter().copied().collect::<Vec<_>>(), [fid(&s, "c2", "f5")]);
+        assert_eq!(
+            facts.writes.iter().copied().collect::<Vec<_>>(),
+            [fid(&s, "c2", "f4")]
+        );
+        assert_eq!(
+            facts.reads.iter().copied().collect::<Vec<_>>(),
+            [fid(&s, "c2", "f5")]
+        );
         let c1 = s.class_by_name("c1").unwrap();
         assert_eq!(
             facts.prefixed_calls.iter().cloned().collect::<Vec<_>>(),
@@ -322,8 +334,14 @@ mod tests {
         let (facts, _) = facts_of(&s, &b, "c2", "m4");
         // DAV(c2,m4) = (…, Read f5, Write f6): f6 := expr(f6, …) is Write
         // (Write absorbs the read of f6).
-        assert_eq!(facts.writes.iter().copied().collect::<Vec<_>>(), [fid(&s, "c2", "f6")]);
-        assert_eq!(facts.reads.iter().copied().collect::<Vec<_>>(), [fid(&s, "c2", "f5")]);
+        assert_eq!(
+            facts.writes.iter().copied().collect::<Vec<_>>(),
+            [fid(&s, "c2", "f6")]
+        );
+        assert_eq!(
+            facts.reads.iter().copied().collect::<Vec<_>>(),
+            [fid(&s, "c2", "f5")]
+        );
     }
 
     #[test]
@@ -431,7 +449,11 @@ mod tests {
         let reads: Vec<FieldId> = facts.reads.iter().copied().collect();
         assert_eq!(
             reads,
-            [fid(&s, "c1", "f2"), fid(&s, "c2", "f4"), fid(&s, "c2", "f5")]
+            [
+                fid(&s, "c1", "f2"),
+                fid(&s, "c2", "f4"),
+                fid(&s, "c2", "f5")
+            ]
         );
         assert!(facts.self_calls.contains("m2"));
     }

@@ -204,17 +204,20 @@ mod tests {
             b.call("cond", &[Value::Int(2), Value::Int(-1)]),
             Ok(Value::Bool(true))
         );
-        assert_eq!(
-            b.call("cond", &[Value::Int(0)]),
-            Ok(Value::Bool(false))
-        );
+        assert_eq!(b.call("cond", &[Value::Int(0)]), Ok(Value::Bool(false)));
     }
 
     #[test]
     fn helpers() {
         let b = Builtins::standard();
-        assert_eq!(b.call("min", &[Value::Int(3), Value::Int(5)]), Ok(Value::Int(3)));
-        assert_eq!(b.call("max", &[Value::Int(3), Value::Int(5)]), Ok(Value::Int(5)));
+        assert_eq!(
+            b.call("min", &[Value::Int(3), Value::Int(5)]),
+            Ok(Value::Int(3))
+        );
+        assert_eq!(
+            b.call("max", &[Value::Int(3), Value::Int(5)]),
+            Ok(Value::Int(5))
+        );
         assert_eq!(b.call("abs", &[Value::Int(-3)]), Ok(Value::Int(3)));
         assert_eq!(b.call("len", &[Value::str("abc")]), Ok(Value::Int(3)));
         assert!(b.call("min", &[Value::Int(1)]).is_err());

@@ -39,12 +39,7 @@ pub trait DataAccess {
     fn write_field(&mut self, oid: Oid, field: FieldId, value: Value) -> Result<(), ExecError>;
 
     /// Hook: a top message `method` is about to run on `oid`.
-    fn on_message(
-        &mut self,
-        oid: Oid,
-        class: ClassId,
-        method: MethodId,
-    ) -> Result<(), ExecError> {
+    fn on_message(&mut self, oid: Oid, class: ClassId, method: MethodId) -> Result<(), ExecError> {
         let _ = (oid, class, method);
         Ok(())
     }
@@ -113,7 +108,9 @@ struct Frame<'f> {
 
 impl Frame<'_> {
     fn get_local(&self, name: &str) -> Option<&Value> {
-        self.owned_locals.get(name).or_else(|| self.locals.get(name))
+        self.owned_locals
+            .get(name)
+            .or_else(|| self.locals.get(name))
     }
 
     fn set_local(&mut self, name: &str, v: Value) -> bool {
@@ -167,13 +164,12 @@ impl<'a> Interpreter<'a> {
         args: &[Value],
     ) -> Result<Value, ExecError> {
         let class = da.class_of(oid)?;
-        let mid = self
-            .schema
-            .resolve_method(class, method)
-            .ok_or_else(|| ExecError::MessageNotUnderstood {
+        let mid = self.schema.resolve_method(class, method).ok_or_else(|| {
+            ExecError::MessageNotUnderstood {
                 class,
                 method: method.to_string(),
-            })?;
+            }
+        })?;
         da.on_message(oid, class, mid)?;
         self.run_method(da, st, oid, class, mid, args)
     }
@@ -326,12 +322,13 @@ impl<'a> Interpreter<'a> {
                     .schema
                     .class_by_name(prefix)
                     .ok_or_else(|| ExecError::UnknownName(prefix.clone()))?;
-                let mid = self.schema.resolve_method(pid, &send.method).ok_or_else(|| {
-                    ExecError::MessageNotUnderstood {
+                let mid = self
+                    .schema
+                    .resolve_method(pid, &send.method)
+                    .ok_or_else(|| ExecError::MessageNotUnderstood {
                         class: pid,
                         method: send.method.clone(),
-                    }
-                })?;
+                    })?;
                 da.on_self_message(frame.receiver, frame.receiver_class, mid)?;
                 self.run_method(da, st, frame.receiver, frame.receiver_class, mid, &args)
             }
@@ -850,9 +847,18 @@ class user {
             binary_value(Add, &Value::str("a"), &Value::str("b")),
             Ok(Value::str("ab"))
         );
-        assert_eq!(binary_value(Eq, &i(1), &Value::str("1")), Ok(Value::Bool(false)));
-        assert_eq!(binary_value(Ne, &i(1), &Value::str("1")), Ok(Value::Bool(true)));
-        assert_eq!(binary_value(Lt, &i(1), &Value::Float(1.5)), Ok(Value::Bool(true)));
+        assert_eq!(
+            binary_value(Eq, &i(1), &Value::str("1")),
+            Ok(Value::Bool(false))
+        );
+        assert_eq!(
+            binary_value(Ne, &i(1), &Value::str("1")),
+            Ok(Value::Bool(true))
+        );
+        assert_eq!(
+            binary_value(Lt, &i(1), &Value::Float(1.5)),
+            Ok(Value::Bool(true))
+        );
         assert!(binary_value(Lt, &i(1), &Value::str("x")).is_err());
         assert_eq!(
             binary_value(Add, &Value::Float(0.5), &i(1)),

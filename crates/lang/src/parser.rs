@@ -820,7 +820,13 @@ class b inherits a { method m is skip end }
         )
         .unwrap();
         assert_eq!(b.len(), 3);
-        assert!(matches!(&b.0[0], Stmt::If { else_blk: Some(_), .. }));
+        assert!(matches!(
+            &b.0[0],
+            Stmt::If {
+                else_blk: Some(_),
+                ..
+            }
+        ));
         assert!(matches!(&b.0[1], Stmt::While { .. }));
         assert!(matches!(&b.0[2], Stmt::Return(Some(_))));
     }

@@ -210,9 +210,9 @@ mod tests {
         let mut e = LockEntry::default();
         e.grant(TxnId(1), r(READ));
         e.enqueue(TxnId(9), r(WRITE)); // stranger waits
-        // Txn 1 upgrading read→write: queue does not block it, but 9's
-        // *grant* does not exist yet, so only granted set matters — and
-        // the only granted lock is its own. Conversion allowed.
+                                       // Txn 1 upgrading read→write: queue does not block it, but 9's
+                                       // *grant* does not exist yet, so only granted set matters — and
+                                       // the only granted lock is its own. Conversion allowed.
         assert!(e.can_grant(&src, &res(), TxnId(1), r(WRITE)));
     }
 

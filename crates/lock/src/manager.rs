@@ -112,12 +112,7 @@ impl<S: ModeSource> LockManager<S> {
 
     /// Blocking acquisition under strict 2PL. Returns when granted, the
     /// transaction is chosen as a deadlock victim, or the wait times out.
-    pub fn acquire(
-        &self,
-        txn: TxnId,
-        res: ResourceId,
-        mode: LockMode,
-    ) -> Result<(), AcquireError> {
+    pub fn acquire(&self, txn: TxnId, res: ResourceId, mode: LockMode) -> Result<(), AcquireError> {
         LockStats::bump(&self.stats.requests);
         let mut st = self.state.lock();
         if st.victims.remove(&txn) {
@@ -153,9 +148,7 @@ impl<S: ModeSource> LockManager<S> {
                 LockStats::bump(&self.stats.deadlocks);
                 let victim = match self.victim_policy {
                     VictimPolicy::Requester => txn,
-                    VictimPolicy::Youngest => {
-                        *cycle.iter().max().expect("cycle is non-empty")
-                    }
+                    VictimPolicy::Youngest => *cycle.iter().max().expect("cycle is non-empty"),
                 };
                 if victim == txn {
                     if let Some(e) = st.entries.get_mut(&res) {
@@ -168,10 +161,7 @@ impl<S: ModeSource> LockManager<S> {
                 self.cv.notify_all();
             }
 
-            let timed_out = self
-                .cv
-                .wait_for(&mut st, self.wait_timeout)
-                .timed_out();
+            let timed_out = self.cv.wait_for(&mut st, self.wait_timeout).timed_out();
 
             if st.victims.remove(&txn) {
                 if let Some(e) = st.entries.get_mut(&res) {
@@ -312,10 +302,16 @@ mod tests {
         let (t1, t2) = (lm.begin(), lm.begin());
         lm.acquire(t1, res(1), rd()).unwrap();
         lm.acquire(t2, res(1), rd()).unwrap();
-        assert_eq!(lm.try_acquire(lm.begin(), res(1), wr()), TryAcquire::WouldBlock);
+        assert_eq!(
+            lm.try_acquire(lm.begin(), res(1), wr()),
+            TryAcquire::WouldBlock
+        );
         lm.release_all(t1);
         lm.release_all(t2);
-        assert_eq!(lm.try_acquire(lm.begin(), res(1), wr()), TryAcquire::Granted);
+        assert_eq!(
+            lm.try_acquire(lm.begin(), res(1), wr()),
+            TryAcquire::Granted
+        );
     }
 
     #[test]
@@ -456,7 +452,10 @@ mod tests {
         let h2 = thread::spawn(move || lm2.acquire(t2, res(1), wr()).map(|()| t2));
         thread::sleep(Duration::from_millis(30));
         // t3's read must not overtake t2.
-        assert_eq!(lm.try_acquire(lm.begin(), res(1), rd()), TryAcquire::WouldBlock);
+        assert_eq!(
+            lm.try_acquire(lm.begin(), res(1), rd()),
+            TryAcquire::WouldBlock
+        );
         lm.release_all(t1);
         let got = h2.join().unwrap().unwrap();
         assert_eq!(got, t2);

@@ -3,7 +3,9 @@
 //! strict-FIFO must hold for non-conversions, and release must free
 //! resources completely.
 
-use finecc_lock::{LockManager, LockMode, ModeSource, ResourceId, RwSource, TryAcquire, READ, WRITE};
+use finecc_lock::{
+    LockManager, LockMode, ModeSource, ResourceId, RwSource, TryAcquire, READ, WRITE,
+};
 use finecc_model::{ClassId, Oid, TxnId};
 use proptest::prelude::*;
 use std::collections::HashMap;

@@ -104,7 +104,9 @@ impl ClassInfo {
 
     /// The stable per-class index of a visible method name.
     pub fn method_index(&self, name: &str) -> Option<usize> {
-        self.methods.binary_search_by(|(n, _)| n.as_str().cmp(name)).ok()
+        self.methods
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
     }
 }
 
@@ -293,10 +295,13 @@ impl SchemaBuilder {
         for d in &self.decls {
             let mut ps = Vec::with_capacity(d.parents.len());
             for p in &d.parents {
-                let pid = self.by_name.get(p).ok_or_else(|| ModelError::UnknownParent {
-                    class: d.name.clone(),
-                    parent: p.clone(),
-                })?;
+                let pid = self
+                    .by_name
+                    .get(p)
+                    .ok_or_else(|| ModelError::UnknownParent {
+                        class: d.name.clone(),
+                        parent: p.clone(),
+                    })?;
                 let pid = ClassId::from_index(*pid);
                 if ps.contains(&pid) {
                     // Repeating a direct parent is harmless but sloppy;
@@ -309,9 +314,8 @@ impl SchemaBuilder {
         }
 
         // Cycle check + topological order (parents before children).
-        let topo = toposort(&parents).map_err(|cid| {
-            ModelError::InheritanceCycle(self.decls[cid.index()].name.clone())
-        })?;
+        let topo = toposort(&parents)
+            .map_err(|cid| ModelError::InheritanceCycle(self.decls[cid.index()].name.clone()))?;
 
         // C3 linearizations, computed in topological order.
         let mut linearizations: Vec<Vec<ClassId>> = vec![Vec::new(); n];
@@ -628,8 +632,13 @@ mod tests {
         assert_eq!(s.class(c2).all_fields[..3], s.class(c1).all_fields[..]);
 
         // METHODS(c1) = {m1, m2, m3}; METHODS(c2) = {m1, m2, m3, m4}.
-        let names =
-            |c: ClassId| s.class(c).methods.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>();
+        let names = |c: ClassId| {
+            s.class(c)
+                .methods
+                .iter()
+                .map(|(n, _)| n.clone())
+                .collect::<Vec<_>>()
+        };
         assert_eq!(names(c1), ["m1", "m2", "m3"]);
         assert_eq!(names(c2), ["m1", "m2", "m3", "m4"]);
     }
@@ -680,7 +689,10 @@ mod tests {
         let mut b = SchemaBuilder::new();
         b.class("a");
         b.class("a");
-        assert_eq!(b.finish().unwrap_err(), ModelError::DuplicateClass("a".into()));
+        assert_eq!(
+            b.finish().unwrap_err(),
+            ModelError::DuplicateClass("a".into())
+        );
     }
 
     #[test]
@@ -765,13 +777,18 @@ mod tests {
     fn duplicate_method_in_class_rejected() {
         let mut b = SchemaBuilder::new();
         b.class("a").method("m", &[]).method("m", &["p"]);
-        assert!(matches!(b.finish(), Err(ModelError::DuplicateMethod { .. })));
+        assert!(matches!(
+            b.finish(),
+            Err(ModelError::DuplicateMethod { .. })
+        ));
     }
 
     #[test]
     fn duplicate_field_in_class_rejected() {
         let mut b = SchemaBuilder::new();
-        b.class("a").field("f", FieldType::Int).field("f", FieldType::Int);
+        b.class("a")
+            .field("f", FieldType::Int)
+            .field("f", FieldType::Int);
         assert!(matches!(b.finish(), Err(ModelError::DuplicateField { .. })));
     }
 
@@ -779,7 +796,10 @@ mod tests {
     fn unknown_ref_class_rejected() {
         let mut b = SchemaBuilder::new();
         b.class("a").ref_field("f", "ghost");
-        assert_eq!(b.finish().unwrap_err(), ModelError::UnknownClass("ghost".into()));
+        assert_eq!(
+            b.finish().unwrap_err(),
+            ModelError::UnknownClass("ghost".into())
+        );
     }
 
     #[test]

@@ -1,7 +1,9 @@
-//! The versioned heap: chains, transaction registry, commit/abort, GC.
+//! The versioned heap: chains, transaction registry, commit/abort, GC,
+//! and — at [`IsolationLevel::Serializable`] — SSI conflict tracking.
 
+use crate::ssi::{SsiTracker, SsiVerdict};
 use crate::stats::MvccStats;
-use crate::{Ts, TS_PENDING};
+use crate::{IsolationLevel, SsiConflict, Ts, TS_PENDING};
 use finecc_model::{FieldId, Oid, TxnId, Value};
 use finecc_store::{Database, StoreError};
 use parking_lot::Mutex;
@@ -72,7 +74,10 @@ struct VersionRecord {
 
 impl VersionRecord {
     fn before_of(&self, field: FieldId) -> Option<&Value> {
-        self.before.iter().find(|(f, _)| *f == field).map(|(_, v)| v)
+        self.before
+            .iter()
+            .find(|(f, _)| *f == field)
+            .map(|(_, v)| v)
     }
 }
 
@@ -114,13 +119,22 @@ pub struct MvccHeap {
     /// The latest *fully published* commit timestamp; the snapshot source.
     last_committed: std::sync::atomic::AtomicU64,
     commits_since_gc: std::sync::atomic::AtomicU64,
+    /// The rw-antidependency tracker; `Some` iff the heap runs at
+    /// [`IsolationLevel::Serializable`].
+    ssi: Option<SsiTracker>,
     /// Live counters.
     pub stats: MvccStats,
 }
 
 impl MvccHeap {
-    /// Creates a heap versioning `base`.
+    /// Creates a heap versioning `base` at the default
+    /// [`IsolationLevel::Snapshot`].
     pub fn new(base: Arc<Database>) -> MvccHeap {
+        MvccHeap::with_isolation(base, IsolationLevel::Snapshot)
+    }
+
+    /// Creates a heap versioning `base` at the given isolation level.
+    pub fn with_isolation(base: Arc<Database>, isolation: IsolationLevel) -> MvccHeap {
         let shards = (0..SHARD_COUNT)
             .map(|_| Mutex::new(HashMap::new()))
             .collect::<Vec<_>>()
@@ -133,6 +147,10 @@ impl MvccHeap {
             commit_lock: Mutex::new(0),
             last_committed: std::sync::atomic::AtomicU64::new(0),
             commits_since_gc: std::sync::atomic::AtomicU64::new(0),
+            ssi: match isolation {
+                IsolationLevel::Snapshot => None,
+                IsolationLevel::Serializable => Some(SsiTracker::new()),
+            },
             stats: MvccStats::default(),
         }
     }
@@ -142,6 +160,15 @@ impl MvccHeap {
         &self.base
     }
 
+    /// The heap's isolation level.
+    pub fn isolation(&self) -> IsolationLevel {
+        if self.ssi.is_some() {
+            IsolationLevel::Serializable
+        } else {
+            IsolationLevel::Snapshot
+        }
+    }
+
     #[inline]
     fn shard(&self, oid: Oid) -> &Mutex<HashMap<Oid, Chain>> {
         &self.shards[(oid.raw() as usize) % SHARD_COUNT]
@@ -149,7 +176,8 @@ impl MvccHeap {
 
     /// The latest fully published commit timestamp.
     pub fn current_ts(&self) -> Ts {
-        self.last_committed.load(std::sync::atomic::Ordering::Acquire)
+        self.last_committed
+            .load(std::sync::atomic::Ordering::Acquire)
     }
 
     /// Atomically reads the current committed timestamp and registers it
@@ -189,6 +217,9 @@ impl MvccHeap {
             },
         );
         debug_assert!(prev.is_none(), "transaction {txn} already registered");
+        if let Some(ssi) = &self.ssi {
+            ssi.register(txn);
+        }
         self.stats.bump_begins();
         ts
     }
@@ -207,7 +238,11 @@ impl MvccHeap {
     /// pending writes of `as_txn` (pass `None` for a pure snapshot read).
     ///
     /// Takes **no logical locks**: reconstruction walks the version chain
-    /// under the chain shard's short physical mutex only.
+    /// under the chain shard's short physical mutex only. At
+    /// [`IsolationLevel::Serializable`] a transactional read additionally
+    /// registers a SIREAD entry (before the walk) and records an outgoing
+    /// rw-antidependency for every invisible overwrite of the field it
+    /// steps past — still without blocking anyone.
     pub fn read_as(
         &self,
         ts: Ts,
@@ -215,6 +250,18 @@ impl MvccHeap {
         oid: Oid,
         field: FieldId,
     ) -> Result<Value, StoreError> {
+        let ssi = match (&self.ssi, as_txn) {
+            (Some(ssi), Some(txn)) => {
+                // Register BEFORE walking the chain: a concurrent writer
+                // either installed its record already (the walk sees it
+                // and marks the edge here) or will scan the registry
+                // after installing (and marks it there).
+                ssi.record_read(txn, oid, field);
+                Some((ssi, txn))
+            }
+            _ => None,
+        };
+        let mut overwriters: Vec<TxnId> = Vec::new();
         let shard = self.shard(oid).lock();
         let mut value = self.base.read(oid, field)?;
         if let Some(chain) = shard.get(&oid) {
@@ -232,11 +279,25 @@ impl MvccHeap {
                 if !visible {
                     if let Some(before) = rec.before_of(field) {
                         value = before.clone();
+                        // The record overwrote the value this snapshot
+                        // reads: an outgoing rw edge to its writer.
+                        if ssi.is_some() {
+                            overwriters.push(rec.writer);
+                        }
                     }
                 }
             }
         }
         drop(shard);
+        if let Some((ssi, txn)) = ssi {
+            let mut edges = 0;
+            for writer in overwriters {
+                edges += ssi.read_edge(txn, writer);
+            }
+            if edges > 0 {
+                self.stats.add_ssi_edges(edges);
+            }
+        }
         self.stats.bump_snapshot_reads();
         Ok(value)
     }
@@ -322,32 +383,72 @@ impl MvccHeap {
             WriteOutcome::NewVersion
         };
         self.stats.sample_chain_len(chain.records.len() as u64);
+        drop(shard);
+        // SSI: scan SIREAD entries AFTER the pending version is
+        // installed (see `read_as` for why the order closes the race)
+        // and record an incoming rw edge per concurrent reader.
+        if let Some(ssi) = &self.ssi {
+            let edges = ssi.write_edges(txn, snapshot_ts, oid, field);
+            if edges > 0 {
+                self.stats.add_ssi_edges(edges);
+            }
+        }
         Ok(outcome)
     }
 
     /// Commits `txn`: draws the next commit timestamp, flips every
     /// pending record of the transaction to it, then publishes the
-    /// timestamp for new snapshots. Infallible by construction — all
-    /// conflicts were detected at write time. Returns the commit
-    /// timestamp; a **read-only** transaction serializes at (and
-    /// returns) its snapshot timestamp without ever touching the global
-    /// commit lock, keeping the reader path coordination-free end to
-    /// end.
-    pub fn commit(&self, txn: TxnId) -> Ts {
-        let state = self
-            .txns
-            .lock()
-            .remove(&txn)
-            .unwrap_or_else(|| panic!("transaction {txn} is not registered with the mvcc heap"));
+    /// timestamp for new snapshots. Returns the commit timestamp; a
+    /// **read-only** transaction serializes at (and returns) its
+    /// snapshot timestamp without ever touching the global commit lock,
+    /// keeping the reader path coordination-free end to end.
+    ///
+    /// At [`IsolationLevel::Snapshot`] commit is infallible by
+    /// construction — all conflicts were detected at write time. At
+    /// [`IsolationLevel::Serializable`] the commit additionally runs
+    /// dangerous-structure validation; on failure the transaction is
+    /// fully rolled back (as by [`MvccHeap::abort`]) and the
+    /// [`SsiConflict`] is returned — the caller retries on a fresh
+    /// snapshot, like a first-updater-wins victim.
+    pub fn commit(&self, txn: TxnId) -> Result<Ts, SsiConflict> {
+        let state =
+            self.txns.lock().remove(&txn).unwrap_or_else(|| {
+                panic!("transaction {txn} is not registered with the mvcc heap")
+            });
 
         if state.write_set.is_empty() {
+            // Read-only transactions still validate: their reads can
+            // complete a dangerous structure around a committed pivot
+            // (the SI read-only anomaly, Fekete et al. 2004).
+            if let Some(ssi) = &self.ssi {
+                if let SsiVerdict::Abort(c) = ssi.validate_and_commit(txn, state.snapshot_ts) {
+                    self.unregister_epoch(state.snapshot_ts);
+                    self.stats.bump_ssi_aborts();
+                    self.stats.bump_aborts();
+                    return Err(c);
+                }
+            }
             self.unregister_epoch(state.snapshot_ts);
             self.stats.bump_commits();
-            return state.snapshot_ts;
+            return Ok(state.snapshot_ts);
         }
 
         let mut last = self.commit_lock.lock();
         let commit_ts = *last + 1;
+        if let Some(ssi) = &self.ssi {
+            // Validation and commit publication are one atomic step in
+            // the tracker; the candidate timestamp is only made durable
+            // below, after every chain is flipped.
+            if let SsiVerdict::Abort(c) = ssi.validate_and_commit(txn, commit_ts) {
+                drop(last); // timestamp never drawn
+                let rolled_back = self.rollback_writes(txn, &state);
+                self.stats.add_versions_reclaimed(rolled_back as u64);
+                self.unregister_epoch(state.snapshot_ts);
+                self.stats.bump_ssi_aborts();
+                self.stats.bump_aborts();
+                return Err(c);
+            }
+        }
         for &oid in &state.write_set {
             let mut shard = self.shard(oid).lock();
             let chain = shard.get_mut(&oid).expect("written chain exists");
@@ -374,18 +475,13 @@ impl MvccHeap {
         if n.is_multiple_of(GC_EVERY_COMMITS) {
             self.gc();
         }
-        commit_ts
+        Ok(commit_ts)
     }
 
-    /// Aborts `txn`: restores every before-image of its pending records
-    /// into the base store and removes the records. Returns the number of
-    /// objects rolled back.
-    pub fn abort(&self, txn: TxnId) -> usize {
-        let state = self
-            .txns
-            .lock()
-            .remove(&txn)
-            .unwrap_or_else(|| panic!("transaction {txn} is not registered with the mvcc heap"));
+    /// Removes every pending record `txn` owns and restores its
+    /// before-images into the base store. Returns the number of objects
+    /// rolled back.
+    fn rollback_writes(&self, txn: TxnId, state: &TxnState) -> usize {
         let mut rolled_back = 0;
         for &oid in &state.write_set {
             let mut shard = self.shard(oid).lock();
@@ -396,19 +492,34 @@ impl MvccHeap {
                 .position(|r| r.commit_ts == TS_PENDING && r.writer == txn)
                 .expect("pending record owned by aborter");
             let own = chain.records.remove(idx);
-            for (field, before) in own.before {
+            for (field, before) in &own.before {
                 // No other live transaction wrote these fields (they
                 // would have conflicted), so restoring is safe. The
                 // instance may have been deleted concurrently; the undo
                 // then has nothing to restore (same contract as
                 // `UndoLog::rollback`).
-                let _ = self.base.write_unchecked(oid, field, before);
+                let _ = self.base.write_unchecked(oid, *field, before.clone());
             }
             if chain.records.is_empty() {
                 shard.remove(&oid);
             }
             rolled_back += 1;
         }
+        rolled_back
+    }
+
+    /// Aborts `txn`: restores every before-image of its pending records
+    /// into the base store and removes the records. Returns the number of
+    /// objects rolled back.
+    pub fn abort(&self, txn: TxnId) -> usize {
+        let state =
+            self.txns.lock().remove(&txn).unwrap_or_else(|| {
+                panic!("transaction {txn} is not registered with the mvcc heap")
+            });
+        if let Some(ssi) = &self.ssi {
+            ssi.forget(txn);
+        }
+        let rolled_back = self.rollback_writes(txn, &state);
         // Abort-discarded records count as reclaimed, so created and
         // reclaimed balance once GC has drained the committed history.
         self.stats.add_versions_reclaimed(rolled_back as u64);
@@ -441,10 +552,16 @@ impl MvccHeap {
 
     /// Epoch-based garbage collection: drops every version record whose
     /// commit timestamp is at or below the horizon — no active or future
-    /// snapshot can ever need to reconstruct *past* such a record.
-    /// Returns the number of records reclaimed.
+    /// snapshot can ever need to reconstruct *past* such a record. At
+    /// [`IsolationLevel::Serializable`] the same horizon also retires
+    /// SSI flag entries and SIREAD registrations (a transaction
+    /// committed at or below the horizon cannot be concurrent with any
+    /// live or future one). Returns the number of records reclaimed.
     pub fn gc(&self) -> usize {
         let horizon = self.gc_horizon();
+        if let Some(ssi) = &self.ssi {
+            ssi.purge(horizon);
+        }
         let mut reclaimed = 0;
         for shard in self.shards.iter() {
             let mut shard = shard.lock();
@@ -463,12 +580,28 @@ impl MvccHeap {
 
     /// Number of live version records across all chains (diagnostics).
     pub fn live_versions(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().values().map(|c| c.records.len()).sum::<usize>()).sum()
+        self.shards
+            .iter()
+            .map(|s| s.lock().values().map(|c| c.records.len()).sum::<usize>())
+            .sum()
     }
 
     /// Number of objects with a live chain (diagnostics).
     pub fn live_chains(&self) -> usize {
         self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Number of live SIREAD registrations; 0 at
+    /// [`IsolationLevel::Snapshot`] (diagnostics).
+    pub fn ssi_siread_entries(&self) -> usize {
+        self.ssi.as_ref().map_or(0, |s| s.siread_entries())
+    }
+
+    /// Number of transactions the SSI tracker still holds flags for
+    /// (live + retained committed); 0 at [`IsolationLevel::Snapshot`]
+    /// (diagnostics).
+    pub fn ssi_tracked_txns(&self) -> usize {
+        self.ssi.as_ref().map_or(0, |s| s.tracked_txns())
     }
 }
 
@@ -527,10 +660,10 @@ mod tests {
         // Writer sees its own write; a concurrent snapshot does not.
         assert_eq!(heap.read(TxnId(1), o, x), Ok(Value::Int(7)));
         assert_eq!(heap.read(TxnId(2), o, x), Ok(Value::Int(0)));
-        heap.commit(TxnId(1));
+        heap.commit(TxnId(1)).unwrap();
         // T2's snapshot predates the commit: still the old value.
         assert_eq!(heap.read(TxnId(2), o, x), Ok(Value::Int(0)));
-        heap.commit(TxnId(2));
+        heap.commit(TxnId(2)).unwrap();
         // A fresh snapshot sees the committed value.
         heap.begin(TxnId(3));
         assert_eq!(heap.read(TxnId(3), o, x), Ok(Value::Int(7)));
@@ -554,7 +687,7 @@ mod tests {
                 pending_in: Some(TxnId(1)),
             })
         );
-        heap.commit(TxnId(1));
+        heap.commit(TxnId(1)).unwrap();
         // T2's snapshot is now stale: committed-after-snapshot conflict.
         let err = heap.write(TxnId(2), o, x, Value::Int(2)).unwrap_err();
         assert_eq!(
@@ -582,9 +715,9 @@ mod tests {
         heap.write(TxnId(2), o, y, Value::Int(20)).unwrap();
         let snap = heap.snapshot();
         // Install order is T1 then T2, commit order T2 then T1.
-        let ts2 = heap.commit(TxnId(2));
+        let ts2 = heap.commit(TxnId(2)).unwrap();
         let mid = heap.snapshot();
-        let ts1 = heap.commit(TxnId(1));
+        let ts1 = heap.commit(TxnId(1)).unwrap();
         assert!(ts2 < ts1);
         assert_eq!(heap.stats.snapshot().write_conflicts, 0);
         // Pre-commit snapshot: neither write; mid snapshot: only T2's.
@@ -621,7 +754,7 @@ mod tests {
             let t = TxnId(i as u64 + 1);
             heap.begin(t);
             heap.write(t, o, x, Value::Int(v)).unwrap();
-            heap.commit(t);
+            heap.commit(t).unwrap();
         }
         assert_eq!(snaps[0].read(o, x), Ok(Value::Int(0)));
         assert_eq!(snaps[1].read(o, x), Ok(Value::Int(10)));
@@ -647,7 +780,7 @@ mod tests {
         heap.write(TxnId(1), o1, x, Value::Int(1)).unwrap();
         heap.write(TxnId(1), o2, x, Value::Int(2)).unwrap();
         let snap_before = heap.snapshot();
-        let ts = heap.commit(TxnId(1));
+        let ts = heap.commit(TxnId(1)).unwrap();
         let snap_after = heap.snapshot();
         assert!(snap_after.ts() >= ts);
         // The pre-commit snapshot sees neither write; the post-commit
@@ -667,7 +800,7 @@ mod tests {
             let t = TxnId(i + 1);
             heap.begin(t);
             heap.write(t, o, x, Value::Int(i as i64)).unwrap();
-            let ts = heap.commit(t);
+            let ts = heap.commit(t).unwrap();
             assert!(ts > last);
             last = ts;
         }
@@ -701,7 +834,7 @@ mod tests {
                         let t = TxnId((i as u64) << 32 | round | 1 << 63);
                         heap.begin(t);
                         heap.write(t, oid, x, Value::Int(round as i64)).unwrap();
-                        heap.commit(t);
+                        heap.commit(t).unwrap();
                     }
                 });
             }

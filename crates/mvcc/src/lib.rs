@@ -23,23 +23,32 @@
 //!   [`MvccConflict`] iff another live transaction holds a pending
 //!   version of the *same field*, or a version of it committed after the
 //!   writer's snapshot. Writers of disjoint fields of one object never
-//!   conflict — the multi-version analogue of the paper's P4 fix. A
-//!   transaction that never conflicts is guaranteed to commit —
-//!   validation cannot fail later, so commit is infallible.
+//!   conflict — the multi-version analogue of the paper's P4 fix. At
+//!   [`IsolationLevel::Snapshot`] a transaction that never conflicts is
+//!   guaranteed to commit — validation cannot fail later.
 //! * **Garbage collection** — epoch-based: active snapshots pin a
 //!   horizon; versions committed at or before the horizon can never be
 //!   demanded again and are reclaimed ([`MvccHeap::gc`], also run
 //!   opportunistically every few commits).
+//! * **Isolation levels** ([`IsolationLevel`]) — the heap runs at plain
+//!   [`IsolationLevel::Snapshot`] (write skew possible, commit
+//!   infallible) or at [`IsolationLevel::Serializable`], which layers
+//!   SSI-style commit-time validation on top ([`ssi`]): field-granular
+//!   rw-antidependency tracking à la Cahill, with transactions aborted
+//!   ([`SsiConflict`]) when they sit in a dangerous structure.
 //!
 //! The executable scheme built on this heap lives in
-//! `finecc_runtime::schemes::mvcc`.
+//! `finecc_runtime::schemes::mvcc`, one scheme-matrix entry per
+//! isolation level (`mvcc`, `mvcc-ssi`).
 
 pub mod heap;
 pub mod snapshot;
+pub mod ssi;
 pub mod stats;
 
 pub use heap::{MvccConflict, MvccHeap, MvccWriteError, WriteOutcome};
 pub use snapshot::Snapshot;
+pub use ssi::{IsolationLevel, SsiConflict};
 pub use stats::{MvccStats, MvccStatsSnapshot};
 
 /// Commit timestamps. `0` is the genesis timestamp (before any commit);

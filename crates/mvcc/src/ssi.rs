@@ -1,0 +1,476 @@
+//! Serializable snapshot isolation: rw-antidependency tracking and
+//! commit-time dangerous-structure validation, after Cahill, Röhm &
+//! Fekete ("Serializable Isolation for Snapshot Databases", SIGMOD 2008).
+//!
+//! Plain snapshot isolation admits exactly one anomaly class: histories
+//! whose serialization graph contains a cycle with two **consecutive
+//! rw-antidependency edges** between concurrent transactions — the
+//! *dangerous structure* `T_in ──rw──▶ T_pivot ──rw──▶ T_out`. The
+//! tracker detects candidates with Cahill's two sticky flags per
+//! transaction:
+//!
+//! * `in_conflict` — some concurrent transaction read a version this
+//!   transaction overwrote (an incoming rw edge);
+//! * `out_conflict` — this transaction read a version some concurrent
+//!   transaction overwrote (an outgoing rw edge).
+//!
+//! A transaction that reaches commit with **both** flags set is a pivot
+//! candidate and is aborted ([`SsiConflict`]). When an edge would turn an
+//! already **committed** transaction into a pivot, it is too late to
+//! abort the pivot, so the transaction *completing* the structure aborts
+//! instead ([`SsiConflict::pivot`]). The tracker itself (`SsiTracker`)
+//! is crate-internal; `finecc_mvcc::MvccHeap` drives it.
+//!
+//! The reads feeding the tracker are the interpreter's field-granularity
+//! footprints — the runtime projection of the paper's access vectors —
+//! so a reader of `o.x` never conflicts with a writer of `o.y`: the
+//! validation granularity matches the locking granularity of the TAV
+//! scheme (Huang et al. show granularity drives the false-positive
+//! rate). The flags themselves are still conservative: one bit per
+//! direction, kept even when the edge partner later aborts, so some
+//! serializable histories abort (see `ROADMAP.md` for the precise,
+//! edge-list-based follow-up). The tracker never blocks readers — it
+//! only records, which is why the mvcc scheme's lock statistics stay
+//! identically zero under either isolation level.
+
+use crate::Ts;
+use finecc_model::{FieldId, Oid, TxnId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// How many mutexes the SIREAD registry is striped over.
+const READER_SHARDS: usize = 32;
+
+/// The isolation level of an [`crate::MvccHeap`] — a first-class scheme
+/// parameter (the runtime exposes one scheme entry per level).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum IsolationLevel {
+    /// Plain snapshot isolation: first-updater-wins writes, infallible
+    /// commit, write skew possible.
+    #[default]
+    Snapshot,
+    /// Snapshot isolation plus commit-time dangerous-structure
+    /// validation: serializable, at the price of validation aborts.
+    Serializable,
+}
+
+impl IsolationLevel {
+    /// Stable display name (`"snapshot"` / `"serializable"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            IsolationLevel::Snapshot => "snapshot",
+            IsolationLevel::Serializable => "serializable",
+        }
+    }
+}
+
+impl std::fmt::Display for IsolationLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A commit was refused because the transaction sits in a dangerous
+/// structure (two consecutive rw-antidependencies among concurrent
+/// transactions). The transaction has been rolled back; retrying on a
+/// fresh snapshot is the standard response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SsiConflict {
+    /// The aborted transaction.
+    pub txn: TxnId,
+    /// `Some(p)` when the abort was forced because `p` — already
+    /// committed — would otherwise become the pivot of a dangerous
+    /// structure; `None` when the aborted transaction is itself the
+    /// pivot candidate (both flags set).
+    pub pivot: Option<TxnId>,
+}
+
+impl std::fmt::Display for SsiConflict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.pivot {
+            Some(p) => write!(
+                f,
+                "ssi validation: {} completes a dangerous structure around committed pivot {p}",
+                self.txn
+            ),
+            None => write!(
+                f,
+                "ssi validation: dangerous structure — {} carries both incoming and outgoing \
+                 rw-antidependencies",
+                self.txn
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SsiConflict {}
+
+/// Conflict-flag record of one tracked transaction. Entries of committed
+/// transactions are retained until no concurrent transaction can remain
+/// (see [`SsiTracker::purge`]); entries of aborted transactions are
+/// dropped immediately.
+#[derive(Debug, Default)]
+struct Flags {
+    /// An incoming rw edge exists: a concurrent transaction read a
+    /// version this one overwrote.
+    in_conflict: bool,
+    /// An outgoing rw edge exists: this transaction read a version a
+    /// concurrent transaction overwrote.
+    out_conflict: bool,
+    /// Set when an edge completed a dangerous structure around an
+    /// already-committed pivot; the named pivot cannot be aborted, so
+    /// this transaction must be.
+    doomed_by: Option<TxnId>,
+    /// Commit timestamp once committed (`None` while live). Read-only
+    /// transactions record their snapshot timestamp — they serialize
+    /// there, so no later-snapshot transaction is concurrent with them.
+    commit_ts: Option<Ts>,
+}
+
+/// The SIREAD registry: which transactions have read which field,
+/// striped by OID. Concurrency windows come from the flag table's
+/// commit timestamps, so the registry itself only needs identities.
+type ReaderShard = Mutex<HashMap<(Oid, FieldId), Vec<TxnId>>>;
+
+/// The rw-antidependency tracker of a Serializable-level heap.
+///
+/// Writers consult the SIREAD registry *after* installing their pending
+/// version; readers register *before* walking the version chain. Either
+/// the reader's chain walk sees the writer's record (the read side marks
+/// the edge) or the writer's registry scan sees the reader (the write
+/// side marks it) — the edge can never fall between the two.
+#[derive(Debug)]
+pub(crate) struct SsiTracker {
+    /// SIREAD registry: who has read which field, striped by OID.
+    readers: Box<[ReaderShard]>,
+    /// Conflict flags of live and recently committed transactions. Also
+    /// the commit-status authority for edge concurrency tests, so flag
+    /// updates and commit publication are atomic with respect to each
+    /// other.
+    flags: Mutex<HashMap<TxnId, Flags>>,
+}
+
+/// What [`SsiTracker::validate_and_commit`] decided.
+pub(crate) enum SsiVerdict {
+    /// No dangerous structure: the transaction was atomically marked
+    /// committed at the given timestamp.
+    Committed,
+    /// Dangerous structure: the caller must roll the transaction back.
+    Abort(SsiConflict),
+}
+
+impl SsiTracker {
+    pub(crate) fn new() -> SsiTracker {
+        let readers = (0..READER_SHARDS)
+            .map(|_| Mutex::new(HashMap::new()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        SsiTracker {
+            readers,
+            flags: Mutex::new(HashMap::new()),
+        }
+    }
+
+    #[inline]
+    fn reader_shard(&self, oid: Oid) -> &ReaderShard {
+        &self.readers[(oid.raw() as usize) % READER_SHARDS]
+    }
+
+    /// Starts tracking `txn`.
+    pub(crate) fn register(&self, txn: TxnId) {
+        self.flags.lock().insert(txn, Flags::default());
+    }
+
+    /// Registers a SIREAD: `txn` is about to read `(oid, field)`. Must
+    /// run BEFORE the version-chain walk.
+    pub(crate) fn record_read(&self, txn: TxnId, oid: Oid, field: FieldId) {
+        let mut shard = self.reader_shard(oid).lock();
+        let entries = shard.entry((oid, field)).or_default();
+        if !entries.contains(&txn) {
+            entries.push(txn);
+        }
+    }
+
+    /// Marks the rw edge `reader ──rw──▶ writer`, discovered on the read
+    /// side: `reader` reconstructed a version of a field that `writer`
+    /// has overwritten (pending, or committed after the reader's
+    /// snapshot). Returns the number of edges recorded (0 or 1).
+    pub(crate) fn read_edge(&self, reader: TxnId, writer: TxnId) -> u64 {
+        if reader == writer {
+            return 0;
+        }
+        let mut flags = self.flags.lock();
+        // The writer may be long gone (purged): its flags can no longer
+        // matter to anyone live, but the reader's out-edge is real.
+        let writer_committed_pivot = match flags.get_mut(&writer) {
+            Some(w) => {
+                w.in_conflict = true;
+                w.commit_ts.is_some() && w.out_conflict
+            }
+            None => false,
+        };
+        if let Some(r) = flags.get_mut(&reader) {
+            r.out_conflict = true;
+            if writer_committed_pivot && r.doomed_by.is_none() {
+                // `writer` is committed with both flags: it is a pivot
+                // we can no longer abort, so the completing side must go.
+                r.doomed_by = Some(writer);
+            }
+        }
+        1
+    }
+
+    /// Marks every rw edge `R ──rw──▶ writer` for concurrent readers `R`
+    /// of `(oid, field)`, discovered on the write side. Must run AFTER
+    /// the writer's pending version is installed. Returns the number of
+    /// edges recorded.
+    pub(crate) fn write_edges(
+        &self,
+        writer: TxnId,
+        writer_snapshot: Ts,
+        oid: Oid,
+        field: FieldId,
+    ) -> u64 {
+        let snapshot: Vec<TxnId> = {
+            let shard = self.reader_shard(oid).lock();
+            match shard.get(&(oid, field)) {
+                Some(rs) => rs.clone(),
+                None => return 0,
+            }
+        };
+        let mut edges = 0;
+        let mut flags = self.flags.lock();
+        let mut doom: Option<TxnId> = None;
+        for reader in snapshot {
+            if reader == writer {
+                continue;
+            }
+            // Concurrency: a live reader overlaps the live writer by
+            // definition; a committed reader overlaps iff the writer's
+            // snapshot predates the reader's commit (otherwise the
+            // writer's snapshot already contains everything the reader
+            // saw, and the edge is plain wr ordering).
+            let reader_committed_pivot = match flags.get_mut(&reader) {
+                Some(f) => {
+                    match f.commit_ts {
+                        None => {}
+                        Some(c) if c > writer_snapshot => {}
+                        Some(_) => continue, // not concurrent
+                    }
+                    f.out_conflict = true;
+                    edges += 1;
+                    f.commit_ts.is_some() && f.in_conflict
+                }
+                // Aborted (or purged) reader: no edge.
+                None => continue,
+            };
+            if reader_committed_pivot {
+                doom = Some(reader);
+            }
+        }
+        if edges > 0 {
+            if let Some(w) = flags.get_mut(&writer) {
+                w.in_conflict = true;
+                if let Some(p) = doom {
+                    if w.doomed_by.is_none() {
+                        w.doomed_by = Some(p);
+                    }
+                }
+            }
+        }
+        edges
+    }
+
+    /// Commit-time validation, atomic with commit publication: if `txn`
+    /// sits in a dangerous structure the verdict is [`SsiVerdict::Abort`]
+    /// and its flags are dropped; otherwise it is marked committed at
+    /// `commit_ts` in the same critical section, so an edge discovered by
+    /// a concurrent transaction lands either before the check or against
+    /// a properly committed transaction — never in between.
+    pub(crate) fn validate_and_commit(&self, txn: TxnId, commit_ts: Ts) -> SsiVerdict {
+        let mut flags = self.flags.lock();
+        let f = flags
+            .get_mut(&txn)
+            .expect("transaction is registered with the ssi tracker");
+        if let Some(pivot) = f.doomed_by {
+            flags.remove(&txn);
+            return SsiVerdict::Abort(SsiConflict {
+                txn,
+                pivot: Some(pivot),
+            });
+        }
+        if f.in_conflict && f.out_conflict {
+            flags.remove(&txn);
+            return SsiVerdict::Abort(SsiConflict { txn, pivot: None });
+        }
+        f.commit_ts = Some(commit_ts);
+        SsiVerdict::Committed
+    }
+
+    /// Drops all tracking state of an aborted transaction. Flags it set
+    /// on OTHER transactions stay set (sticky, conservatively), matching
+    /// Cahill's original formulation.
+    pub(crate) fn forget(&self, txn: TxnId) {
+        self.flags.lock().remove(&txn);
+    }
+
+    /// Drops flag entries and SIREAD registrations that can no longer
+    /// participate in an edge: committed transactions whose commit
+    /// timestamp is at or below `horizon` (the oldest live snapshot —
+    /// every live or future transaction's snapshot already contains
+    /// them, so no further concurrency is possible).
+    pub(crate) fn purge(&self, horizon: Ts) {
+        let mut flags = self.flags.lock();
+        flags.retain(|_, f| match f.commit_ts {
+            Some(c) => c > horizon,
+            None => true,
+        });
+        for shard in self.readers.iter() {
+            let mut shard = shard.lock();
+            shard.retain(|_, rs| {
+                rs.retain(|txn| flags.contains_key(txn));
+                !rs.is_empty()
+            });
+        }
+    }
+
+    /// Number of live SIREAD registrations (diagnostics).
+    pub(crate) fn siread_entries(&self) -> usize {
+        self.readers
+            .iter()
+            .map(|s| s.lock().values().map(Vec::len).sum::<usize>())
+            .sum()
+    }
+
+    /// Number of tracked (live or retained-committed) transactions
+    /// (diagnostics).
+    pub(crate) fn tracked_txns(&self) -> usize {
+        self.flags.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T1: TxnId = TxnId(1);
+    const T2: TxnId = TxnId(2);
+    const T3: TxnId = TxnId(3);
+
+    #[test]
+    fn isolation_level_names() {
+        assert_eq!(IsolationLevel::Snapshot.to_string(), "snapshot");
+        assert_eq!(IsolationLevel::Serializable.name(), "serializable");
+        assert_eq!(IsolationLevel::default(), IsolationLevel::Snapshot);
+    }
+
+    #[test]
+    fn conflict_display_mentions_dangerous_structure() {
+        let own = SsiConflict {
+            txn: T1,
+            pivot: None,
+        };
+        assert!(own.to_string().contains("dangerous structure"));
+        let completing = SsiConflict {
+            txn: T1,
+            pivot: Some(T2),
+        };
+        assert!(completing.to_string().contains("committed pivot"));
+    }
+
+    #[test]
+    fn pivot_with_both_flags_aborts_at_commit() {
+        let t = SsiTracker::new();
+        t.register(T1);
+        t.register(T2);
+        t.register(T3);
+        let oid = Oid(1);
+        let f = FieldId(0);
+        // T2 reads; T3 overwrites what T2 read; T1 reads what T2 wrote…
+        t.record_read(T2, oid, f);
+        assert_eq!(t.write_edges(T3, 0, oid, f), 1); // T2 → T3
+        assert_eq!(t.read_edge(T1, T2), 1); // T1 → T2
+                                            // …so T2 is the pivot: in (from T1) and out (to T3).
+        match t.validate_and_commit(T2, 7) {
+            SsiVerdict::Abort(c) => {
+                assert_eq!(c.txn, T2);
+                assert_eq!(c.pivot, None);
+            }
+            SsiVerdict::Committed => panic!("pivot must abort"),
+        }
+        // The other two carry one flag each and commit fine.
+        assert!(matches!(
+            t.validate_and_commit(T1, 8),
+            SsiVerdict::Committed
+        ));
+        assert!(matches!(
+            t.validate_and_commit(T3, 9),
+            SsiVerdict::Committed
+        ));
+    }
+
+    #[test]
+    fn committed_pivot_dooms_the_completing_transaction() {
+        let t = SsiTracker::new();
+        t.register(T1);
+        t.register(T3);
+        let oid = Oid(4);
+        let f = FieldId(1);
+        // T1 reads (oid, f) at snapshot 0 and gains an IN edge: T3 read
+        // something T1 overwrote (T3 → T1). T1 then commits — one flag
+        // only, so commit succeeds.
+        t.record_read(T1, oid, f);
+        t.read_edge(T3, T1);
+        assert!(matches!(
+            t.validate_and_commit(T1, 5),
+            SsiVerdict::Committed
+        ));
+        // T4 (snapshot 0, concurrent with T1's commit at 5) overwrites
+        // what T1 read: edge T1 → T4 gives committed T1 its OUT flag —
+        // T1 is now a pivot nobody can abort, so T4 is doomed.
+        let t4 = TxnId(4);
+        t.register(t4);
+        assert_eq!(t.write_edges(t4, 0, oid, f), 1, "edge from committed T1");
+        match t.validate_and_commit(t4, 6) {
+            SsiVerdict::Abort(c) => assert_eq!(c.pivot, Some(T1)),
+            SsiVerdict::Committed => panic!("completing txn must abort"),
+        }
+    }
+
+    #[test]
+    fn non_concurrent_committed_reader_creates_no_edge() {
+        let t = SsiTracker::new();
+        t.register(T1);
+        t.record_read(T1, Oid(9), FieldId(0));
+        assert!(matches!(
+            t.validate_and_commit(T1, 3),
+            SsiVerdict::Committed
+        ));
+        // A writer whose snapshot (5) already includes T1's commit (3):
+        // plain wr ordering, not an antidependency.
+        t.register(T2);
+        assert_eq!(t.write_edges(T2, 5, Oid(9), FieldId(0)), 0);
+        assert!(matches!(
+            t.validate_and_commit(T2, 6),
+            SsiVerdict::Committed
+        ));
+    }
+
+    #[test]
+    fn aborted_readers_leave_no_edges_and_purge_drains() {
+        let t = SsiTracker::new();
+        t.register(T1);
+        t.record_read(T1, Oid(2), FieldId(0));
+        t.forget(T1); // aborted
+        t.register(T2);
+        assert_eq!(t.write_edges(T2, 0, Oid(2), FieldId(0)), 0);
+        assert!(matches!(
+            t.validate_and_commit(T2, 1),
+            SsiVerdict::Committed
+        ));
+        assert!(t.siread_entries() > 0);
+        t.purge(10);
+        assert_eq!(t.siread_entries(), 0);
+        assert_eq!(t.tracked_txns(), 0);
+    }
+}

@@ -10,6 +10,8 @@ pub struct MvccStats {
     commits: AtomicU64,
     aborts: AtomicU64,
     write_conflicts: AtomicU64,
+    ssi_aborts: AtomicU64,
+    ssi_edges: AtomicU64,
     snapshot_reads: AtomicU64,
     versions_created: AtomicU64,
     versions_reclaimed: AtomicU64,
@@ -32,12 +34,17 @@ impl MvccStats {
         bump_commits => commits,
         bump_aborts => aborts,
         bump_write_conflicts => write_conflicts,
+        bump_ssi_aborts => ssi_aborts,
         bump_snapshot_reads => snapshot_reads,
         bump_versions_created => versions_created,
     }
 
     pub(crate) fn add_versions_reclaimed(&self, n: u64) {
         self.versions_reclaimed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_ssi_edges(&self, n: u64) {
+        self.ssi_edges.fetch_add(n, Ordering::Relaxed);
     }
 
     pub(crate) fn sample_chain_len(&self, len: u64) {
@@ -53,6 +60,8 @@ impl MvccStats {
             commits: self.commits.load(Ordering::Relaxed),
             aborts: self.aborts.load(Ordering::Relaxed),
             write_conflicts: self.write_conflicts.load(Ordering::Relaxed),
+            ssi_aborts: self.ssi_aborts.load(Ordering::Relaxed),
+            ssi_edges: self.ssi_edges.load(Ordering::Relaxed),
             snapshot_reads: self.snapshot_reads.load(Ordering::Relaxed),
             versions_created: self.versions_created.load(Ordering::Relaxed),
             versions_reclaimed: self.versions_reclaimed.load(Ordering::Relaxed),
@@ -68,6 +77,8 @@ impl MvccStats {
         self.commits.store(0, Ordering::Relaxed);
         self.aborts.store(0, Ordering::Relaxed);
         self.write_conflicts.store(0, Ordering::Relaxed);
+        self.ssi_aborts.store(0, Ordering::Relaxed);
+        self.ssi_edges.store(0, Ordering::Relaxed);
         self.snapshot_reads.store(0, Ordering::Relaxed);
         self.versions_created.store(0, Ordering::Relaxed);
         self.versions_reclaimed.store(0, Ordering::Relaxed);
@@ -88,6 +99,12 @@ pub struct MvccStatsSnapshot {
     pub aborts: u64,
     /// Writes refused by first-updater-wins validation.
     pub write_conflicts: u64,
+    /// Commits refused by SSI dangerous-structure validation (zero at
+    /// [`crate::IsolationLevel::Snapshot`]).
+    pub ssi_aborts: u64,
+    /// rw-antidependency edges observed by the SSI tracker (zero at
+    /// [`crate::IsolationLevel::Snapshot`]).
+    pub ssi_edges: u64,
     /// Snapshot field reads served.
     pub snapshot_reads: u64,
     /// Version records installed.
@@ -121,8 +138,12 @@ impl MvccStatsSnapshot {
             commits: self.commits.saturating_sub(earlier.commits),
             aborts: self.aborts.saturating_sub(earlier.aborts),
             write_conflicts: self.write_conflicts.saturating_sub(earlier.write_conflicts),
+            ssi_aborts: self.ssi_aborts.saturating_sub(earlier.ssi_aborts),
+            ssi_edges: self.ssi_edges.saturating_sub(earlier.ssi_edges),
             snapshot_reads: self.snapshot_reads.saturating_sub(earlier.snapshot_reads),
-            versions_created: self.versions_created.saturating_sub(earlier.versions_created),
+            versions_created: self
+                .versions_created
+                .saturating_sub(earlier.versions_created),
             versions_reclaimed: self
                 .versions_reclaimed
                 .saturating_sub(earlier.versions_reclaimed),

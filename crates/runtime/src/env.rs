@@ -77,9 +77,7 @@ impl Env {
     pub fn store_err(e: StoreError) -> ExecError {
         match e {
             StoreError::UnknownOid(o) => ExecError::UnknownOid(o),
-            StoreError::FieldNotVisible { oid, field } => {
-                ExecError::FieldNotVisible { oid, field }
-            }
+            StoreError::FieldNotVisible { oid, field } => ExecError::FieldNotVisible { oid, field },
             other => ExecError::TypeError(other.to_string()),
         }
     }

@@ -2,7 +2,7 @@
 //!
 //! Glues the method interpreter (`finecc-lang`), the object store
 //! (`finecc-store`), the lock manager (`finecc-lock`) and the version
-//! heap (`finecc-mvcc`) into five complete, interchangeable
+//! heap (`finecc-mvcc`) into six complete, interchangeable
 //! concurrency-control schemes behind one trait ([`CcScheme`]):
 //!
 //! * [`TavScheme`] — **the paper**: one lock per *top* message, mode =
@@ -24,13 +24,19 @@
 //! * [`MvccScheme`] — the optimistic/multi-version point of comparison
 //!   (not in the paper): snapshot reads take no locks at all, writes are
 //!   validated first-updater-wins against per-OID version chains, and
-//!   superseded versions are garbage-collected by epoch.
+//!   superseded versions are garbage-collected by epoch. Its
+//!   [`IsolationLevel`] is a first-class scheme parameter with one
+//!   matrix entry per level: `mvcc` (snapshot isolation — write skew
+//!   possible) and `mvcc-ssi` (serializable — commit-time
+//!   rw-antidependency validation after Cahill et al., surfacing as a
+//!   distinct validation-abort class in the statistics).
 //!
 //! The four lock schemes implement strict two-phase locking with
-//! deadlock-victim abort and undo-log rollback; the MVCC scheme aborts
-//! and retries write-write conflicts instead. All expose lock-manager
-//! (and, where applicable, version-heap) statistics so the experiments
-//! can compare them mechanically.
+//! deadlock-victim abort and undo-log rollback; the MVCC schemes abort
+//! and retry write-write conflicts (and, under `mvcc-ssi`, dangerous
+//! structures at commit) instead. All expose lock-manager (and, where
+//! applicable, version-heap) statistics so the experiments can compare
+//! them mechanically.
 
 pub mod env;
 pub mod scheme;
@@ -38,6 +44,7 @@ pub mod schemes;
 pub mod txn;
 
 pub use env::Env;
+pub use finecc_mvcc::IsolationLevel;
 pub use scheme::{CcScheme, SchemeKind};
 pub use schemes::fieldlock::FieldLockScheme;
 pub use schemes::mvcc::MvccScheme;

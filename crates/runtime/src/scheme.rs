@@ -1,11 +1,11 @@
-//! The scheme trait: one interface, four concurrency-control policies.
+//! The scheme trait: one interface, six concurrency-control policies.
 
 use crate::env::Env;
 use crate::txn::Txn;
 use finecc_lang::ExecError;
 use finecc_lock::StatsSnapshot;
 use finecc_model::{ClassId, Oid, Value};
-use finecc_mvcc::MvccStatsSnapshot;
+use finecc_mvcc::{IsolationLevel, MvccStatsSnapshot};
 
 /// A complete concurrency-control scheme: transaction lifecycle plus the
 /// four §5.2 access patterns.
@@ -20,13 +20,15 @@ use finecc_mvcc::MvccStatsSnapshot;
 ///
 /// The four lock schemes are strict 2PL: locks accumulate during the
 /// transaction and are released only by [`CcScheme::commit`] /
-/// [`CcScheme::abort`]. The mvcc scheme takes no locks at all — its
-/// admission control is optimistic (versioned reads, first-updater-wins
-/// writes), so its lock statistics are identically zero and conflicts
-/// surface as retryable aborts instead of blocking.
+/// [`CcScheme::abort`]. The two mvcc schemes take no locks at all —
+/// their admission control is optimistic (versioned reads,
+/// first-updater-wins writes; at [`IsolationLevel::Serializable`] also
+/// commit-time SSI validation), so their lock statistics are
+/// identically zero and conflicts surface as retryable aborts instead
+/// of blocking.
 pub trait CcScheme: Send + Sync {
     /// Scheme name for reports ("tav", "rw", "fieldlock", "relational",
-    /// "mvcc").
+    /// "mvcc", "mvcc-ssi").
     fn name(&self) -> &'static str;
 
     /// The shared environment.
@@ -71,10 +73,19 @@ pub trait CcScheme: Send + Sync {
     /// Commits the transaction and returns a commit sequence number that
     /// serializes conflicting transactions. Lock schemes draw it while
     /// locks are still held (strict 2PL), then release all locks; the
-    /// mvcc scheme returns the commit timestamp that flipped its
+    /// mvcc schemes return the commit timestamp that flipped their
     /// versions (read-only mvcc transactions serialize at — and return —
     /// their snapshot timestamp, which is unique only among writers).
-    fn commit(&self, txn: Txn) -> u64;
+    ///
+    /// Commit can *fail*: `mvcc-ssi` runs dangerous-structure validation
+    /// here and refuses serializability-violating transactions. On `Err`
+    /// the transaction has already been fully rolled back — the caller
+    /// must NOT call [`CcScheme::abort`]; when the error is retryable
+    /// ([`ExecError::is_deadlock`]) the standard response is to re-run
+    /// on a fresh snapshot, exactly like a deadlock victim (see
+    /// [`crate::run_txn`]). The four lock schemes and plain `mvcc` are
+    /// infallible here and always return `Ok`.
+    fn commit(&self, txn: Txn) -> Result<u64, ExecError>;
 
     /// Aborts: rolls the undo log back, then releases all locks.
     fn abort(&self, txn: Txn);
@@ -92,7 +103,7 @@ pub trait CcScheme: Send + Sync {
     }
 }
 
-/// The five schemes, for configuration surfaces (CLI flags, workload
+/// The six schemes, for configuration surfaces (CLI flags, workload
 /// matrices).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum SchemeKind {
@@ -104,18 +115,23 @@ pub enum SchemeKind {
     FieldLock,
     /// Relational decomposition with tuple locking.
     Relational,
-    /// Multi-version snapshot reads with optimistic write validation.
+    /// Multi-version snapshot reads with optimistic write validation
+    /// (snapshot isolation).
     Mvcc,
+    /// [`SchemeKind::Mvcc`] plus commit-time SSI validation
+    /// (serializable).
+    MvccSsi,
 }
 
 impl SchemeKind {
     /// All kinds, in comparison order.
-    pub const ALL: [SchemeKind; 5] = [
+    pub const ALL: [SchemeKind; 6] = [
         SchemeKind::Tav,
         SchemeKind::Rw,
         SchemeKind::FieldLock,
         SchemeKind::Relational,
         SchemeKind::Mvcc,
+        SchemeKind::MvccSsi,
     ];
 
     /// Constructs the scheme over an environment.
@@ -123,13 +139,16 @@ impl SchemeKind {
         match self {
             SchemeKind::Tav => Box::new(crate::schemes::tav::TavScheme::new(env)),
             SchemeKind::Rw => Box::new(crate::schemes::rw::RwScheme::new(env)),
-            SchemeKind::FieldLock => {
-                Box::new(crate::schemes::fieldlock::FieldLockScheme::new(env))
-            }
+            SchemeKind::FieldLock => Box::new(crate::schemes::fieldlock::FieldLockScheme::new(env)),
             SchemeKind::Relational => {
                 Box::new(crate::schemes::relational::RelationalScheme::new(env))
             }
-            SchemeKind::Mvcc => Box::new(crate::schemes::mvcc::MvccScheme::new(env)),
+            SchemeKind::Mvcc | SchemeKind::MvccSsi => {
+                Box::new(crate::schemes::mvcc::MvccScheme::with_isolation(
+                    env,
+                    self.isolation().expect("mvcc kinds have a level"),
+                ))
+            }
         }
     }
 
@@ -141,7 +160,25 @@ impl SchemeKind {
             SchemeKind::FieldLock => "fieldlock",
             SchemeKind::Relational => "relational",
             SchemeKind::Mvcc => "mvcc",
+            SchemeKind::MvccSsi => "mvcc-ssi",
         }
+    }
+
+    /// The isolation level of the multi-version kinds; `None` for the
+    /// (serializable-by-locking) lock schemes.
+    pub fn isolation(self) -> Option<IsolationLevel> {
+        match self {
+            SchemeKind::Mvcc => Some(IsolationLevel::Snapshot),
+            SchemeKind::MvccSsi => Some(IsolationLevel::Serializable),
+            _ => None,
+        }
+    }
+
+    /// `true` when every admitted execution is serializable: the lock
+    /// schemes by strict 2PL, `mvcc-ssi` by commit-time validation;
+    /// plain `mvcc` gives snapshot isolation only.
+    pub fn serializable(self) -> bool {
+        self.isolation() != Some(IsolationLevel::Snapshot)
     }
 }
 
@@ -157,9 +194,24 @@ mod tests {
 
     #[test]
     fn kinds_enumerate_and_name() {
-        assert_eq!(SchemeKind::ALL.len(), 5);
+        assert_eq!(SchemeKind::ALL.len(), 6);
         assert_eq!(SchemeKind::Tav.to_string(), "tav");
         assert_eq!(SchemeKind::Relational.name(), "relational");
         assert_eq!(SchemeKind::Mvcc.name(), "mvcc");
+        assert_eq!(SchemeKind::MvccSsi.name(), "mvcc-ssi");
+    }
+
+    #[test]
+    fn isolation_is_a_scheme_parameter() {
+        assert_eq!(SchemeKind::Mvcc.isolation(), Some(IsolationLevel::Snapshot));
+        assert_eq!(
+            SchemeKind::MvccSsi.isolation(),
+            Some(IsolationLevel::Serializable)
+        );
+        assert_eq!(SchemeKind::Tav.isolation(), None);
+        // Serializability: everyone but plain mvcc.
+        for kind in SchemeKind::ALL {
+            assert_eq!(kind.serializable(), kind != SchemeKind::Mvcc, "{kind}");
+        }
     }
 }

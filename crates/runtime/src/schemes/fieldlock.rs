@@ -64,7 +64,11 @@ impl DataAccess for FlAccess<'_> {
     fn read_field(&mut self, oid: Oid, field: FieldId) -> Result<Value, ExecError> {
         if !self.is_covered(oid)? {
             self.lm
-                .acquire(self.txn.id, ResourceId::Field(oid, field), LockMode::plain(READ))
+                .acquire(
+                    self.txn.id,
+                    ResourceId::Field(oid, field),
+                    LockMode::plain(READ),
+                )
                 .map_err(Env::lock_err)?;
         }
         self.env.db.read(oid, field).map_err(Env::store_err)
@@ -74,11 +78,19 @@ impl DataAccess for FlAccess<'_> {
         if !self.is_covered(oid)? {
             // Possible read→write escalation on this very field.
             self.lm
-                .acquire(self.txn.id, ResourceId::Field(oid, field), LockMode::plain(WRITE))
+                .acquire(
+                    self.txn.id,
+                    ResourceId::Field(oid, field),
+                    LockMode::plain(WRITE),
+                )
                 .map_err(Env::lock_err)?;
             let class = self.env.db.class_of(oid).map_err(Env::store_err)?;
             self.lm
-                .acquire(self.txn.id, ResourceId::Class(class), LockMode::class(WRITE, false))
+                .acquire(
+                    self.txn.id,
+                    ResourceId::Class(class),
+                    LockMode::class(WRITE, false),
+                )
                 .map_err(Env::lock_err)?;
         }
         let old = self
@@ -95,7 +107,11 @@ impl DataAccess for FlAccess<'_> {
             // Presence marker: lets extent-level hierarchical locks see
             // concurrent instance users.
             self.lm
-                .acquire(self.txn.id, ResourceId::Class(class), LockMode::class(READ, false))
+                .acquire(
+                    self.txn.id,
+                    ResourceId::Class(class),
+                    LockMode::class(READ, false),
+                )
                 .map_err(Env::lock_err)?;
         }
         let _ = oid;
@@ -205,11 +221,13 @@ impl CcScheme for FieldLockScheme {
         Ok(out)
     }
 
-    fn commit(&self, mut txn: Txn) -> u64 {
+    fn commit(&self, mut txn: Txn) -> Result<u64, ExecError> {
+        // Strict 2PL holds every lock to this point; nothing is left to
+        // validate, so commit cannot fail.
         txn.undo.clear();
         let seq = self.env.next_commit_seq();
         self.lm.release_all(txn.id);
-        seq
+        Ok(seq)
     }
 
     fn abort(&self, mut txn: Txn) {
@@ -264,7 +282,7 @@ mod tests {
             TryAcquire::WouldBlock,
             "read field is share-locked"
         );
-        s.commit(txn);
+        s.commit(txn).unwrap();
     }
 
     #[test]
@@ -273,7 +291,7 @@ mod tests {
         let mut txn = s.begin();
         s.send(&mut txn, o2, "m1", &[Value::Int(1)]).unwrap();
         let requests = s.stats().requests;
-        s.commit(txn);
+        s.commit(txn).unwrap();
         // TAV needs 2; per-field locking needs one call per touched field
         // plus class markers — strictly more.
         assert!(requests > 2, "got {requests}");
@@ -286,7 +304,7 @@ mod tests {
         // m2 computes expr(f1,…) then assigns f1: read then write on f1.
         s.send(&mut txn, o2, "m2", &[Value::Int(1)]).unwrap();
         assert!(s.stats().upgrades >= 1);
-        s.commit(txn);
+        s.commit(txn).unwrap();
     }
 
     #[test]
@@ -298,8 +316,8 @@ mod tests {
         s.send(&mut t1, o2, "m2", &[Value::Int(1)]).unwrap();
         s.send(&mut t2, o2, "m4", &[Value::Int(5), Value::Int(1)])
             .unwrap();
-        s.commit(t1);
-        s.commit(t2);
+        s.commit(t1).unwrap();
+        s.commit(t2).unwrap();
     }
 
     #[test]
@@ -319,7 +337,7 @@ mod tests {
         let mut txn = s.begin();
         let r = s.send_all(&mut txn, c1, "m2", &[Value::Int(2)]).unwrap();
         assert_eq!(r.len(), 2);
-        s.commit(txn);
+        s.commit(txn).unwrap();
         assert_eq!(s.env().read_named(o1, "c1", "f1"), Value::Int(2));
         assert_eq!(s.env().read_named(o2, "c2", "f4"), Value::Int(2));
     }

@@ -1,4 +1,4 @@
-//! The five concurrency-control schemes.
+//! The six concurrency-control schemes.
 
 pub mod fieldlock;
 pub mod mvcc;

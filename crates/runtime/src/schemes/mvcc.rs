@@ -1,13 +1,17 @@
 //! The multi-version / optimistic scheme: snapshot reads, no read locks,
-//! first-updater-wins write validation.
+//! first-updater-wins write validation — at either isolation level
+//! ([`IsolationLevel`] is a first-class scheme parameter, giving the
+//! matrix two entries: `mvcc` at `Snapshot`, `mvcc-ssi` at
+//! `Serializable`).
 //!
 //! This is the scheme matrix's optimistic point of comparison (after
 //! Larson et al., VLDB 2012), deliberately *not* in the paper: where the
 //! TAV scheme buys parallelism from compile-time commutativity, MVCC buys
 //! it from versioning — readers never take a lock and never block, at the
-//! price of snapshot-isolation semantics (write skew is possible; see the
-//! regression tests) and optimistic restarts on field-level write-write
-//! conflicts:
+//! price of either snapshot-isolation semantics (write skew is possible;
+//! see the regression tests) or, at `Serializable`, commit-time SSI
+//! validation aborts — plus optimistic restarts on field-level
+//! write-write conflicts:
 //!
 //! * **Reads** reconstruct the transaction's snapshot from the version
 //!   chains of [`finecc_mvcc::MvccHeap`]. The lock manager is never
@@ -21,18 +25,24 @@
 //!   [`ExecError::ConcurrencyAbort`], so the standard
 //!   [`crate::run_txn`] retry loop re-runs the transaction on a fresh
 //!   snapshot — the optimistic analogue of a deadlock-victim restart.
-//! * **Commit** is infallible (all validation happened at write time):
-//!   one timestamp draw flips every pending version atomically with
-//!   respect to new snapshots. The returned commit sequence *is* the
-//!   commit timestamp — under snapshot isolation the commit-timestamp
-//!   order serializes every pair of write-conflicting transactions.
+//! * **Commit** draws one timestamp and flips every pending version
+//!   atomically with respect to new snapshots; the returned commit
+//!   sequence *is* the commit timestamp. At `Snapshot` commit is
+//!   infallible (all validation happened at write time). At
+//!   `Serializable` the heap validates Cahill-style conflict flags fed
+//!   by the interpreter's field-granularity footprints and refuses
+//!   dangerous structures with a retryable
+//!   [`ExecError::ConcurrencyAbort`]; [`crate::run_txn`] re-runs the
+//!   victim on a fresh snapshot exactly like a deadlock victim.
 //!
 //! Compared per §5.2: every pair the TAV scheme admits, MVCC admits too
 //! (a TAV write-set conflict is a superset of a field write-write
 //! conflict), and MVCC additionally admits any reader against any
-//! writer, which no lock scheme does. The price is isolation strength:
-//! the lock schemes are serializable, MVCC gives snapshot isolation
-//! (write skew — see `tests/snapshot_isolation.rs`).
+//! writer, which no lock scheme does. The price at `Snapshot` is
+//! isolation strength (write skew — see `tests/snapshot_isolation.rs`);
+//! `mvcc-ssi` restores serializability and instead pays a commit-time
+//! validation-abort tax, reported separately in the heap statistics
+//! (`ssi_aborts`).
 
 use crate::env::Env;
 use crate::scheme::CcScheme;
@@ -41,7 +51,7 @@ use crate::txn::Txn;
 use finecc_lang::{DataAccess, ExecError};
 use finecc_lock::{LockStats, StatsSnapshot};
 use finecc_model::{ClassId, FieldId, MethodId, Oid, TxnId, Value};
-use finecc_mvcc::{MvccHeap, MvccStatsSnapshot, MvccWriteError};
+use finecc_mvcc::{IsolationLevel, MvccHeap, MvccStatsSnapshot, MvccWriteError, SsiConflict};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -57,15 +67,27 @@ pub struct MvccScheme {
 }
 
 impl MvccScheme {
-    /// Builds the scheme, layering a fresh version heap over the
-    /// environment's object store.
+    /// Builds the scheme at [`IsolationLevel::Snapshot`], layering a
+    /// fresh version heap over the environment's object store.
     pub fn new(env: Env) -> MvccScheme {
+        MvccScheme::with_isolation(env, IsolationLevel::Snapshot)
+    }
+
+    /// Builds the scheme at the given isolation level — the level is a
+    /// first-class scheme parameter: `Snapshot` is the `mvcc` matrix
+    /// entry, `Serializable` the `mvcc-ssi` one.
+    pub fn with_isolation(env: Env, isolation: IsolationLevel) -> MvccScheme {
         MvccScheme {
-            heap: Arc::new(MvccHeap::new(Arc::clone(&env.db))),
+            heap: Arc::new(MvccHeap::with_isolation(Arc::clone(&env.db), isolation)),
             env,
             next_txn: AtomicU64::new(1),
             lock_stats: LockStats::default(),
         }
+    }
+
+    /// The scheme's isolation level.
+    pub fn isolation(&self) -> IsolationLevel {
+        self.heap.isolation()
     }
 
     /// The underlying multi-version heap (for tests, experiments, and
@@ -83,6 +105,15 @@ impl MvccScheme {
                 msg: c.to_string(),
             },
             MvccWriteError::Store(e) => Env::store_err(e),
+        }
+    }
+
+    fn ssi_err(c: SsiConflict) -> ExecError {
+        // Also retryable: the dangerous structure involved concurrent
+        // transactions that are gone by the time the victim re-runs.
+        ExecError::ConcurrencyAbort {
+            deadlock: true,
+            msg: c.to_string(),
         }
     }
 }
@@ -140,7 +171,10 @@ impl MvccScheme {
 
 impl CcScheme for MvccScheme {
     fn name(&self) -> &'static str {
-        "mvcc"
+        match self.heap.isolation() {
+            IsolationLevel::Snapshot => "mvcc",
+            IsolationLevel::Serializable => "mvcc-ssi",
+        }
     }
 
     fn env(&self) -> &Env {
@@ -198,13 +232,15 @@ impl CcScheme for MvccScheme {
         Ok(out)
     }
 
-    fn commit(&self, mut txn: Txn) -> u64 {
+    fn commit(&self, mut txn: Txn) -> Result<u64, ExecError> {
         // The undo log is unused: rollback state lives in the version
         // chains' before-images. Writers return their fresh (unique)
         // commit timestamp; read-only transactions serialize at — and
         // return — their snapshot timestamp, skipping the commit lock.
+        // At Serializable the heap validates here and rolls the
+        // transaction back itself on a dangerous structure.
         txn.undo.clear();
-        self.heap.commit(txn.id)
+        self.heap.commit(txn.id).map_err(MvccScheme::ssi_err)
     }
 
     fn abort(&self, mut txn: Txn) {
@@ -242,11 +278,22 @@ mod tests {
     }
 
     #[test]
+    fn isolation_level_names_the_scheme() {
+        let env = Env::from_source(FIGURE1_SOURCE).unwrap();
+        let s = MvccScheme::with_isolation(env.clone(), IsolationLevel::Serializable);
+        assert_eq!(s.name(), "mvcc-ssi");
+        assert_eq!(s.isolation(), IsolationLevel::Serializable);
+        let s = MvccScheme::new(env);
+        assert_eq!(s.name(), "mvcc");
+        assert_eq!(s.isolation(), IsolationLevel::Snapshot);
+    }
+
+    #[test]
     fn execution_matches_lock_schemes_with_zero_lock_requests() {
         let (s, _, o2) = setup();
         let mut txn = s.begin();
         s.send(&mut txn, o2, "m1", &[Value::Int(3)]).unwrap();
-        s.commit(txn);
+        s.commit(txn).unwrap();
         assert_eq!(s.env().read_named(o2, "c2", "f1"), Value::Int(3));
         assert_eq!(s.env().read_named(o2, "c2", "f4"), Value::Int(3));
         assert_eq!(s.stats(), StatsSnapshot::default(), "no lock traffic, ever");
@@ -267,8 +314,8 @@ mod tests {
         let mut reader = s.begin();
         s.send(&mut reader, o2, "m3", &[]).unwrap();
         assert_eq!(s.heap().read(reader.id, o2, f4), Ok(Value::Int(0)));
-        s.commit(reader);
-        s.commit(writer);
+        s.commit(reader).unwrap();
+        s.commit(writer).unwrap();
         assert_eq!(s.stats().requests, 0);
     }
 
@@ -283,7 +330,7 @@ mod tests {
         let err = s.send(&mut t2, o2, "m2", &[Value::Int(9)]).unwrap_err();
         assert!(err.is_deadlock(), "conflict must be retryable: {err}");
         s.abort(t2);
-        s.commit(t1);
+        s.commit(t1).unwrap();
         assert_eq!(s.mvcc_stats().unwrap().write_conflicts, 1);
         // The retry (fresh snapshot) succeeds.
         let out = run_txn(&s, 3, |txn| s.send(txn, o2, "m2", &[Value::Int(9)]));
@@ -301,8 +348,8 @@ mod tests {
         s.send(&mut t1, o2, "m2", &[Value::Int(1)]).unwrap();
         s.send(&mut t2, o2, "m4", &[Value::Int(5), Value::Int(2)])
             .unwrap();
-        s.commit(t1);
-        s.commit(t2);
+        s.commit(t1).unwrap();
+        s.commit(t2).unwrap();
         assert_eq!(s.mvcc_stats().unwrap().write_conflicts, 0);
         assert_eq!(s.mvcc_stats().unwrap().commits, 2);
     }
@@ -326,14 +373,14 @@ mod tests {
         let mut txn = s.begin();
         let results = s.send_all(&mut txn, c1, "m2", &[Value::Int(2)]).unwrap();
         assert_eq!(results.len(), 2, "deep extent: o1 and o2");
-        s.commit(txn);
+        s.commit(txn).unwrap();
         assert_eq!(s.env().read_named(o1, "c1", "f1"), Value::Int(2));
         assert_eq!(s.env().read_named(o2, "c2", "f4"), Value::Int(2));
 
         let mut txn = s.begin();
         let results = s.send_some(&mut txn, c1, &[o1], "m3", &[]).unwrap();
         assert_eq!(results.len(), 1);
-        s.commit(txn);
+        s.commit(txn).unwrap();
         assert_eq!(s.stats().requests, 0);
     }
 
@@ -344,7 +391,7 @@ mod tests {
         for i in 1..=5 {
             let mut txn = s.begin();
             s.send(&mut txn, o1, "m2", &[Value::Int(i)]).unwrap();
-            let seq = s.commit(txn);
+            let seq = s.commit(txn).unwrap();
             assert!(seq > last);
             last = seq;
         }

@@ -45,7 +45,10 @@ impl RelationalScheme {
         let mut roots = Vec::with_capacity(env.schema.class_count());
         let mut keys = Vec::with_capacity(env.schema.class_count());
         for ci in env.schema.classes() {
-            let root = *ci.linearization.last().expect("linearization contains self");
+            let root = *ci
+                .linearization
+                .last()
+                .expect("linearization contains self");
             roots.push(root);
             keys.push(env.schema.class(root).own_fields.first().copied());
         }
@@ -153,7 +156,11 @@ impl DataAccess for RelAccess<'_> {
                 continue;
             }
             self.lm
-                .acquire(self.txn.id, ResourceId::Relation(rel), LockMode::class(m, false))
+                .acquire(
+                    self.txn.id,
+                    ResourceId::Relation(rel),
+                    LockMode::class(m, false),
+                )
                 .map_err(Env::lock_err)?;
             self.lm
                 .acquire(self.txn.id, ResourceId::Tuple(rel, oid), LockMode::plain(m))
@@ -259,11 +266,13 @@ impl CcScheme for RelationalScheme {
         Ok(out)
     }
 
-    fn commit(&self, mut txn: Txn) -> u64 {
+    fn commit(&self, mut txn: Txn) -> Result<u64, ExecError> {
+        // Strict 2PL holds every lock to this point; nothing is left to
+        // validate, so commit cannot fail.
         txn.undo.clear();
         let seq = self.env.next_commit_seq();
         self.lm.release_all(txn.id);
-        seq
+        Ok(seq)
     }
 
     fn abort(&self, mut txn: Txn) {
@@ -334,8 +343,8 @@ mod tests {
         s.send(&mut t1, o2, "m4", &[Value::Int(5), Value::Int(1)])
             .unwrap();
         s.send(&mut t2, o2, "m3", &[]).unwrap();
-        s.commit(t1);
-        s.commit(t2);
+        s.commit(t1).unwrap();
+        s.commit(t2).unwrap();
         assert_eq!(s.stats().blocks, 0);
     }
 
@@ -348,11 +357,13 @@ mod tests {
         s.send(&mut t1, o1, "m1", &[Value::Int(1)]).unwrap();
         let c2 = s.env().schema.class_by_name("c2").unwrap();
         let probe = s.lm.begin();
-        let r = s
-            .lm
-            .try_acquire(probe, ResourceId::Relation(c2), LockMode::class(WRITE, true));
+        let r = s.lm.try_acquire(
+            probe,
+            ResourceId::Relation(c2),
+            LockMode::class(WRITE, true),
+        );
         assert_eq!(r, TryAcquire::WouldBlock);
-        s.commit(t1);
+        s.commit(t1).unwrap();
     }
 
     #[test]
@@ -387,7 +398,7 @@ mod tests {
         let mut txn = s.begin();
         let r = s.send_all(&mut txn, c1, "m2", &[Value::Int(2)]).unwrap();
         assert_eq!(r.len(), 2);
-        s.commit(txn);
+        s.commit(txn).unwrap();
         assert_eq!(s.env().read_named(o1, "c1", "f1"), Value::Int(2));
         assert_eq!(s.env().read_named(o2, "c2", "f4"), Value::Int(2));
     }

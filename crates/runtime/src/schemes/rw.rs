@@ -85,16 +85,28 @@ impl RwAccess<'_> {
             // Hierarchically covered: escalation surfaces at class level.
             if m == WRITE {
                 self.lm
-                    .acquire(self.txn.id, ResourceId::Class(class), LockMode::class(WRITE, true))
+                    .acquire(
+                        self.txn.id,
+                        ResourceId::Class(class),
+                        LockMode::class(WRITE, true),
+                    )
                     .map_err(Env::lock_err)?;
             }
             return Ok(());
         }
         self.lm
-            .acquire(self.txn.id, ResourceId::Class(class), LockMode::class(m, false))
+            .acquire(
+                self.txn.id,
+                ResourceId::Class(class),
+                LockMode::class(m, false),
+            )
             .map_err(Env::lock_err)?;
         self.lm
-            .acquire(self.txn.id, ResourceId::Instance(oid, class), LockMode::plain(m))
+            .acquire(
+                self.txn.id,
+                ResourceId::Instance(oid, class),
+                LockMode::plain(m),
+            )
             .map_err(Env::lock_err)?;
         Ok(())
     }
@@ -208,14 +220,12 @@ impl CcScheme for RwScheme {
         args: &[Value],
     ) -> Result<Vec<Value>, ExecError> {
         for &c in self.env.schema.domain(root) {
-            let mid = self
-                .env
-                .schema
-                .resolve_method(c, method)
-                .ok_or_else(|| ExecError::MessageNotUnderstood {
+            let mid = self.env.schema.resolve_method(c, method).ok_or_else(|| {
+                ExecError::MessageNotUnderstood {
                     class: c,
                     method: method.to_string(),
-                })?;
+                }
+            })?;
             let m = self.classify(mid);
             self.lm
                 .acquire(txn.id, ResourceId::Class(c), LockMode::class(m, false))
@@ -237,11 +247,13 @@ impl CcScheme for RwScheme {
         Ok(out)
     }
 
-    fn commit(&self, mut txn: Txn) -> u64 {
+    fn commit(&self, mut txn: Txn) -> Result<u64, ExecError> {
+        // Strict 2PL holds every lock to this point; nothing is left to
+        // validate, so commit cannot fail.
         txn.undo.clear();
         let seq = self.env.next_commit_seq();
         self.lm.release_all(txn.id);
-        seq
+        Ok(seq)
     }
 
     fn abort(&self, mut txn: Txn) {
@@ -282,7 +294,7 @@ mod tests {
         s.send(&mut txn, o2, "m1", &[Value::Int(1)]).unwrap();
         let st = s.stats();
         assert_eq!(st.requests, 8, "4 controls × (class + instance)");
-        s.commit(txn);
+        s.commit(txn).unwrap();
     }
 
     #[test]
@@ -292,7 +304,7 @@ mod tests {
         let mut txn = s.begin();
         s.send(&mut txn, o1, "m1", &[Value::Int(1)]).unwrap();
         assert!(s.stats().upgrades >= 1, "read→write escalation happened");
-        s.commit(txn);
+        s.commit(txn).unwrap();
     }
 
     #[test]
@@ -303,11 +315,10 @@ mod tests {
         s.send(&mut t1, o2, "m2", &[Value::Int(1)]).unwrap();
         let c2 = s.env().schema.class_by_name("c2").unwrap();
         let probe = s.lm.begin();
-        let r = s
-            .lm
-            .try_acquire(probe, ResourceId::Instance(o2, c2), LockMode::plain(WRITE));
+        let r =
+            s.lm.try_acquire(probe, ResourceId::Instance(o2, c2), LockMode::plain(WRITE));
         assert_eq!(r, TryAcquire::WouldBlock, "m4 would block behind m2");
-        s.commit(t1);
+        s.commit(t1).unwrap();
     }
 
     #[test]
@@ -315,7 +326,7 @@ mod tests {
         let (s, _, o2) = setup();
         let mut txn = s.begin();
         s.send(&mut txn, o2, "m1", &[Value::Int(3)]).unwrap();
-        s.commit(txn);
+        s.commit(txn).unwrap();
         assert_eq!(s.env().read_named(o2, "c2", "f1"), Value::Int(3));
         assert_eq!(s.env().read_named(o2, "c2", "f4"), Value::Int(3));
     }
@@ -338,8 +349,8 @@ mod tests {
         // m3 is a pure reader when f2 is false.
         s.send(&mut t1, o1, "m3", &[]).unwrap();
         s.send(&mut t2, o1, "m3", &[]).unwrap();
-        s.commit(t1);
-        s.commit(t2);
+        s.commit(t1).unwrap();
+        s.commit(t2).unwrap();
         assert_eq!(s.stats().blocks, 0);
     }
 
@@ -352,10 +363,13 @@ mod tests {
         s.send_all(&mut txn, c1, "m1", &[Value::Int(1)]).unwrap();
         let c2 = s.env().schema.class_by_name("c2").unwrap();
         let probe = s.lm.begin();
-        let r = s
-            .lm
-            .try_acquire(probe, ResourceId::Class(c2), LockMode::class(READ, false));
-        assert_eq!(r, TryAcquire::WouldBlock, "intentional read blocked by hier write");
-        s.commit(txn);
+        let r =
+            s.lm.try_acquire(probe, ResourceId::Class(c2), LockMode::class(READ, false));
+        assert_eq!(
+            r,
+            TryAcquire::WouldBlock,
+            "intentional read blocked by hier write"
+        );
+        s.commit(txn).unwrap();
     }
 }

@@ -33,7 +33,8 @@ impl TavScheme {
     /// Builds the scheme (compiles nothing — the matrices are already in
     /// `env.compiled`, produced at schema-compile time).
     pub fn new(env: Env) -> TavScheme {
-        let lm = LockManager::new(CommutSource::new(Arc::clone(&env.compiled))).with_timeout(env.lock_timeout);
+        let lm = LockManager::new(CommutSource::new(Arc::clone(&env.compiled)))
+            .with_timeout(env.lock_timeout);
         TavScheme { env, lm }
     }
 
@@ -58,7 +59,11 @@ impl TavScheme {
                     method: method.to_string(),
                 })? as u16;
             self.lm
-                .acquire(txn.id, ResourceId::Class(c), LockMode::class(idx, hierarchical))
+                .acquire(
+                    txn.id,
+                    ResourceId::Class(c),
+                    LockMode::class(idx, hierarchical),
+                )
                 .map_err(Env::lock_err)?;
         }
         Ok(())
@@ -103,7 +108,11 @@ impl DataAccess for TavAccess<'_> {
             })? as u16;
         if !self.covered.contains(&class) {
             self.lm
-                .acquire(self.txn.id, ResourceId::Class(class), LockMode::class(idx, false))
+                .acquire(
+                    self.txn.id,
+                    ResourceId::Class(class),
+                    LockMode::class(idx, false),
+                )
                 .map_err(Env::lock_err)?;
             self.lm
                 .acquire(
@@ -201,11 +210,13 @@ impl CcScheme for TavScheme {
         Ok(out)
     }
 
-    fn commit(&self, mut txn: Txn) -> u64 {
+    fn commit(&self, mut txn: Txn) -> Result<u64, ExecError> {
+        // Strict 2PL holds every lock to this point; nothing is left to
+        // validate, so commit cannot fail.
         txn.undo.clear();
         let seq = self.env.next_commit_seq();
         self.lm.release_all(txn.id);
-        seq
+        Ok(seq)
     }
 
     fn abort(&self, mut txn: Txn) {
@@ -248,7 +259,7 @@ mod tests {
         let st = s.stats();
         assert_eq!(st.requests, 2, "one class + one instance lock");
         assert_eq!(st.upgrades, 0, "no escalation (P3 solved)");
-        s.commit(txn);
+        s.commit(txn).unwrap();
     }
 
     #[test]
@@ -256,7 +267,7 @@ mod tests {
         let (s, _, o2) = setup();
         let mut txn = s.begin();
         s.send(&mut txn, o2, "m1", &[Value::Int(3)]).unwrap();
-        s.commit(txn);
+        s.commit(txn).unwrap();
         // c1.m2 wrote f1 = expr(0, false, 3) = 3; override wrote f4 = 3.
         assert_eq!(s.env().read_named(o2, "c2", "f1"), Value::Int(3));
         assert_eq!(s.env().read_named(o2, "c2", "f4"), Value::Int(3));
@@ -283,8 +294,8 @@ mod tests {
         s.send(&mut t1, o2, "m2", &[Value::Int(1)]).unwrap();
         s.send(&mut t2, o2, "m4", &[Value::Int(5), Value::Int(2)])
             .unwrap();
-        s.commit(t1);
-        s.commit(t2);
+        s.commit(t1).unwrap();
+        s.commit(t2).unwrap();
     }
 
     #[test]
@@ -294,13 +305,17 @@ mod tests {
         s.send(&mut t1, o2, "m2", &[Value::Int(1)]).unwrap();
         // m1 conflicts with m2 (Table 2): try_acquire through a second
         // transaction must block. Use the raw lock manager to probe.
-        let table = s.env().compiled.class(s.env().schema.class_by_name("c2").unwrap());
+        let table = s
+            .env()
+            .compiled
+            .class(s.env().schema.class_by_name("c2").unwrap());
         let m1 = table.index_of("m1").unwrap() as u16;
         let t2 = s.lm.begin();
         let c2 = s.env().schema.class_by_name("c2").unwrap();
-        let r = s.lm.try_acquire(t2, ResourceId::Instance(o2, c2), LockMode::plain(m1));
+        let r =
+            s.lm.try_acquire(t2, ResourceId::Instance(o2, c2), LockMode::plain(m1));
         assert_eq!(r, finecc_lock::TryAcquire::WouldBlock);
-        s.commit(t1);
+        s.commit(t1).unwrap();
     }
 
     #[test]
@@ -312,7 +327,7 @@ mod tests {
         assert_eq!(results.len(), 2, "deep extent: o1 and o2");
         // Only class locks were taken: 2 classes, no instance locks.
         assert_eq!(s.stats().requests, 2);
-        s.commit(txn);
+        s.commit(txn).unwrap();
         assert_eq!(s.env().read_named(o1, "c1", "f1"), Value::Int(2));
         assert_eq!(s.env().read_named(o2, "c2", "f4"), Value::Int(2));
     }
@@ -327,13 +342,15 @@ mod tests {
         // 2 intentional class locks + (class re-acquire + instance) for o1.
         let st = s.stats();
         assert!(st.requests >= 3);
-        s.commit(txn);
+        s.commit(txn).unwrap();
     }
 
     #[test]
     fn retry_loop_commits() {
         let (s, _, o2) = setup();
-        let out = run_txn(&s, 3, |txn| s.send(txn, o2, "m4", &[Value::Int(1), Value::Int(1)]));
+        let out = run_txn(&s, 3, |txn| {
+            s.send(txn, o2, "m4", &[Value::Int(1), Value::Int(1)])
+        });
         assert!(out.is_committed());
     }
 
@@ -353,7 +370,7 @@ mod tests {
         s.send(&mut txn, o1, "m3", &[]).unwrap();
         // m3 sent `m` through f3: class(c1)+inst(o1) + class(c3)+inst(o3).
         assert_eq!(s.stats().requests, 4);
-        s.commit(txn);
+        s.commit(txn).unwrap();
         assert_eq!(env.read_named(o3, "c3", "g1"), Value::Int(1));
     }
 }

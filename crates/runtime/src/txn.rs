@@ -60,8 +60,11 @@ impl<T> TxnOutcome<T> {
 
 /// Runs `body` as a transaction against `scheme`, committing on success,
 /// aborting (undo + release) on error, and retrying deadlock victims up
-/// to `max_retries` times. This is the standard driver used by the
-/// simulator, the examples and the stress tests.
+/// to `max_retries` times. A *commit-time* refusal (mvcc-ssi dangerous
+/// structures) counts as a retry too: the scheme has already rolled the
+/// transaction back, so the loop simply re-runs the body on a fresh
+/// snapshot. This is the standard driver used by the simulator, the
+/// examples and the stress tests.
 pub fn run_txn<T>(
     scheme: &dyn CcScheme,
     max_retries: u32,
@@ -70,26 +73,31 @@ pub fn run_txn<T>(
     let mut retries = 0;
     loop {
         let mut txn = scheme.begin();
-        match body(&mut txn) {
-            Ok(value) => {
-                scheme.commit(txn);
-                return TxnOutcome::Committed { value, retries };
-            }
+        let retryable = match body(&mut txn) {
+            Ok(value) => match scheme.commit(txn) {
+                Ok(_) => return TxnOutcome::Committed { value, retries },
+                // Failed commit == the scheme aborted the transaction
+                // itself; no abort() call — the Txn is consumed.
+                Err(e) if e.is_deadlock() => true,
+                Err(e) => return TxnOutcome::Failed(e),
+            },
             Err(e) if e.is_deadlock() => {
                 scheme.abort(txn);
-                retries += 1;
-                if retries > max_retries {
-                    return TxnOutcome::Exhausted { retries };
-                }
-                // Brief backoff proportional to the retry count keeps
-                // rival victims from re-colliding in lockstep.
-                std::thread::yield_now();
+                true
             }
             Err(e) => {
                 scheme.abort(txn);
                 return TxnOutcome::Failed(e);
             }
+        };
+        debug_assert!(retryable);
+        retries += 1;
+        if retries > max_retries {
+            return TxnOutcome::Exhausted { retries };
         }
+        // Brief backoff proportional to the retry count keeps rival
+        // victims from re-colliding in lockstep.
+        std::thread::yield_now();
     }
 }
 

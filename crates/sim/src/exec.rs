@@ -52,6 +52,19 @@ impl ExecReport {
             self.committed as f64 / self.elapsed.as_secs_f64()
         }
     }
+
+    /// First-updater-wins write-write conflicts during the run (0 for
+    /// lock schemes).
+    pub fn ww_conflicts(&self) -> u64 {
+        self.mvcc.map_or(0, |m| m.write_conflicts)
+    }
+
+    /// Commits refused by SSI dangerous-structure validation during the
+    /// run — the distinct abort class of the `mvcc-ssi` scheme (0 for
+    /// every other scheme).
+    pub fn ssi_aborts(&self) -> u64 {
+        self.mvcc.map_or(0, |m| m.ssi_aborts)
+    }
 }
 
 /// Runs the workload across `cfg.threads` workers (ops are dealt

@@ -96,10 +96,7 @@ pub fn populate(source: &str, n_per_class: usize, lock_timeout: Duration) -> Fig
     for i in 0..n_per_class {
         let target = env.db.create(c3);
         c3_instances.push(target);
-        let o1 = env
-            .db
-            .create_with(c1, [(f3, Value::Ref(target))])
-            .unwrap();
+        let o1 = env.db.create_with(c1, [(f3, Value::Ref(target))]).unwrap();
         c1_instances.push(o1);
 
         let target = env.db.create(c3);

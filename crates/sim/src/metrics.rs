@@ -48,7 +48,13 @@ impl Metrics {
     /// The standard column headers matching [`Metrics::row`].
     pub fn headers() -> Vec<&'static str> {
         vec![
-            "scheme", "committed", "retries", "deadlocks", "lock reqs", "blocks", "upgrades",
+            "scheme",
+            "committed",
+            "retries",
+            "deadlocks",
+            "lock reqs",
+            "blocks",
+            "upgrades",
             "txn/s",
         ]
     }

@@ -34,30 +34,34 @@ pub struct StepReport {
 /// (lock timeout/deadlock — with a single driver thread any block is
 /// permanent, so short timeouts are the scheme's `WouldBlock`), it is
 /// rolled back and re-enqueued. `max_rounds` bounds livelock.
-pub fn run_stepped(
-    scheme: &dyn CcScheme,
-    ops: &[TxnOp],
-    max_rounds_per_txn: u32,
-) -> StepReport {
+pub fn run_stepped(scheme: &dyn CcScheme, ops: &[TxnOp], max_rounds_per_txn: u32) -> StepReport {
     let mut pending: VecDeque<(usize, u32)> = (0..ops.len()).map(|i| (i, 0)).collect();
     let mut report = StepReport::default();
     while let Some((i, tries)) = pending.pop_front() {
         let mut txn = scheme.begin();
-        match ops[i].run(scheme, &mut txn) {
-            Ok(()) => {
-                scheme.commit(txn);
-                report.commit_order.push(i);
-            }
+        let committed = match ops[i].run(scheme, &mut txn) {
+            // Commit itself can refuse (mvcc-ssi validation); the scheme
+            // has rolled back already, so treat it like any abort.
+            Ok(()) => match scheme.commit(txn) {
+                Ok(_) => true,
+                Err(finecc_lang::ExecError::ConcurrencyAbort { .. }) => false,
+                Err(e) => panic!("stepper commit failed non-retryably: {e}"),
+            },
             Err(finecc_lang::ExecError::ConcurrencyAbort { .. }) => {
                 scheme.abort(txn);
-                report.aborts += 1;
-                if tries + 1 >= max_rounds_per_txn {
-                    report.starved.push(i);
-                } else {
-                    pending.push_back((i, tries + 1));
-                }
+                false
             }
             Err(e) => panic!("stepper transaction failed non-retryably: {e}"),
+        };
+        if committed {
+            report.commit_order.push(i);
+        } else {
+            report.aborts += 1;
+            if tries + 1 >= max_rounds_per_txn {
+                report.starved.push(i);
+            } else {
+                pending.push_back((i, tries + 1));
+            }
         }
     }
     report

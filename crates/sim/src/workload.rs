@@ -368,7 +368,9 @@ pub fn generate_workload(env: &Env, cfg: &WorkloadConfig) -> GeneratedWorkload {
         Some((name.clone(), arity))
     };
     let args_for = |rng: &mut StdRng, arity: usize| -> Vec<Value> {
-        (0..arity).map(|_| Value::Int(rng.random_range(1..100))).collect()
+        (0..arity)
+            .map(|_| Value::Int(rng.random_range(1..100)))
+            .collect()
     };
 
     let total = cfg.mix.one + cfg.mix.some + cfg.mix.all;

@@ -210,7 +210,9 @@ mod tests {
 
     fn schema() -> Arc<Schema> {
         let mut b = SchemaBuilder::new();
-        b.class("p").field("x", FieldType::Int).ref_field("buddy", "p");
+        b.class("p")
+            .field("x", FieldType::Int)
+            .ref_field("buddy", "p");
         b.class("q").inherits("p").field("y", FieldType::Bool);
         b.class("other").field("z", FieldType::Int);
         Arc::new(b.finish().unwrap())

@@ -89,7 +89,9 @@ mod tests {
 
     fn setup() -> (Arc<finecc_model::Schema>, Database) {
         let mut b = SchemaBuilder::new();
-        b.class("node").ref_field("next", "node").field("v", FieldType::Int);
+        b.class("node")
+            .ref_field("next", "node")
+            .field("v", FieldType::Int);
         b.class("special").inherits("node");
         let s = Arc::new(b.finish().unwrap());
         let db = Database::new(Arc::clone(&s));

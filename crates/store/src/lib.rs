@@ -13,6 +13,6 @@ pub mod integrity;
 pub mod undo;
 
 pub use db::Database;
-pub use integrity::{check as check_integrity, repair_dangling, Violation};
 pub use error::StoreError;
+pub use integrity::{check as check_integrity, repair_dangling, Violation};
 pub use undo::UndoLog;

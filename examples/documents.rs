@@ -112,11 +112,17 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
 
     // Check the effects.
     let env = scheme.env();
-    assert_eq!(env.read_named(reports[0], "report", "status"), Value::Int(2));
+    assert_eq!(
+        env.read_named(reports[0], "report", "status"),
+        Value::Int(2)
+    );
     assert_eq!(env.read_named(docs[0], "document", "views"), Value::Int(1));
     // memos[0] was viewed once directly and once more through `escalate`.
     assert_eq!(env.read_named(memos[0], "document", "views"), Value::Int(2));
-    assert_eq!(env.read_named(memos[1], "memo", "urgent"), Value::Bool(true));
+    assert_eq!(
+        env.read_named(memos[1], "memo", "urgent"),
+        Value::Bool(true)
+    );
     for oid in docs.iter().chain(&reports).chain(&memos) {
         assert_eq!(
             env.read_named(*oid, "document", "archived"),
@@ -130,7 +136,10 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     Ok(())
 }
 
-fn must(scheme: &dyn CcScheme, f: impl FnMut(&mut finecc::runtime::Txn) -> Result<Value, finecc::lang::ExecError>) {
+fn must(
+    scheme: &dyn CcScheme,
+    f: impl FnMut(&mut finecc::runtime::Txn) -> Result<Value, finecc::lang::ExecError>,
+) {
     let out = run_txn(scheme, 5, f);
     assert!(out.is_committed(), "transaction must commit");
 }

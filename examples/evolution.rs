@@ -53,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
 
     println!("== generated matrix of `counter` (inc/dec conflict: both write total) ==");
     println!("{}", compiled.class(counter).to_table_string());
-    assert_eq!(compiled.class(counter).commute_names("inc", "dec"), Some(false));
+    assert_eq!(
+        compiled.class(counter).commute_names("inc", "dec"),
+        Some(false)
+    );
 
     // --- 1. Escrow-style ad hoc grant -------------------------------
     let mut adhoc = AdHocRelations::new();
@@ -75,15 +78,25 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     );
     // `gauge` inherits inc/dec unchanged → grant propagated.
     let gauge = schema.class_by_name("gauge").unwrap();
-    assert_eq!(compiled.class(gauge).commute_names("inc", "dec"), Some(true));
+    assert_eq!(
+        compiled.class(gauge).commute_names("inc", "dec"),
+        Some(true)
+    );
     // `audited` overrides inc → generated conflict stands there.
     let audited = schema.class_by_name("audited").unwrap();
-    assert_eq!(compiled.class(audited).commute_names("inc", "dec"), Some(false));
+    assert_eq!(
+        compiled.class(audited).commute_names("inc", "dec"),
+        Some(false)
+    );
 
     // --- 2. Incremental recompilation on a body update --------------
     // The DBA rewrites `gauge.watermark` to stop reading `total`:
     let mut prog2 = prog.clone();
-    let gauge_src = prog2.classes.iter_mut().find(|c| c.name == "gauge").unwrap();
+    let gauge_src = prog2
+        .classes
+        .iter_mut()
+        .find(|c| c.name == "gauge")
+        .unwrap();
     gauge_src.methods[0].body = parse_body("hi := hi + 1")?;
     let (schema2, bodies2) = build_schema_from_program(&prog2)?;
     let prev = compile(&schema, &bodies)?; // pristine generated artifacts

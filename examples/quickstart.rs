@@ -29,9 +29,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     println!("== Access vectors of class c2 (§4.3) ==");
     for (i, name) in table.method_names.iter().enumerate() {
-        let named = |av: &AccessVector| {
-            av.display_over(field_names.iter().map(|(f, n)| (*f, n.as_str())))
-        };
+        let named =
+            |av: &AccessVector| av.display_over(field_names.iter().map(|(f, n)| (*f, n.as_str())));
         println!("  DAV({name}) = {}", named(table.dav(i)));
         println!("  TAV({name}) = {}", named(table.tav(i)));
     }

@@ -71,9 +71,7 @@ pub mod sim {
 
 /// The most commonly used items, in one import.
 pub mod prelude {
-    pub use finecc_core::{
-        compile, AccessMode, AccessVector, ClassTable, CompiledSchema,
-    };
+    pub use finecc_core::{compile, AccessMode, AccessVector, ClassTable, CompiledSchema};
     pub use finecc_lang::{build_schema, Builtins, Interpreter};
     pub use finecc_model::{
         ClassId, FieldId, FieldType, MethodId, Oid, Schema, SchemaBuilder, TxnId, Value,

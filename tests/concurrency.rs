@@ -82,8 +82,8 @@ fn commuting_writers_interleave_under_tav_on_one_instance() {
     scheme
         .send(&mut t2, oid, "inc_m", &[Value::Int(7)])
         .unwrap();
-    scheme.commit(t1);
-    scheme.commit(t2);
+    scheme.commit(t1).unwrap();
+    scheme.commit(t2).unwrap();
     let env = scheme.env();
     assert_eq!(env.read_named(oid, "counter", "n"), Value::Int(5));
     assert_eq!(env.read_named(oid, "pair", "m"), Value::Int(7));
@@ -98,7 +98,7 @@ fn abort_leaves_no_trace_under_all_schemes() {
         // Commit one increment, then abort another.
         let mut t = scheme.begin();
         scheme.send(&mut t, oid, "inc", &[Value::Int(3)]).unwrap();
-        scheme.commit(t);
+        scheme.commit(t).unwrap();
         let mut t = scheme.begin();
         scheme.send(&mut t, oid, "inc", &[Value::Int(100)]).unwrap();
         scheme.abort(t);
@@ -231,7 +231,10 @@ fn mvcc_snapshot_readers_never_block_and_gc_reclaims() {
         "mvcc must never touch the lock manager"
     );
     let m = scheme.mvcc_stats().unwrap();
-    assert_eq!(m.commits as usize, WRITERS * WRITES_PER_THREAD + READERS * READS_PER_THREAD);
+    assert_eq!(
+        m.commits as usize,
+        WRITERS * WRITES_PER_THREAD + READERS * READS_PER_THREAD
+    );
     // Increments were serialized by first-updater-wins: none lost.
     let total: i64 = oids
         .iter()
@@ -241,7 +244,11 @@ fn mvcc_snapshot_readers_never_block_and_gc_reclaims() {
 
     // Every snapshot is gone: one GC pass empties the version chains.
     scheme.heap().gc();
-    assert_eq!(scheme.heap().live_versions(), 0, "GC must reclaim everything");
+    assert_eq!(
+        scheme.heap().live_versions(),
+        0,
+        "GC must reclaim everything"
+    );
     let m = scheme.mvcc_stats().unwrap();
     assert!(m.versions_reclaimed > 0);
     assert_eq!(m.versions_created, m.versions_reclaimed);

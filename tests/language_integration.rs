@@ -150,7 +150,9 @@ class acct {
         // Transfer-like txn across both instances, then abort.
         let mut txn = scheme.begin();
         scheme.send(&mut txn, a, "set", &[Value::Int(100)]).unwrap();
-        scheme.send(&mut txn, b, "set", &[Value::Int(-100)]).unwrap();
+        scheme
+            .send(&mut txn, b, "set", &[Value::Int(-100)])
+            .unwrap();
         scheme.abort(txn);
         let env = scheme.env();
         assert_eq!(env.read_named(a, "acct", "bal"), Value::Int(0), "{kind}");

@@ -81,8 +81,8 @@ fn diamond_commutativity_and_execution() {
     let mut t2 = scheme.begin();
     scheme.send(&mut t1, oid, "work", &[Value::Int(5)]).unwrap();
     scheme.send(&mut t2, oid, "tally", &[]).unwrap();
-    scheme.commit(t1);
-    scheme.commit(t2);
+    scheme.commit(t1).unwrap();
+    scheme.commit(t2).unwrap();
     let env = scheme.env();
     assert_eq!(env.read_named(oid, "a", "base"), Value::Int(5));
     assert_eq!(env.read_named(oid, "b", "left"), Value::Int(1));

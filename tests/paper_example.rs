@@ -55,26 +55,61 @@ fn section_4_3_all_five_tavs() {
 
     assert_eq!(
         m("m3"),
-        expect([("f1", Null), ("f2", Read), ("f3", Read), ("f4", Null), ("f5", Null), ("f6", Null)])
+        expect([
+            ("f1", Null),
+            ("f2", Read),
+            ("f3", Read),
+            ("f4", Null),
+            ("f5", Null),
+            ("f6", Null)
+        ])
     );
     assert_eq!(
         m("m4"),
-        expect([("f1", Null), ("f2", Null), ("f3", Null), ("f4", Null), ("f5", Read), ("f6", Write)])
+        expect([
+            ("f1", Null),
+            ("f2", Null),
+            ("f3", Null),
+            ("f4", Null),
+            ("f5", Read),
+            ("f6", Write)
+        ])
     );
     assert_eq!(
         m("m2"),
-        expect([("f1", Write), ("f2", Read), ("f3", Null), ("f4", Write), ("f5", Read), ("f6", Null)])
+        expect([
+            ("f1", Write),
+            ("f2", Read),
+            ("f3", Null),
+            ("f4", Write),
+            ("f5", Read),
+            ("f6", Null)
+        ])
     );
     assert_eq!(
         m("m1"),
-        expect([("f1", Write), ("f2", Read), ("f3", Read), ("f4", Write), ("f5", Read), ("f6", Null)])
+        expect([
+            ("f1", Write),
+            ("f2", Read),
+            ("f3", Read),
+            ("f4", Write),
+            ("f5", Read),
+            ("f6", Null)
+        ])
     );
     // The PSC vertex (c1,m2) keeps its DAV inside c2's graph.
     let c1 = s.class_by_name("c1").unwrap();
     let m2c1 = s.resolve_method(c1, "m2").unwrap();
     assert_eq!(
         vector(&s, comp.tav_of(c2, m2c1).unwrap()),
-        expect([("f1", Write), ("f2", Read), ("f3", Null), ("f4", Null), ("f5", Null), ("f6", Null)])
+        expect([
+            ("f1", Write),
+            ("f2", Read),
+            ("f3", Null),
+            ("f4", Null),
+            ("f5", Null),
+            ("f6", Null)
+        ])
     );
 }
 

@@ -129,13 +129,24 @@ fn concurrent_execution_equals_commit_order_replay() {
                     // Inline retry loop so we capture the commit seq.
                     loop {
                         let mut txn = scheme.begin();
-                        match scheme.send(&mut txn, oids[op.oid_index], op.method, &[Value::Int(op.arg)])
-                        {
-                            Ok(_) => {
-                                let seq = scheme.commit(txn);
-                                committed.lock().unwrap().push((seq, i));
-                                break;
-                            }
+                        match scheme.send(
+                            &mut txn,
+                            oids[op.oid_index],
+                            op.method,
+                            &[Value::Int(op.arg)],
+                        ) {
+                            Ok(_) => match scheme.commit(txn) {
+                                // A refused commit (mvcc-ssi validation)
+                                // was already rolled back: retry whole.
+                                Ok(seq) => {
+                                    committed.lock().unwrap().push((seq, i));
+                                    break;
+                                }
+                                Err(e) if e.is_deadlock() => {
+                                    std::thread::yield_now();
+                                }
+                                Err(e) => panic!("{kind}: unexpected commit error {e}"),
+                            },
                             Err(e) if e.is_deadlock() => {
                                 scheme.abort(txn);
                                 std::thread::yield_now();
@@ -182,8 +193,10 @@ fn commit_sequences_are_monotone_per_scheme() {
     let mut last = None;
     for _ in 0..10 {
         let mut txn = scheme.begin();
-        scheme.send(&mut txn, oids[0], "add_a", &[Value::Int(1)]).unwrap();
-        let seq = scheme.commit(txn);
+        scheme
+            .send(&mut txn, oids[0], "add_a", &[Value::Int(1)])
+            .unwrap();
+        let seq = scheme.commit(txn).unwrap();
         if let Some(prev) = last {
             assert!(seq > prev);
         }

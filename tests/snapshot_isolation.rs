@@ -7,8 +7,10 @@
 //!   snapshot isolation both commit and the invariant breaks; under any
 //!   of the four serializable lock schemes the overlap is refused. This
 //!   test is a *regression contract*: it documents (and notices changes
-//!   to) the anomaly, which a future serializable-SI validator (see
-//!   ROADMAP) would eliminate.
+//!   to) the anomaly that `mvcc` at `IsolationLevel::Snapshot`
+//!   deliberately admits — and that `mvcc-ssi` (the same heap at
+//!   `IsolationLevel::Serializable`) refuses at commit with a
+//!   dangerous-structure abort, mirrored below.
 //! * **Lock-free readers** — snapshot reads go through the version
 //!   chains, never the lock manager: the `finecc-lock` statistics of the
 //!   mvcc scheme stay identically zero while readers overlap writers.
@@ -76,11 +78,18 @@ fn mvcc_admits_write_skew() {
     scheme
         .send(&mut t2, oid, "drain_b", &[])
         .expect("disjoint write sets: SI admits the overlap");
-    scheme.commit(t1);
-    scheme.commit(t2);
-    assert_eq!(total(scheme.as_ref(), oid), 0, "write skew: invariant broken");
+    scheme.commit(t1).unwrap();
+    scheme.commit(t2).unwrap();
+    assert_eq!(
+        total(scheme.as_ref(), oid),
+        0,
+        "write skew: invariant broken"
+    );
     let m = scheme.mvcc_stats().unwrap();
-    assert_eq!(m.write_conflicts, 0, "no ww conflict was (or should be) seen");
+    assert_eq!(
+        m.write_conflicts, 0,
+        "no ww conflict was (or should be) seen"
+    );
 }
 
 /// The same interleaving under every serializable lock scheme: the
@@ -107,7 +116,7 @@ fn lock_schemes_refuse_write_skew() {
             "{kind}: unexpected error {err}"
         );
         scheme.abort(t2);
-        scheme.commit(t1);
+        scheme.commit(t1).unwrap();
         // Retry after the winner committed: the re-read invariant stops
         // the second drain.
         let out = finecc::runtime::run_txn(scheme.as_ref(), 5, |txn| {
@@ -122,21 +131,106 @@ fn lock_schemes_refuse_write_skew() {
     }
 }
 
+/// The mirror image of [`mvcc_admits_write_skew`]: same heap, same
+/// interleaving, isolation level switched to Serializable. T1 drains
+/// and commits first; T2's reads then carry an outgoing
+/// rw-antidependency to committed T1 (T2 read `a` under T1's newer
+/// version) while its write of `b` hands T1 an outgoing edge too (T1
+/// read `b`, T2 overwrites it) — committed T1 becomes an unabortable
+/// pivot, so T2 must die at commit with a dangerous-structure error.
+/// Its retry re-reads `a + b = 1` and declines to drain: the invariant
+/// survives, serializably.
+#[test]
+fn mvcc_ssi_refuses_write_skew() {
+    let (scheme, oid) = setup(SchemeKind::MvccSsi);
+    let mut t1 = scheme.begin();
+    let mut t2 = scheme.begin();
+    scheme.send(&mut t1, oid, "drain_a", &[]).unwrap();
+    scheme
+        .commit(t1)
+        .expect("no dangerous structure yet: T1 commits");
+    scheme
+        .send(&mut t2, oid, "drain_b", &[])
+        .expect("disjoint write sets: admission is still snapshot-style");
+    let err = scheme
+        .commit(t2)
+        .expect_err("SSI must refuse the write-skew commit");
+    assert!(
+        matches!(
+            err,
+            finecc::lang::ExecError::ConcurrencyAbort { deadlock: true, .. }
+        ),
+        "dangerous-structure aborts are retryable: {err}"
+    );
+    assert!(
+        err.to_string().contains("dangerous structure"),
+        "abort must name the dangerous structure: {err}"
+    );
+    // T2 was rolled back by the failed commit: the invariant holds.
+    assert_eq!(total(scheme.as_ref(), oid), 1, "only T1's drain applied");
+    // The standard retry loop re-runs T2 on a fresh snapshot; the
+    // re-read invariant (a + b = 1 < 2) stops the second drain.
+    let out = finecc::runtime::run_txn(scheme.as_ref(), 5, |txn| {
+        scheme.send(txn, oid, "drain_b", &[])
+    });
+    assert!(out.is_committed());
+    assert_eq!(
+        total(scheme.as_ref(), oid),
+        1,
+        "serializable execution preserves the invariant"
+    );
+    let m = scheme.mvcc_stats().unwrap();
+    assert_eq!(m.ssi_aborts, 1, "exactly one validation abort");
+    assert_eq!(m.write_conflicts, 0, "never a ww conflict in write skew");
+    assert!(m.ssi_edges > 0, "rw-antidependencies were tracked");
+}
+
+/// Both-pending interleaving: whichever order the two drains commit in,
+/// the dangerous structure forms before the second commit succeeds —
+/// never do both commit.
+#[test]
+fn mvcc_ssi_never_lets_both_skewed_drains_commit() {
+    let (scheme, oid) = setup(SchemeKind::MvccSsi);
+    let mut t1 = scheme.begin();
+    let mut t2 = scheme.begin();
+    scheme.send(&mut t1, oid, "drain_a", &[]).unwrap();
+    scheme.send(&mut t2, oid, "drain_b", &[]).unwrap();
+    let r1 = scheme.commit(t1);
+    let r2 = scheme.commit(t2);
+    assert!(
+        !(r1.is_ok() && r2.is_ok()),
+        "SSI admitted write skew: {r1:?} / {r2:?}"
+    );
+    assert!(
+        total(scheme.as_ref(), oid) >= 1,
+        "invariant a + b >= 1 must survive"
+    );
+    assert!(scheme.mvcc_stats().unwrap().ssi_aborts >= 1);
+}
+
 /// Acceptance check: snapshot readers acquire zero locks, asserted via
 /// the scheme's `finecc-lock` statistics while a writer holds pending
 /// versions.
 #[test]
 fn mvcc_readers_take_zero_locks() {
-    let (scheme, oid) = setup(SchemeKind::Mvcc);
+    for kind in [SchemeKind::Mvcc, SchemeKind::MvccSsi] {
+        mvcc_readers_take_zero_locks_under(kind);
+    }
+}
+
+/// SSI tracking only ever records — it must not add a single lock
+/// request to the reader path.
+fn mvcc_readers_take_zero_locks_under(kind: SchemeKind) {
+    let (scheme, oid) = setup(kind);
     let mut writer = scheme.begin();
     scheme.send(&mut writer, oid, "drain_a", &[]).unwrap();
     for _ in 0..10 {
         let mut reader = scheme.begin();
         let v = scheme.send(&mut reader, oid, "total", &[]).unwrap();
         assert_eq!(v, Value::Int(2), "snapshot predates the pending drain");
-        scheme.commit(reader);
+        scheme.commit(reader).unwrap();
     }
-    scheme.commit(writer);
+    scheme.commit(writer).unwrap();
     let lock_stats = scheme.stats();
     assert_eq!(lock_stats.requests, 0, "no lock was ever requested");
     assert_eq!(lock_stats, finecc::lock::StatsSnapshot::default());

@@ -4,7 +4,9 @@
 
 use finecc::core::compile;
 use finecc::lang::build_schema;
-use finecc::lock::{LockManager, LockMode, ModeSource, ResourceId, RwSource, TryAcquire, READ, WRITE};
+use finecc::lock::{
+    LockManager, LockMode, ModeSource, ResourceId, RwSource, TryAcquire, READ, WRITE,
+};
 use finecc::model::{ClassId, Oid};
 
 /// A schema whose only methods are a pure reader and a writer: its
@@ -63,7 +65,8 @@ fn lock_manager_behaviour_is_identical() {
     let mut decisions_cm = Vec::new();
     for &(rw_mode, cm_mode) in &script {
         let t1 = rw.begin();
-        decisions_rw.push(rw.try_acquire(t1, res_rw, LockMode::plain(rw_mode)) == TryAcquire::Granted);
+        decisions_rw
+            .push(rw.try_acquire(t1, res_rw, LockMode::plain(rw_mode)) == TryAcquire::Granted);
         let t2 = commut.begin();
         decisions_cm
             .push(commut.try_acquire(t2, res_cm, LockMode::plain(cm_mode)) == TryAcquire::Granted);

@@ -150,7 +150,8 @@ impl Bencher {
         for _ in 0..self.iters_per_sample {
             std::hint::black_box(routine());
         }
-        self.samples.push(t.elapsed() / self.iters_per_sample as u32);
+        self.samples
+            .push(t.elapsed() / self.iters_per_sample as u32);
     }
 
     /// Times `routine` on a fresh `setup()` product, excluding setup time.
