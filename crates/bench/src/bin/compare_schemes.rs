@@ -17,9 +17,12 @@
 //! serializability back.
 //!
 //! `FINECC_BENCH_TXNS` overrides the per-cell transaction count (the CI
-//! bench-smoke job sets it low so the matrix runs in seconds).
+//! bench-smoke job sets it low so the matrix runs in seconds). The run
+//! also emits `BENCH_schemes.json` (into `FINECC_BENCH_JSON_DIR`,
+//! default the working directory) so the scheme matrix's perf
+//! trajectory is tracked as a machine-readable artifact across PRs.
 
-use finecc_bench::txns_per_cell;
+use finecc_bench::{json_object, txns_per_cell, write_bench_json, JsonVal};
 use finecc_runtime::SchemeKind;
 use finecc_sim::workload::{
     generate_env, generate_workload, populate_random, SchemaGenConfig, WorkloadConfig,
@@ -31,6 +34,7 @@ fn main() {
     println!("mixed workload, 4 threads, {txns} txns, 10-class schema, by hot-spot skew\n");
     let mut rows = Vec::new();
     let mut mvcc_rows = Vec::new();
+    let mut json = Vec::new();
     for (label, hot_frac, hot_set) in [
         ("low contention", 0.05, 16usize),
         ("medium contention", 0.4, 6),
@@ -70,6 +74,29 @@ fn main() {
             }
             let m = Metrics::from_report(format!("{label} / {kind}"), &report);
             rows.push(m.row());
+            json.push(json_object(&[
+                ("experiment", JsonVal::from("compare_schemes")),
+                ("contention", JsonVal::from(label)),
+                ("scheme", JsonVal::from(kind.name())),
+                (
+                    "isolation",
+                    JsonVal::from(match kind.isolation() {
+                        Some(level) => level.name(),
+                        None => "serializable-2pl",
+                    }),
+                ),
+                ("threads", JsonVal::from(4usize)),
+                ("txns", JsonVal::from(txns)),
+                ("committed", JsonVal::from(report.committed)),
+                ("retries", JsonVal::from(report.retries)),
+                ("exhausted", JsonVal::from(report.exhausted)),
+                ("lock_requests", JsonVal::from(report.lock.requests)),
+                ("lock_blocks", JsonVal::from(report.lock.blocks)),
+                ("deadlocks", JsonVal::from(report.lock.deadlocks)),
+                ("ww_conflicts", JsonVal::from(report.ww_conflicts())),
+                ("ssi_aborts", JsonVal::from(report.ssi_aborts())),
+                ("txns_per_sec", JsonVal::from(report.throughput())),
+            ]));
             if let Some(v) = report.mvcc {
                 mvcc_rows.push(vec![
                     label.to_string(),
@@ -119,4 +146,8 @@ fn main() {
     println!("alone); mvcc-ssi adds a second abort class — commit-time dangerous");
     println!("structures — as the price of serializability; all schemes commit");
     println!("all txns.");
+    match write_bench_json("BENCH_schemes.json", &json) {
+        Ok(path) => println!("\nmachine-readable results: {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write BENCH_schemes.json: {e}"),
+    }
 }

@@ -18,6 +18,126 @@ pub fn txns_per_cell(default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// Thread counts for the scaling sweeps: `FINECC_BENCH_THREADS` is a
+/// comma-separated list (e.g. `1,2,4,8,16,32`) overriding `default`.
+/// Unparseable entries are ignored; an empty result falls back to
+/// `default`.
+pub fn bench_threads(default: &[usize]) -> Vec<usize> {
+    let parsed: Vec<usize> = std::env::var("FINECC_BENCH_THREADS")
+        .ok()
+        .map(|v| {
+            v.split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .filter(|&n| n > 0)
+                .collect()
+        })
+        .unwrap_or_default();
+    if parsed.is_empty() {
+        default.to_vec()
+    } else {
+        parsed
+    }
+}
+
+/// A scalar in the machine-readable bench artifacts. The experiments
+/// emit flat JSON by hand — the workspace's vendored `serde` stub has
+/// no JSON backend, and the rows are small enough that a dependency
+/// would be overkill.
+#[derive(Clone, Debug)]
+pub enum JsonVal {
+    /// An unsigned counter.
+    Int(u64),
+    /// A measured rate or ratio, emitted with two decimals.
+    Num(f64),
+    /// A label (escaped on write).
+    Str(String),
+}
+
+impl From<u64> for JsonVal {
+    fn from(v: u64) -> JsonVal {
+        JsonVal::Int(v)
+    }
+}
+
+impl From<usize> for JsonVal {
+    fn from(v: usize) -> JsonVal {
+        JsonVal::Int(v as u64)
+    }
+}
+
+impl From<f64> for JsonVal {
+    fn from(v: f64) -> JsonVal {
+        JsonVal::Num(v)
+    }
+}
+
+impl From<&str> for JsonVal {
+    fn from(v: &str) -> JsonVal {
+        JsonVal::Str(v.to_string())
+    }
+}
+
+impl From<String> for JsonVal {
+    fn from(v: String) -> JsonVal {
+        JsonVal::Str(v)
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32).unwrap(),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders one flat JSON object from `(key, value)` pairs, keys in the
+/// given order.
+pub fn json_object(pairs: &[(&str, JsonVal)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in pairs.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write!(out, "\"{}\": ", json_escape(k)).unwrap();
+        match v {
+            JsonVal::Int(n) => write!(out, "{n}").unwrap(),
+            JsonVal::Num(x) if x.is_finite() => write!(out, "{x:.2}").unwrap(),
+            JsonVal::Num(_) => out.push_str("null"),
+            JsonVal::Str(s) => write!(out, "\"{}\"", json_escape(s)).unwrap(),
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Writes a JSON array of pre-rendered object rows to
+/// `$FINECC_BENCH_JSON_DIR/<file_name>` (directory defaults to the
+/// working directory; created if missing) so the perf trajectory is
+/// tracked as a machine-readable artifact across PRs. Returns the path
+/// written.
+pub fn write_bench_json(file_name: &str, rows: &[String]) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::env::var("FINECC_BENCH_JSON_DIR").unwrap_or_else(|_| ".".to_string());
+    std::fs::create_dir_all(&dir)?;
+    let path = std::path::Path::new(&dir).join(file_name);
+    let mut body = String::from("[\n");
+    for (i, row) in rows.iter().enumerate() {
+        body.push_str("  ");
+        body.push_str(row);
+        body.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    body.push_str("]\n");
+    std::fs::write(&path, body)?;
+    Ok(path)
+}
+
 /// A self-call chain of configurable depth: `m0` calls `m1` calls …
 /// `m{d-1}`, which finally writes a field. Used by the locking-overhead
 /// experiment (E5): the paper's P2 is that per-message schemes pay one
@@ -108,6 +228,28 @@ pub fn env_of(source: &str) -> Env {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_object_renders_and_escapes() {
+        let row = json_object(&[
+            ("scheme", JsonVal::from("mvcc")),
+            ("threads", JsonVal::from(16usize)),
+            ("txns_per_sec", JsonVal::from(1234.567)),
+            ("label", JsonVal::from("a \"quoted\"\nname")),
+        ]);
+        assert_eq!(
+            row,
+            "{\"scheme\": \"mvcc\", \"threads\": 16, \"txns_per_sec\": 1234.57, \
+             \"label\": \"a \\\"quoted\\\"\\nname\"}"
+        );
+    }
+
+    #[test]
+    fn bench_threads_falls_back_to_default() {
+        if std::env::var("FINECC_BENCH_THREADS").is_err() {
+            assert_eq!(bench_threads(&[1, 2, 16]), vec![1, 2, 16]);
+        }
+    }
 
     #[test]
     fn chain_schema_compiles_at_depths() {

@@ -1,5 +1,53 @@
 //! The versioned heap: chains, transaction registry, commit/abort, GC,
 //! and — at [`IsolationLevel::Serializable`] — SSI conflict tracking.
+//!
+//! # Concurrency architecture
+//!
+//! The commit path is **sharded**: no global mutex is held while a
+//! transaction's chains are flipped, so committers of disjoint objects
+//! proceed fully in parallel and committers of overlapping objects
+//! contend only on the short per-shard flip sections.
+//!
+//! * **Timestamp allocation** is one `fetch_add` on an atomic clock
+//!   ([`MvccHeap::commit`]); timestamps are unique and monotone in draw
+//!   order, never guarded by a lock.
+//! * **Chain flips** take per-OID shard latches only, one at a time, in
+//!   canonical (ascending-OID) order.
+//! * **Publication** goes through an ordered watermark (`Watermark`): a small
+//!   in-flight commit table advances `last_committed` only when the
+//!   committed-timestamp prefix is contiguous, so a snapshot taken at
+//!   the watermark observes *every* write at or below it even when
+//!   transactions finish flipping out of timestamp order. A timestamp
+//!   drawn by a transaction that then fails SSI validation is published
+//!   as a *skip* (nothing was flipped at it), keeping the prefix dense.
+//! * **Registries are striped**: the transaction table by `TxnId` and
+//!   the snapshot-epoch table by a round-robin shard pick, so
+//!   begin/commit never funnel through one mutex either.
+//!
+//! ## Latch order
+//!
+//! Heap latches are acquired in this order, each dropped before the
+//! next class is taken (no heap latch is ever held across another —
+//! with the single documented exception that the rollback path restores
+//! base-store values under the owning chain-shard latch):
+//!
+//! 1. a **txn stripe** (registry bookkeeping; held briefly, never
+//!    across a chain shard);
+//! 2. **OID chain shards**, in canonical ascending-OID order, one at a
+//!    time;
+//! 3. the **watermark** mutex (publication; a few integer ops);
+//! 4. an **epoch shard** (snapshot registration/release).
+//!
+//! SSI-tracker latches (flag stripes, SIREAD shards — see [`crate::ssi`])
+//! are never nested with heap latches: reads register SIREADs *before*
+//! taking the chain shard and record edges *after* releasing it; writes
+//! scan the SIREAD registry after releasing the shard; commit validates
+//! before the first flip.
+//!
+//! The coarse single-mutex commit path of the seed implementation is
+//! retained behind [`CommitPath::CoarseBaseline`] purely so the
+//! `parallelism_sweep` experiment can measure the before/after win; the
+//! production path is [`CommitPath::Sharded`].
 
 use crate::ssi::{SsiTracker, SsiVerdict};
 use crate::stats::MvccStats;
@@ -7,10 +55,17 @@ use crate::{IsolationLevel, SsiConflict, Ts, TS_PENDING};
 use finecc_model::{FieldId, Oid, TxnId, Value};
 use finecc_store::{Database, StoreError};
 use parking_lot::Mutex;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 const SHARD_COUNT: usize = 64;
+
+/// How many mutexes the transaction registry is striped over.
+const TXN_STRIPES: usize = 64;
+
+/// How many mutexes the snapshot-epoch table is sharded over.
+const EPOCH_SHARDS: usize = 16;
 
 /// How often (in commits) the heap runs an opportunistic GC pass.
 const GC_EVERY_COMMITS: u64 = 64;
@@ -60,6 +115,22 @@ pub enum WriteOutcome {
     MergedVersion,
 }
 
+/// Which commit path the heap runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CommitPath {
+    /// The production path: atomic timestamp draw, per-shard chain
+    /// flips, ordered-watermark publication. No mutex is held across
+    /// the chain flips; committers synchronize only on short per-shard
+    /// latches and the watermark's brief publication mutex.
+    #[default]
+    Sharded,
+    /// The pre-sharding baseline: the whole draw→flip→publish window is
+    /// serialized behind one mutex. Kept **only** so experiments can
+    /// measure the sharded path's win against the seed behavior; do not
+    /// use it outside benchmarks.
+    CoarseBaseline,
+}
+
 /// One version record: the before-images of the fields its writer
 /// modified, i.e. everything needed to roll the object *back* past that
 /// writer.
@@ -98,27 +169,170 @@ struct Chain {
     records: Vec<VersionRecord>,
 }
 
-#[derive(Default)]
 struct TxnState {
-    snapshot_ts: Ts,
-    /// Objects this transaction installed pending versions on.
+    /// The registered snapshot epoch; `epoch.ts` is the snapshot
+    /// timestamp.
+    epoch: EpochHandle,
+    /// Objects this transaction installed pending versions on. Only the
+    /// owning transaction's thread reads or writes this set, so it
+    /// needs no latch beyond the registry stripe that holds it.
     write_set: HashSet<Oid>,
+}
+
+/// The ordered publication watermark: the bridge between *flipped* and
+/// *visible*.
+///
+/// Committers draw timestamps from an atomic clock and flip their
+/// chains without any global lock, so transaction `T+1` can finish
+/// flipping before `T` does. Publishing `T+1` at that moment would let
+/// a snapshot at `T+1` miss `T`'s writes. The watermark therefore
+/// tracks completed-but-unpublished timestamps and advances
+/// `published` (the snapshot source) only across a **contiguous**
+/// prefix: every commit at or below the watermark has fully flipped.
+///
+/// The internal mutex is held only for the few integer operations of
+/// [`Watermark::publish`] — never across a chain flip — and it also
+/// provides the happens-before edge from a committer's flips to the
+/// (possibly different) committer that ultimately advances the
+/// watermark past them, which the `Release` store then passes on to
+/// snapshot readers.
+#[derive(Debug)]
+struct Watermark {
+    /// The highest timestamp `t` such that every commit in `1..=t` has
+    /// fully flipped (or was skipped). This is `last_committed` — the
+    /// snapshot source.
+    published: AtomicU64,
+    /// Flipped (or skipped) timestamps above `published`, awaiting
+    /// their predecessors. Bounded by the number of in-flight commits.
+    pending: Mutex<BTreeSet<Ts>>,
+}
+
+impl Watermark {
+    fn new() -> Watermark {
+        Watermark {
+            published: AtomicU64::new(0),
+            pending: Mutex::new(BTreeSet::new()),
+        }
+    }
+
+    /// The latest fully published commit timestamp.
+    #[inline]
+    fn get(&self) -> Ts {
+        self.published.load(Ordering::Acquire)
+    }
+
+    /// Marks `ts` complete (flipped, or skipped by an aborted
+    /// validation) and advances the contiguous published prefix as far
+    /// as it now reaches.
+    fn publish(&self, ts: Ts) {
+        let mut pending = self.pending.lock();
+        pending.insert(ts);
+        let mut head = self.published.load(Ordering::Relaxed);
+        let mut advanced = false;
+        while pending.remove(&(head + 1)) {
+            head += 1;
+            advanced = true;
+        }
+        if advanced {
+            // Still under the `pending` mutex: stores are totally
+            // ordered and monotone.
+            self.published.store(head, Ordering::Release);
+        }
+    }
+}
+
+/// A live registration in the sharded epoch table: which shard holds
+/// the entry, and the pinned snapshot timestamp.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct EpochHandle {
+    shard: u32,
+    pub(crate) ts: Ts,
+}
+
+/// The snapshot registry: `ts → number of holders` per shard, sharded
+/// round-robin so begin/commit of unrelated transactions never contend
+/// on one epoch mutex. The minimum key across shards is the GC horizon.
+///
+/// Registration reads the watermark **under its shard's lock**, and
+/// [`MvccHeap::gc_horizon`] reads the watermark *before* scanning the
+/// shards (one at a time). That closes the registration/GC race without
+/// a global lock: if the scan misses a concurrent registration, the
+/// scan of that shard completed before the registration's critical
+/// section, so the registration's watermark read happened after the
+/// horizon's watermark bound was read — by monotonicity its pinned
+/// timestamp is at or above the bound, hence at or above the horizon,
+/// and the versions it can demand were not reclaimable.
+#[derive(Debug)]
+struct EpochTable {
+    shards: Box<[Mutex<BTreeMap<Ts, usize>>]>,
+    next: AtomicUsize,
+}
+
+impl EpochTable {
+    fn new() -> EpochTable {
+        EpochTable {
+            shards: (0..EPOCH_SHARDS)
+                .map(|_| Mutex::new(BTreeMap::new()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// Atomically reads the current watermark and registers it as a
+    /// live epoch in a round-robin shard.
+    fn register(&self, watermark: &Watermark) -> EpochHandle {
+        let shard = self.next.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        let mut map = self.shards[shard].lock();
+        let ts = watermark.get();
+        *map.entry(ts).or_insert(0) += 1;
+        EpochHandle {
+            shard: shard as u32,
+            ts,
+        }
+    }
+
+    fn unregister(&self, h: EpochHandle) {
+        let mut map = self.shards[h.shard as usize].lock();
+        match map.get_mut(&h.ts) {
+            Some(n) if *n > 1 => *n -= 1,
+            Some(_) => {
+                map.remove(&h.ts);
+            }
+            None => debug_assert!(false, "unregistering unknown epoch {}", h.ts),
+        }
+    }
+
+    /// The minimum registered snapshot timestamp, scanning shards one
+    /// at a time (never holding two epoch locks). May miss an entry
+    /// registered during the scan; see the type-level doc for why that
+    /// is safe given the caller's watermark bound.
+    fn min_active(&self) -> Option<Ts> {
+        self.shards
+            .iter()
+            .filter_map(|s| s.lock().keys().next().copied())
+            .min()
+    }
 }
 
 /// The multi-version heap over a base [`Database`].
 pub struct MvccHeap {
     base: Arc<Database>,
     shards: Box<[Mutex<HashMap<Oid, Chain>>]>,
-    txns: Mutex<HashMap<TxnId, TxnState>>,
-    /// Snapshot registry: `ts → number of holders` (transactions and
-    /// standalone snapshots). The minimum key is the GC horizon.
-    epochs: Mutex<BTreeMap<Ts, usize>>,
-    /// Serializes commits: timestamp draw + chain flips + publication
-    /// happen atomically with respect to new snapshots.
-    commit_lock: Mutex<Ts>,
-    /// The latest *fully published* commit timestamp; the snapshot source.
-    last_committed: std::sync::atomic::AtomicU64,
-    commits_since_gc: std::sync::atomic::AtomicU64,
+    /// Transaction registry, striped by `TxnId`.
+    txns: Box<[Mutex<HashMap<TxnId, TxnState>>]>,
+    /// Snapshot registry; the minimum active entry is the GC horizon.
+    epochs: EpochTable,
+    /// The commit-timestamp allocator. Drawing a timestamp is one
+    /// `fetch_add`; visibility is governed by the watermark, not the
+    /// clock.
+    clock: AtomicU64,
+    /// Ordered publication: `last_committed` advances only across a
+    /// contiguous flipped prefix.
+    watermark: Watermark,
+    commits_since_gc: AtomicU64,
+    /// `Some` iff the heap runs [`CommitPath::CoarseBaseline`].
+    coarse_commit: Option<Mutex<()>>,
     /// The rw-antidependency tracker; `Some` iff the heap runs at
     /// [`IsolationLevel::Serializable`].
     ssi: Option<SsiTracker>,
@@ -135,18 +349,37 @@ impl MvccHeap {
 
     /// Creates a heap versioning `base` at the given isolation level.
     pub fn with_isolation(base: Arc<Database>, isolation: IsolationLevel) -> MvccHeap {
+        MvccHeap::with_commit_path(base, isolation, CommitPath::Sharded)
+    }
+
+    /// Creates a heap versioning `base` at the given isolation level and
+    /// commit path. [`CommitPath::CoarseBaseline`] exists for
+    /// before/after benchmarking only.
+    pub fn with_commit_path(
+        base: Arc<Database>,
+        isolation: IsolationLevel,
+        commit_path: CommitPath,
+    ) -> MvccHeap {
         let shards = (0..SHARD_COUNT)
+            .map(|_| Mutex::new(HashMap::new()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        let txns = (0..TXN_STRIPES)
             .map(|_| Mutex::new(HashMap::new()))
             .collect::<Vec<_>>()
             .into_boxed_slice();
         MvccHeap {
             base,
             shards,
-            txns: Mutex::new(HashMap::new()),
-            epochs: Mutex::new(BTreeMap::new()),
-            commit_lock: Mutex::new(0),
-            last_committed: std::sync::atomic::AtomicU64::new(0),
-            commits_since_gc: std::sync::atomic::AtomicU64::new(0),
+            txns,
+            epochs: EpochTable::new(),
+            clock: AtomicU64::new(0),
+            watermark: Watermark::new(),
+            commits_since_gc: AtomicU64::new(0),
+            coarse_commit: match commit_path {
+                CommitPath::Sharded => None,
+                CommitPath::CoarseBaseline => Some(Mutex::new(())),
+            },
             ssi: match isolation {
                 IsolationLevel::Snapshot => None,
                 IsolationLevel::Serializable => Some(SsiTracker::new()),
@@ -169,50 +402,39 @@ impl MvccHeap {
         }
     }
 
+    /// The heap's commit path.
+    pub fn commit_path(&self) -> CommitPath {
+        if self.coarse_commit.is_some() {
+            CommitPath::CoarseBaseline
+        } else {
+            CommitPath::Sharded
+        }
+    }
+
     #[inline]
     fn shard(&self, oid: Oid) -> &Mutex<HashMap<Oid, Chain>> {
         &self.shards[(oid.raw() as usize) % SHARD_COUNT]
     }
 
-    /// The latest fully published commit timestamp.
+    #[inline]
+    fn txn_stripe(&self, txn: TxnId) -> &Mutex<HashMap<TxnId, TxnState>> {
+        &self.txns[(txn.raw() as usize) % TXN_STRIPES]
+    }
+
+    /// The latest fully published commit timestamp (the watermark).
     pub fn current_ts(&self) -> Ts {
-        self.last_committed
-            .load(std::sync::atomic::Ordering::Acquire)
-    }
-
-    /// Atomically reads the current committed timestamp and registers it
-    /// as a live epoch. Reading under the epochs lock closes the race
-    /// against a concurrent [`MvccHeap::gc`] (which computes its horizon
-    /// under the same lock): a snapshot is either visible to the GC or
-    /// taken after it, never in between — in the latter case its
-    /// timestamp is at or above the horizon, so the versions it can
-    /// demand were not reclaimable.
-    fn register_snapshot_epoch(&self) -> Ts {
-        let mut epochs = self.epochs.lock();
-        let ts = self.current_ts();
-        *epochs.entry(ts).or_insert(0) += 1;
-        ts
-    }
-
-    fn unregister_epoch(&self, ts: Ts) {
-        let mut e = self.epochs.lock();
-        match e.get_mut(&ts) {
-            Some(n) if *n > 1 => *n -= 1,
-            Some(_) => {
-                e.remove(&ts);
-            }
-            None => debug_assert!(false, "unregistering unknown epoch {ts}"),
-        }
+        self.watermark.get()
     }
 
     /// Registers a transaction, assigning it a snapshot of the latest
-    /// committed state. Returns the snapshot timestamp.
+    /// published state. Returns the snapshot timestamp.
     pub fn begin(&self, txn: TxnId) -> Ts {
-        let ts = self.register_snapshot_epoch();
-        let prev = self.txns.lock().insert(
+        let epoch = self.epochs.register(&self.watermark);
+        let ts = epoch.ts;
+        let prev = self.txn_stripe(txn).lock().insert(
             txn,
             TxnState {
-                snapshot_ts: ts,
+                epoch,
                 write_set: HashSet::new(),
             },
         );
@@ -226,12 +448,15 @@ impl MvccHeap {
 
     /// The registered snapshot timestamp of `txn`.
     pub fn snapshot_ts(&self, txn: TxnId) -> Option<Ts> {
-        self.txns.lock().get(&txn).map(|s| s.snapshot_ts)
+        self.txn_stripe(txn).lock().get(&txn).map(|s| s.epoch.ts)
     }
 
     /// The number of objects `txn` has written so far.
     pub fn write_set_len(&self, txn: TxnId) -> usize {
-        self.txns.lock().get(&txn).map_or(0, |s| s.write_set.len())
+        self.txn_stripe(txn)
+            .lock()
+            .get(&txn)
+            .map_or(0, |s| s.write_set.len())
     }
 
     /// Reconstructs `field` of `oid` as of snapshot `ts`, seeing the
@@ -329,7 +554,11 @@ impl MvccHeap {
 
         // First-updater-wins admission control, at field granularity:
         // another live transaction with a pending version of this field,
-        // or a version of it committed after this snapshot, wins.
+        // or a version of it committed after this snapshot, wins. (A
+        // record flipped to its commit timestamp but not yet published
+        // by the watermark behaves exactly like a committed-after-
+        // snapshot record here, which is the correct verdict: it can
+        // only publish above this transaction's snapshot.)
         for rec in &chain.records {
             if rec.writer == txn || rec.before_of(field).is_none() {
                 continue;
@@ -373,17 +602,24 @@ impl MvccHeap {
                     before: vec![(field, before)],
                 },
             );
+            WriteOutcome::NewVersion
+        };
+        let chain_len = chain.records.len() as u64;
+        drop(shard);
+        // Registry and stats updates run off the shard latch (latch
+        // order: a txn stripe is never taken under a chain shard). The
+        // write set is only consulted by this transaction's own
+        // commit/abort, which its own thread issues strictly later.
+        if outcome == WriteOutcome::NewVersion {
             self.stats.bump_versions_created();
-            self.txns
+            self.txn_stripe(txn)
                 .lock()
                 .get_mut(&txn)
                 .expect("registered above")
                 .write_set
                 .insert(oid);
-            WriteOutcome::NewVersion
-        };
-        self.stats.sample_chain_len(chain.records.len() as u64);
-        drop(shard);
+        }
+        self.stats.sample_chain_len(chain_len);
         // SSI: scan SIREAD entries AFTER the pending version is
         // installed (see `read_as` for why the order closes the race)
         // and record an incoming rw edge per concurrent reader.
@@ -396,23 +632,30 @@ impl MvccHeap {
         Ok(outcome)
     }
 
-    /// Commits `txn`: draws the next commit timestamp, flips every
-    /// pending record of the transaction to it, then publishes the
-    /// timestamp for new snapshots. Returns the commit timestamp; a
+    /// Commits `txn`: draws the next commit timestamp from the atomic
+    /// clock, flips every pending record of the transaction under
+    /// per-OID shard latches (in canonical ascending-OID order), then
+    /// publishes the timestamp through the ordered watermark. No mutex
+    /// is held across the flips — transactions flipping disjoint shards
+    /// proceed in parallel, and the only commit-wide serialization left
+    /// is the few integer operations inside `Watermark::publish` —
+    /// in contrast to the seed's commit lock, which serialized entire
+    /// commits. Returns the commit timestamp; a
     /// **read-only** transaction serializes at (and returns) its
-    /// snapshot timestamp without ever touching the global commit lock,
-    /// keeping the reader path coordination-free end to end.
+    /// snapshot timestamp without drawing a timestamp at all, keeping
+    /// the reader path coordination-free end to end.
     ///
     /// At [`IsolationLevel::Snapshot`] commit is infallible by
     /// construction — all conflicts were detected at write time. At
     /// [`IsolationLevel::Serializable`] the commit additionally runs
     /// dangerous-structure validation; on failure the transaction is
-    /// fully rolled back (as by [`MvccHeap::abort`]) and the
-    /// [`SsiConflict`] is returned — the caller retries on a fresh
-    /// snapshot, like a first-updater-wins victim.
+    /// fully rolled back (as by [`MvccHeap::abort`]), its drawn
+    /// timestamp is published as a *skip* (keeping the watermark prefix
+    /// contiguous), and the [`SsiConflict`] is returned — the caller
+    /// retries on a fresh snapshot, like a first-updater-wins victim.
     pub fn commit(&self, txn: TxnId) -> Result<Ts, SsiConflict> {
         let state =
-            self.txns.lock().remove(&txn).unwrap_or_else(|| {
+            self.txn_stripe(txn).lock().remove(&txn).unwrap_or_else(|| {
                 panic!("transaction {txn} is not registered with the mvcc heap")
             });
 
@@ -421,35 +664,53 @@ impl MvccHeap {
             // complete a dangerous structure around a committed pivot
             // (the SI read-only anomaly, Fekete et al. 2004).
             if let Some(ssi) = &self.ssi {
-                if let SsiVerdict::Abort(c) = ssi.validate_and_commit(txn, state.snapshot_ts) {
-                    self.unregister_epoch(state.snapshot_ts);
+                if let SsiVerdict::Abort(c) = ssi.validate_and_commit(txn, state.epoch.ts) {
+                    self.epochs.unregister(state.epoch);
                     self.stats.bump_ssi_aborts();
                     self.stats.bump_aborts();
                     return Err(c);
                 }
             }
-            self.unregister_epoch(state.snapshot_ts);
+            self.epochs.unregister(state.epoch);
             self.stats.bump_commits();
-            return Ok(state.snapshot_ts);
+            return Ok(state.epoch.ts);
         }
 
-        let mut last = self.commit_lock.lock();
-        let commit_ts = *last + 1;
+        // Benchmark baseline only: serialize the whole draw→flip→publish
+        // window behind one mutex, reproducing the seed's commit lock.
+        let coarse = self.coarse_commit.as_ref().map(|m| m.lock());
+
+        let commit_ts = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
         if let Some(ssi) = &self.ssi {
-            // Validation and commit publication are one atomic step in
-            // the tracker; the candidate timestamp is only made durable
-            // below, after every chain is flipped.
+            // Validation and commit publication are one atomic step per
+            // transaction in the tracker; the timestamp becomes visible
+            // to snapshots only below, after every chain is flipped.
             if let SsiVerdict::Abort(c) = ssi.validate_and_commit(txn, commit_ts) {
-                drop(last); // timestamp never drawn
+                // The drawn timestamp must still reach the watermark —
+                // as a skip — or the contiguous prefix would stall
+                // forever. Nothing was flipped at `commit_ts`, so a
+                // snapshot there observes exactly the state at
+                // `commit_ts - 1`.
+                self.watermark.publish(commit_ts);
+                self.stats.bump_ts_skips();
+                drop(coarse);
                 let rolled_back = self.rollback_writes(txn, &state);
                 self.stats.add_versions_reclaimed(rolled_back as u64);
-                self.unregister_epoch(state.snapshot_ts);
+                self.epochs.unregister(state.epoch);
                 self.stats.bump_ssi_aborts();
                 self.stats.bump_aborts();
                 return Err(c);
             }
         }
-        for &oid in &state.write_set {
+        // Flip this transaction's pending records to the commit
+        // timestamp, one shard latch at a time, in canonical order.
+        // Concurrent snapshots cannot observe a half-flipped state: the
+        // records become visible only once the watermark (below)
+        // publishes the timestamp, and the watermark publishes it only
+        // after every record is flipped.
+        let mut oids: Vec<Oid> = state.write_set.iter().copied().collect();
+        oids.sort_unstable();
+        for oid in oids {
             let mut shard = self.shard(oid).lock();
             let chain = shard.get_mut(&oid).expect("written chain exists");
             let own = chain
@@ -459,19 +720,12 @@ impl MvccHeap {
                 .expect("pending record owned by committer");
             own.commit_ts = commit_ts;
         }
-        *last = commit_ts;
-        // Publish only after every chain is flipped: a snapshot taken at
-        // `commit_ts` must observe all of the transaction's writes.
-        self.last_committed
-            .store(commit_ts, std::sync::atomic::Ordering::Release);
-        drop(last);
+        self.watermark.publish(commit_ts);
+        drop(coarse);
 
-        self.unregister_epoch(state.snapshot_ts);
+        self.epochs.unregister(state.epoch);
         self.stats.bump_commits();
-        let n = self
-            .commits_since_gc
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
-            + 1;
+        let n = self.commits_since_gc.fetch_add(1, Ordering::Relaxed) + 1;
         if n.is_multiple_of(GC_EVERY_COMMITS) {
             self.gc();
         }
@@ -513,7 +767,7 @@ impl MvccHeap {
     /// objects rolled back.
     pub fn abort(&self, txn: TxnId) -> usize {
         let state =
-            self.txns.lock().remove(&txn).unwrap_or_else(|| {
+            self.txn_stripe(txn).lock().remove(&txn).unwrap_or_else(|| {
                 panic!("transaction {txn} is not registered with the mvcc heap")
             });
         if let Some(ssi) = &self.ssi {
@@ -523,31 +777,34 @@ impl MvccHeap {
         // Abort-discarded records count as reclaimed, so created and
         // reclaimed balance once GC has drained the committed history.
         self.stats.add_versions_reclaimed(rolled_back as u64);
-        self.unregister_epoch(state.snapshot_ts);
+        self.epochs.unregister(state.epoch);
         self.stats.bump_aborts();
         rolled_back
     }
 
     /// Opens a standalone read snapshot of the latest committed state.
     pub fn snapshot(self: &Arc<Self>) -> crate::Snapshot {
-        let ts = self.register_snapshot_epoch();
-        crate::Snapshot::new(Arc::clone(self), ts)
+        let epoch = self.epochs.register(&self.watermark);
+        crate::Snapshot::new(Arc::clone(self), epoch)
     }
 
-    pub(crate) fn release_snapshot(&self, ts: Ts) {
-        self.unregister_epoch(ts);
+    pub(crate) fn release_snapshot(&self, epoch: EpochHandle) {
+        self.epochs.unregister(epoch);
     }
 
     /// The oldest snapshot any reader may still demand. Versions
     /// committed at or before this horizon can never be reconstructed
     /// *past* again.
+    ///
+    /// The watermark is read **before** the epoch shards are scanned
+    /// and bounds the result; see `EpochTable`'s docs for why that makes the
+    /// shard-at-a-time scan safe against concurrent registrations.
     pub fn gc_horizon(&self) -> Ts {
-        self.epochs
-            .lock()
-            .keys()
-            .next()
-            .copied()
-            .unwrap_or_else(|| self.current_ts())
+        let bound = self.current_ts();
+        match self.epochs.min_active() {
+            Some(m) => m.min(bound),
+            None => bound,
+        }
     }
 
     /// Epoch-based garbage collection: drops every version record whose
@@ -579,6 +836,10 @@ impl MvccHeap {
     }
 
     /// Number of live version records across all chains (diagnostics).
+    /// Shards are visited one at a time, so under concurrent commits the
+    /// total is approximate — a consistent point-in-time count would
+    /// require holding every shard latch at once, which diagnostics must
+    /// never do.
     pub fn live_versions(&self) -> usize {
         self.shards
             .iter()
@@ -586,20 +847,22 @@ impl MvccHeap {
             .sum()
     }
 
-    /// Number of objects with a live chain (diagnostics).
+    /// Number of objects with a live chain (diagnostics; approximate
+    /// under concurrency, like [`MvccHeap::live_versions`]).
     pub fn live_chains(&self) -> usize {
         self.shards.iter().map(|s| s.lock().len()).sum()
     }
 
     /// Number of live SIREAD registrations; 0 at
-    /// [`IsolationLevel::Snapshot`] (diagnostics).
+    /// [`IsolationLevel::Snapshot`] (diagnostics; approximate under
+    /// concurrency).
     pub fn ssi_siread_entries(&self) -> usize {
         self.ssi.as_ref().map_or(0, |s| s.siread_entries())
     }
 
     /// Number of transactions the SSI tracker still holds flags for
     /// (live + retained committed); 0 at [`IsolationLevel::Snapshot`]
-    /// (diagnostics).
+    /// (diagnostics; approximate under concurrency).
     pub fn ssi_tracked_txns(&self) -> usize {
         self.ssi.as_ref().map_or(0, |s| s.tracked_txns())
     }
@@ -844,5 +1107,47 @@ mod tests {
         }
         assert_eq!(heap.stats.snapshot().commits, 400);
         assert_eq!(heap.stats.snapshot().write_conflicts, 0);
+        // Every drawn timestamp was published: the watermark drained to
+        // the clock and the prefix is contiguous.
+        assert_eq!(heap.current_ts(), 400);
+    }
+
+    #[test]
+    fn watermark_publishes_contiguous_prefix_out_of_order() {
+        let w = Watermark::new();
+        assert_eq!(w.get(), 0);
+        w.publish(2);
+        assert_eq!(w.get(), 0, "2 waits for 1");
+        w.publish(3);
+        assert_eq!(w.get(), 0);
+        w.publish(1);
+        assert_eq!(w.get(), 3, "1 unlocks the whole prefix");
+        w.publish(4);
+        assert_eq!(w.get(), 4);
+        assert!(w.pending.lock().is_empty());
+    }
+
+    #[test]
+    fn coarse_baseline_path_still_commits() {
+        let mut b = SchemaBuilder::new();
+        b.class("a").field("x", FieldType::Int);
+        let schema = Arc::new(b.finish().unwrap());
+        let db = Arc::new(Database::new(Arc::clone(&schema)));
+        let a = schema.class_by_name("a").unwrap();
+        let x = schema.resolve_field(a, "x").unwrap();
+        let heap = Arc::new(MvccHeap::with_commit_path(
+            db,
+            IsolationLevel::Snapshot,
+            CommitPath::CoarseBaseline,
+        ));
+        assert_eq!(heap.commit_path(), CommitPath::CoarseBaseline);
+        let o = heap.base().create(a);
+        for i in 0..5u64 {
+            let t = TxnId(i + 1);
+            heap.begin(t);
+            heap.write(t, o, x, Value::Int(i as i64)).unwrap();
+            assert_eq!(heap.commit(t).unwrap(), i + 1);
+        }
+        assert_eq!(heap.current_ts(), 5);
     }
 }

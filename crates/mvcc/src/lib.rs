@@ -11,10 +11,13 @@
 //!   [`finecc_store::Database`] (so non-MVCC consumers keep working);
 //!   chain records hold the before-images needed to reconstruct any
 //!   registered snapshot — the rollback-segment organization.
-//! * **Timestamps** — a monotonically increasing commit-timestamp
-//!   allocator; transaction snapshots read the latest fully published
-//!   commit timestamp, so a snapshot never observes a half-flipped
-//!   transaction.
+//! * **Timestamps** — an atomic commit-timestamp clock (one `fetch_add`
+//!   per writer commit) decoupled from *visibility*: an ordered
+//!   publication watermark advances the snapshot source only across a
+//!   contiguous flipped prefix, so a snapshot never observes a
+//!   half-flipped transaction even though committers flip their chains
+//!   without any global lock (see the `heap` module's "Concurrency
+//!   architecture" docs).
 //! * **Snapshots** ([`snapshot::Snapshot`]) — first-class read-only
 //!   views: no logical locks, stable for their whole lifetime, and
 //!   registered with the GC so the versions they need stay alive.
@@ -46,7 +49,7 @@ pub mod snapshot;
 pub mod ssi;
 pub mod stats;
 
-pub use heap::{MvccConflict, MvccHeap, MvccWriteError, WriteOutcome};
+pub use heap::{CommitPath, MvccConflict, MvccHeap, MvccWriteError, WriteOutcome};
 pub use snapshot::Snapshot;
 pub use ssi::{IsolationLevel, SsiConflict};
 pub use stats::{MvccStats, MvccStatsSnapshot};

@@ -1,6 +1,6 @@
 //! First-class read snapshots.
 
-use crate::heap::MvccHeap;
+use crate::heap::{EpochHandle, MvccHeap};
 use crate::Ts;
 use finecc_model::{FieldId, Oid, Value};
 use finecc_store::StoreError;
@@ -10,31 +10,31 @@ use std::sync::Arc;
 ///
 /// Snapshot reads take **no logical locks** and never block writers;
 /// writers never block snapshot readers. While the snapshot is alive it
-/// is registered with the heap's epoch registry, pinning the version
-/// records it may still need; dropping it releases them for GC.
+/// is registered with the heap's sharded epoch table, pinning the
+/// version records it may still need; dropping it releases them for GC.
 pub struct Snapshot {
     heap: Arc<MvccHeap>,
-    ts: Ts,
+    epoch: EpochHandle,
 }
 
 impl Snapshot {
-    pub(crate) fn new(heap: Arc<MvccHeap>, ts: Ts) -> Snapshot {
-        Snapshot { heap, ts }
+    pub(crate) fn new(heap: Arc<MvccHeap>, epoch: EpochHandle) -> Snapshot {
+        Snapshot { heap, epoch }
     }
 
     /// The commit timestamp this snapshot observes.
     pub fn ts(&self) -> Ts {
-        self.ts
+        self.epoch.ts
     }
 
     /// Reads one field as of the snapshot.
     pub fn read(&self, oid: Oid, field: FieldId) -> Result<Value, StoreError> {
-        self.heap.read_as(self.ts, None, oid, field)
+        self.heap.read_as(self.epoch.ts, None, oid, field)
     }
 }
 
 impl Drop for Snapshot {
     fn drop(&mut self) {
-        self.heap.release_snapshot(self.ts);
+        self.heap.release_snapshot(self.epoch);
     }
 }

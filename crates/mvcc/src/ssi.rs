@@ -21,6 +21,35 @@
 //! instead ([`SsiConflict::pivot`]). The tracker itself (`SsiTracker`)
 //! is crate-internal; `finecc_mvcc::MvccHeap` drives it.
 //!
+//! # Striping and the per-edge protocol
+//!
+//! Both tracker tables are sharded: the SIREAD registry by OID and the
+//! flag table by `TxnId`, so no tracker operation takes a global lock.
+//! The correctness argument leans on two facts:
+//!
+//! 1. **A transaction's own thread is sequential.** Edge recording that
+//!    a transaction performs for *itself* (its out-flag during a read,
+//!    its in-flag after a write) is ordered before its own commit
+//!    validation by program order; no lock is needed for that ordering.
+//! 2. **Remote flag updates synchronize on the target's stripe.** When
+//!    transaction `A`'s thread updates transaction `B`'s flags (the
+//!    writer's in-flag on the read side, the readers' out-flags on the
+//!    write side), it locks `B`'s stripe, and
+//!    `SsiTracker::validate_and_commit` checks-and-marks `B`'s
+//!    commit in one critical section on that same stripe. A remote
+//!    update therefore lands either *before* `B`'s pivot check (and is
+//!    seen by it) or *after* `B` is properly committed (and takes the
+//!    committed-pivot path, dooming the completing transaction). The
+//!    seed implementation bought this atomicity with one global flags
+//!    mutex; striping preserves it per transaction while letting
+//!    validation of unrelated transactions proceed in parallel.
+//!
+//! At most one flag stripe is held at any time (edge endpoints are
+//! visited one after the other), so stripe acquisition cannot deadlock.
+//! The only nested tracker acquisition at all is `SsiTracker::purge`,
+//! which checks flag stripes *under* a SIREAD shard lock; the order
+//! SIREAD shard → flag stripe is never reversed.
+//!
 //! The reads feeding the tracker are the interpreter's field-granularity
 //! footprints — the runtime projection of the paper's access vectors —
 //! so a reader of `o.x` never conflicts with a writer of `o.y`: the
@@ -40,6 +69,9 @@ use std::collections::HashMap;
 
 /// How many mutexes the SIREAD registry is striped over.
 const READER_SHARDS: usize = 32;
+
+/// How many mutexes the flag table is striped over.
+const FLAG_STRIPES: usize = 64;
 
 /// The isolation level of an [`crate::MvccHeap`] — a first-class scheme
 /// parameter (the runtime exposes one scheme entry per level).
@@ -132,6 +164,9 @@ struct Flags {
 /// commit timestamps, so the registry itself only needs identities.
 type ReaderShard = Mutex<HashMap<(Oid, FieldId), Vec<TxnId>>>;
 
+/// One stripe of the flag table.
+type FlagStripe = Mutex<HashMap<TxnId, Flags>>;
+
 /// The rw-antidependency tracker of a Serializable-level heap.
 ///
 /// Writers consult the SIREAD registry *after* installing their pending
@@ -143,11 +178,12 @@ type ReaderShard = Mutex<HashMap<(Oid, FieldId), Vec<TxnId>>>;
 pub(crate) struct SsiTracker {
     /// SIREAD registry: who has read which field, striped by OID.
     readers: Box<[ReaderShard]>,
-    /// Conflict flags of live and recently committed transactions. Also
-    /// the commit-status authority for edge concurrency tests, so flag
-    /// updates and commit publication are atomic with respect to each
-    /// other.
-    flags: Mutex<HashMap<TxnId, Flags>>,
+    /// Conflict flags of live and recently committed transactions,
+    /// striped by `TxnId`. Each stripe is the commit-status authority
+    /// for its transactions, so per-transaction flag updates and commit
+    /// publication are atomic with respect to each other (see the
+    /// module docs for the striping protocol).
+    flags: Box<[FlagStripe]>,
 }
 
 /// What [`SsiTracker::validate_and_commit`] decided.
@@ -165,10 +201,11 @@ impl SsiTracker {
             .map(|_| Mutex::new(HashMap::new()))
             .collect::<Vec<_>>()
             .into_boxed_slice();
-        SsiTracker {
-            readers,
-            flags: Mutex::new(HashMap::new()),
-        }
+        let flags = (0..FLAG_STRIPES)
+            .map(|_| Mutex::new(HashMap::new()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        SsiTracker { readers, flags }
     }
 
     #[inline]
@@ -176,9 +213,14 @@ impl SsiTracker {
         &self.readers[(oid.raw() as usize) % READER_SHARDS]
     }
 
+    #[inline]
+    fn stripe(&self, txn: TxnId) -> &FlagStripe {
+        &self.flags[(txn.raw() as usize) % FLAG_STRIPES]
+    }
+
     /// Starts tracking `txn`.
     pub(crate) fn register(&self, txn: TxnId) {
-        self.flags.lock().insert(txn, Flags::default());
+        self.stripe(txn).lock().insert(txn, Flags::default());
     }
 
     /// Registers a SIREAD: `txn` is about to read `(oid, field)`. Must
@@ -194,22 +236,29 @@ impl SsiTracker {
     /// Marks the rw edge `reader ──rw──▶ writer`, discovered on the read
     /// side: `reader` reconstructed a version of a field that `writer`
     /// has overwritten (pending, or committed after the reader's
-    /// snapshot). Returns the number of edges recorded (0 or 1).
+    /// snapshot). Called by the **reader's own thread**, so the
+    /// reader-side flag lands before the reader's own validation by
+    /// program order; the writer's stripe is locked to make the
+    /// check-and-mark against the writer's commit status atomic.
+    /// Returns the number of edges recorded (0 or 1).
     pub(crate) fn read_edge(&self, reader: TxnId, writer: TxnId) -> u64 {
         if reader == writer {
             return 0;
         }
-        let mut flags = self.flags.lock();
         // The writer may be long gone (purged): its flags can no longer
         // matter to anyone live, but the reader's out-edge is real.
-        let writer_committed_pivot = match flags.get_mut(&writer) {
-            Some(w) => {
-                w.in_conflict = true;
-                w.commit_ts.is_some() && w.out_conflict
+        let writer_committed_pivot = {
+            let mut stripe = self.stripe(writer).lock();
+            match stripe.get_mut(&writer) {
+                Some(w) => {
+                    w.in_conflict = true;
+                    w.commit_ts.is_some() && w.out_conflict
+                }
+                None => false,
             }
-            None => false,
         };
-        if let Some(r) = flags.get_mut(&reader) {
+        let mut stripe = self.stripe(reader).lock();
+        if let Some(r) = stripe.get_mut(&reader) {
             r.out_conflict = true;
             if writer_committed_pivot && r.doomed_by.is_none() {
                 // `writer` is committed with both flags: it is a pivot
@@ -222,8 +271,12 @@ impl SsiTracker {
 
     /// Marks every rw edge `R ──rw──▶ writer` for concurrent readers `R`
     /// of `(oid, field)`, discovered on the write side. Must run AFTER
-    /// the writer's pending version is installed. Returns the number of
-    /// edges recorded.
+    /// the writer's pending version is installed. Called by the
+    /// **writer's own thread**: each reader's stripe is locked for the
+    /// concurrency test plus out-flag (atomic against that reader's
+    /// validation), and the writer's own in-flag lands before its own
+    /// validation by program order. Returns the number of edges
+    /// recorded.
     pub(crate) fn write_edges(
         &self,
         writer: TxnId,
@@ -239,37 +292,35 @@ impl SsiTracker {
             }
         };
         let mut edges = 0;
-        let mut flags = self.flags.lock();
         let mut doom: Option<TxnId> = None;
         for reader in snapshot {
             if reader == writer {
                 continue;
             }
+            let mut stripe = self.stripe(reader).lock();
+            // Aborted (or purged) reader: no edge.
+            let Some(f) = stripe.get_mut(&reader) else {
+                continue;
+            };
             // Concurrency: a live reader overlaps the live writer by
             // definition; a committed reader overlaps iff the writer's
             // snapshot predates the reader's commit (otherwise the
             // writer's snapshot already contains everything the reader
             // saw, and the edge is plain wr ordering).
-            let reader_committed_pivot = match flags.get_mut(&reader) {
-                Some(f) => {
-                    match f.commit_ts {
-                        None => {}
-                        Some(c) if c > writer_snapshot => {}
-                        Some(_) => continue, // not concurrent
-                    }
-                    f.out_conflict = true;
-                    edges += 1;
-                    f.commit_ts.is_some() && f.in_conflict
-                }
-                // Aborted (or purged) reader: no edge.
-                None => continue,
-            };
-            if reader_committed_pivot {
+            match f.commit_ts {
+                None => {}
+                Some(c) if c > writer_snapshot => {}
+                Some(_) => continue, // not concurrent
+            }
+            f.out_conflict = true;
+            edges += 1;
+            if f.commit_ts.is_some() && f.in_conflict {
                 doom = Some(reader);
             }
         }
         if edges > 0 {
-            if let Some(w) = flags.get_mut(&writer) {
+            let mut stripe = self.stripe(writer).lock();
+            if let Some(w) = stripe.get_mut(&writer) {
                 w.in_conflict = true;
                 if let Some(p) = doom {
                     if w.doomed_by.is_none() {
@@ -281,26 +332,27 @@ impl SsiTracker {
         edges
     }
 
-    /// Commit-time validation, atomic with commit publication: if `txn`
-    /// sits in a dangerous structure the verdict is [`SsiVerdict::Abort`]
-    /// and its flags are dropped; otherwise it is marked committed at
-    /// `commit_ts` in the same critical section, so an edge discovered by
-    /// a concurrent transaction lands either before the check or against
-    /// a properly committed transaction — never in between.
+    /// Commit-time validation, atomic with commit publication **per
+    /// transaction**: the check and the commit mark happen in one
+    /// critical section on the transaction's own flag stripe, so an
+    /// edge discovered by a concurrent transaction lands either before
+    /// the check or against a properly committed transaction — never in
+    /// between. Only the one stripe is locked; validations of
+    /// transactions on other stripes proceed in parallel.
     pub(crate) fn validate_and_commit(&self, txn: TxnId, commit_ts: Ts) -> SsiVerdict {
-        let mut flags = self.flags.lock();
-        let f = flags
+        let mut stripe = self.stripe(txn).lock();
+        let f = stripe
             .get_mut(&txn)
             .expect("transaction is registered with the ssi tracker");
         if let Some(pivot) = f.doomed_by {
-            flags.remove(&txn);
+            stripe.remove(&txn);
             return SsiVerdict::Abort(SsiConflict {
                 txn,
                 pivot: Some(pivot),
             });
         }
         if f.in_conflict && f.out_conflict {
-            flags.remove(&txn);
+            stripe.remove(&txn);
             return SsiVerdict::Abort(SsiConflict { txn, pivot: None });
         }
         f.commit_ts = Some(commit_ts);
@@ -311,7 +363,7 @@ impl SsiTracker {
     /// on OTHER transactions stay set (sticky, conservatively), matching
     /// Cahill's original formulation.
     pub(crate) fn forget(&self, txn: TxnId) {
-        self.flags.lock().remove(&txn);
+        self.stripe(txn).lock().remove(&txn);
     }
 
     /// Drops flag entries and SIREAD registrations that can no longer
@@ -319,22 +371,39 @@ impl SsiTracker {
     /// timestamp is at or below `horizon` (the oldest live snapshot —
     /// every live or future transaction's snapshot already contains
     /// them, so no further concurrency is possible).
+    ///
+    /// Runs stripe-at-a-time — no global lock. A SIREAD entry is kept
+    /// iff its transaction still has a flag entry, checked under the
+    /// SIREAD shard's lock (flag stripes are locked *nested inside* the
+    /// shard lock; that order is never reversed). Verdicts are cached
+    /// per shard: transaction ids are never reused, so a transaction
+    /// observed gone cannot come back, and entries present in the shard
+    /// were added before the shard was locked — i.e. by transactions
+    /// registered before the check.
     pub(crate) fn purge(&self, horizon: Ts) {
-        let mut flags = self.flags.lock();
-        flags.retain(|_, f| match f.commit_ts {
-            Some(c) => c > horizon,
-            None => true,
-        });
+        for stripe in self.flags.iter() {
+            stripe.lock().retain(|_, f| match f.commit_ts {
+                Some(c) => c > horizon,
+                None => true,
+            });
+        }
         for shard in self.readers.iter() {
             let mut shard = shard.lock();
+            let mut live: HashMap<TxnId, bool> = HashMap::new();
             shard.retain(|_, rs| {
-                rs.retain(|txn| flags.contains_key(txn));
+                rs.retain(|t| {
+                    *live
+                        .entry(*t)
+                        .or_insert_with(|| self.stripe(*t).lock().contains_key(t))
+                });
                 !rs.is_empty()
             });
         }
     }
 
-    /// Number of live SIREAD registrations (diagnostics).
+    /// Number of live SIREAD registrations (diagnostics; shards are
+    /// visited one at a time, so the total is approximate under
+    /// concurrency).
     pub(crate) fn siread_entries(&self) -> usize {
         self.readers
             .iter()
@@ -343,9 +412,10 @@ impl SsiTracker {
     }
 
     /// Number of tracked (live or retained-committed) transactions
-    /// (diagnostics).
+    /// (diagnostics; stripes are visited one at a time, so the total is
+    /// approximate under concurrency).
     pub(crate) fn tracked_txns(&self) -> usize {
-        self.flags.lock().len()
+        self.flags.iter().map(|s| s.lock().len()).sum()
     }
 }
 
@@ -472,5 +542,42 @@ mod tests {
         t.purge(10);
         assert_eq!(t.siread_entries(), 0);
         assert_eq!(t.tracked_txns(), 0);
+    }
+
+    #[test]
+    fn striping_keeps_edges_across_distant_txn_ids() {
+        // Transactions deliberately chosen to land on distinct stripes
+        // (ids differ mod FLAG_STRIPES): the edge protocol must behave
+        // exactly as under one global lock.
+        let a = TxnId(1);
+        let b = TxnId(1 + FLAG_STRIPES as u64);
+        let c = TxnId(2 + 2 * FLAG_STRIPES as u64);
+        let t = SsiTracker::new();
+        t.register(a);
+        t.register(b);
+        t.register(c);
+        let oid = Oid(7);
+        let f = FieldId(0);
+        t.record_read(b, oid, f);
+        assert_eq!(t.write_edges(c, 0, oid, f), 1); // b → c
+        assert_eq!(t.read_edge(a, b), 1); // a → b
+        match t.validate_and_commit(b, 3) {
+            SsiVerdict::Abort(conflict) => assert_eq!(conflict.txn, b),
+            SsiVerdict::Committed => panic!("cross-stripe pivot must abort"),
+        }
+        assert!(matches!(t.validate_and_commit(a, 4), SsiVerdict::Committed));
+        assert!(matches!(t.validate_and_commit(c, 5), SsiVerdict::Committed));
+    }
+
+    #[test]
+    fn purge_keeps_sireads_of_live_transactions() {
+        let t = SsiTracker::new();
+        t.register(T1);
+        t.record_read(T1, Oid(3), FieldId(0));
+        // T1 is live: horizon way past anything must not drop its
+        // registration (only ended transactions are purged).
+        t.purge(1_000);
+        assert_eq!(t.siread_entries(), 1);
+        assert_eq!(t.tracked_txns(), 1);
     }
 }

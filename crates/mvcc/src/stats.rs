@@ -12,6 +12,7 @@ pub struct MvccStats {
     write_conflicts: AtomicU64,
     ssi_aborts: AtomicU64,
     ssi_edges: AtomicU64,
+    ts_skips: AtomicU64,
     snapshot_reads: AtomicU64,
     versions_created: AtomicU64,
     versions_reclaimed: AtomicU64,
@@ -35,6 +36,7 @@ impl MvccStats {
         bump_aborts => aborts,
         bump_write_conflicts => write_conflicts,
         bump_ssi_aborts => ssi_aborts,
+        bump_ts_skips => ts_skips,
         bump_snapshot_reads => snapshot_reads,
         bump_versions_created => versions_created,
     }
@@ -62,6 +64,7 @@ impl MvccStats {
             write_conflicts: self.write_conflicts.load(Ordering::Relaxed),
             ssi_aborts: self.ssi_aborts.load(Ordering::Relaxed),
             ssi_edges: self.ssi_edges.load(Ordering::Relaxed),
+            ts_skips: self.ts_skips.load(Ordering::Relaxed),
             snapshot_reads: self.snapshot_reads.load(Ordering::Relaxed),
             versions_created: self.versions_created.load(Ordering::Relaxed),
             versions_reclaimed: self.versions_reclaimed.load(Ordering::Relaxed),
@@ -79,6 +82,7 @@ impl MvccStats {
         self.write_conflicts.store(0, Ordering::Relaxed);
         self.ssi_aborts.store(0, Ordering::Relaxed);
         self.ssi_edges.store(0, Ordering::Relaxed);
+        self.ts_skips.store(0, Ordering::Relaxed);
         self.snapshot_reads.store(0, Ordering::Relaxed);
         self.versions_created.store(0, Ordering::Relaxed);
         self.versions_reclaimed.store(0, Ordering::Relaxed);
@@ -105,6 +109,11 @@ pub struct MvccStatsSnapshot {
     /// rw-antidependency edges observed by the SSI tracker (zero at
     /// [`crate::IsolationLevel::Snapshot`]).
     pub ssi_edges: u64,
+    /// Commit timestamps drawn from the clock but published as *skips*
+    /// because SSI validation refused the transaction after the draw.
+    /// The watermark prefix stays contiguous: `current_ts` equals
+    /// writer commits + skips once all transactions have finished.
+    pub ts_skips: u64,
     /// Snapshot field reads served.
     pub snapshot_reads: u64,
     /// Version records installed.
@@ -140,6 +149,7 @@ impl MvccStatsSnapshot {
             write_conflicts: self.write_conflicts.saturating_sub(earlier.write_conflicts),
             ssi_aborts: self.ssi_aborts.saturating_sub(earlier.ssi_aborts),
             ssi_edges: self.ssi_edges.saturating_sub(earlier.ssi_edges),
+            ts_skips: self.ts_skips.saturating_sub(earlier.ts_skips),
             snapshot_reads: self.snapshot_reads.saturating_sub(earlier.snapshot_reads),
             versions_created: self
                 .versions_created

@@ -51,7 +51,9 @@ use crate::txn::Txn;
 use finecc_lang::{DataAccess, ExecError};
 use finecc_lock::{LockStats, StatsSnapshot};
 use finecc_model::{ClassId, FieldId, MethodId, Oid, TxnId, Value};
-use finecc_mvcc::{IsolationLevel, MvccHeap, MvccStatsSnapshot, MvccWriteError, SsiConflict};
+use finecc_mvcc::{
+    CommitPath, IsolationLevel, MvccHeap, MvccStatsSnapshot, MvccWriteError, SsiConflict,
+};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -77,8 +79,25 @@ impl MvccScheme {
     /// first-class scheme parameter: `Snapshot` is the `mvcc` matrix
     /// entry, `Serializable` the `mvcc-ssi` one.
     pub fn with_isolation(env: Env, isolation: IsolationLevel) -> MvccScheme {
+        MvccScheme::with_commit_path(env, isolation, CommitPath::Sharded)
+    }
+
+    /// Builds the scheme at the given isolation level and heap commit
+    /// path. [`CommitPath::CoarseBaseline`] reinstates the pre-sharding
+    /// single-mutex commit and exists **only** so experiments (the
+    /// `parallelism_sweep` scaling table) can measure the sharded
+    /// path's win; production callers use [`MvccScheme::with_isolation`].
+    pub fn with_commit_path(
+        env: Env,
+        isolation: IsolationLevel,
+        commit_path: CommitPath,
+    ) -> MvccScheme {
         MvccScheme {
-            heap: Arc::new(MvccHeap::with_isolation(Arc::clone(&env.db), isolation)),
+            heap: Arc::new(MvccHeap::with_commit_path(
+                Arc::clone(&env.db),
+                isolation,
+                commit_path,
+            )),
             env,
             next_txn: AtomicU64::new(1),
             lock_stats: LockStats::default(),

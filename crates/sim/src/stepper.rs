@@ -21,8 +21,14 @@ use std::collections::VecDeque;
 pub struct StepReport {
     /// Transactions committed, in commit order (indices into the input).
     pub commit_order: Vec<usize>,
-    /// Total aborts (would-block or deadlock) before success.
+    /// Total aborts (would-block, deadlock, or refused commit) before
+    /// success.
     pub aborts: u64,
+    /// The subset of [`StepReport::aborts`] refused at **commit time**
+    /// (mvcc-ssi dangerous-structure validation; the scheme has already
+    /// rolled the transaction back when commit returns the refusal) as
+    /// opposed to aborting mid-execution. Zero for every other scheme.
+    pub commit_refusals: u64,
     /// Transactions that exceeded the retry budget (left uncommitted).
     pub starved: Vec<usize>,
 }
@@ -41,10 +47,15 @@ pub fn run_stepped(scheme: &dyn CcScheme, ops: &[TxnOp], max_rounds_per_txn: u32
         let mut txn = scheme.begin();
         let committed = match ops[i].run(scheme, &mut txn) {
             // Commit itself can refuse (mvcc-ssi validation); the scheme
-            // has rolled back already, so treat it like any abort.
+            // has rolled back already, so treat it like any abort —
+            // re-queued on a fresh snapshot — while counting the class
+            // separately.
             Ok(()) => match scheme.commit(txn) {
                 Ok(_) => true,
-                Err(finecc_lang::ExecError::ConcurrencyAbort { .. }) => false,
+                Err(finecc_lang::ExecError::ConcurrencyAbort { .. }) => {
+                    report.commit_refusals += 1;
+                    false
+                }
                 Err(e) => panic!("stepper commit failed non-retryably: {e}"),
             },
             Err(finecc_lang::ExecError::ConcurrencyAbort { .. }) => {
@@ -120,6 +131,16 @@ mod tests {
 
             assert_eq!(r1, r2, "{kind}: stepper must be deterministic");
             assert_eq!(snap1, snap2, "{kind}: final states must agree");
+            assert!(
+                r1.commit_refusals <= r1.aborts,
+                "{kind}: refusals are a subset of aborts"
+            );
+            if kind != SchemeKind::MvccSsi {
+                assert_eq!(
+                    r1.commit_refusals, 0,
+                    "{kind}: only mvcc-ssi refuses at commit time"
+                );
+            }
         }
     }
 

@@ -1,0 +1,259 @@
+//! Multi-threaded commit-storm stress tests for the sharded MVCC commit
+//! path: N writer threads over overlapping OIDs, with concurrent
+//! observers asserting the publication invariants the ordered watermark
+//! guarantees —
+//!
+//! * **watermark monotonicity**: `current_ts` never moves backwards;
+//! * **no lost or torn writes**: every transaction writes the same
+//!   round number to its field on *two* shared objects, so any snapshot
+//!   must see the two values equal (commit atomicity) and the final
+//!   base state must hold every thread's last round (durability of the
+//!   full prefix);
+//! * **contiguous commit prefix**: when the storm drains, the watermark
+//!   equals drawn-timestamps = writer commits + validation skips — no
+//!   hole is ever left unpublished.
+//!
+//! Thread count comes from `FINECC_TEST_THREADS` (default 8; CI runs
+//! 16), the ISSUE's knob for running the storm wider in CI than on a
+//! laptop.
+
+use finecc::model::{FieldId, FieldType, Oid, SchemaBuilder, TxnId, Value};
+use finecc::mvcc::{CommitPath, IsolationLevel, MvccHeap, MvccWriteError};
+use finecc::store::Database;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn storm_threads() -> usize {
+    std::env::var("FINECC_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(8)
+}
+
+struct Storm {
+    heap: Arc<MvccHeap>,
+    /// `fields[t]` is thread `t`'s private field — threads overlap on
+    /// objects but never on (object, field), so the snapshot-level storm
+    /// is conflict-free by field granularity.
+    fields: Vec<FieldId>,
+    /// Shared objects; thread `t` writes objects `t % K` and `(t+1) % K`.
+    oids: Vec<Oid>,
+    next_txn: AtomicU64,
+}
+
+fn setup(threads: usize, isolation: IsolationLevel, commit_path: CommitPath) -> Storm {
+    let mut b = SchemaBuilder::new();
+    {
+        let c = b.class("storm");
+        for t in 0..threads {
+            c.field(&format!("f{t}"), FieldType::Int);
+        }
+    }
+    let schema = Arc::new(b.finish().unwrap());
+    let class = schema.class_by_name("storm").unwrap();
+    let fields: Vec<FieldId> = (0..threads)
+        .map(|t| schema.resolve_field(class, &format!("f{t}")).unwrap())
+        .collect();
+    let db = Arc::new(Database::new(Arc::clone(&schema)));
+    let objects = (threads / 2).max(2);
+    let oids: Vec<Oid> = (0..objects).map(|_| db.create(class)).collect();
+    Storm {
+        heap: Arc::new(MvccHeap::with_commit_path(db, isolation, commit_path)),
+        fields,
+        oids,
+        next_txn: AtomicU64::new(1),
+    }
+}
+
+impl Storm {
+    fn pair_of(&self, thread: usize) -> (Oid, Oid) {
+        (
+            self.oids[thread % self.oids.len()],
+            self.oids[(thread + 1) % self.oids.len()],
+        )
+    }
+
+    /// Runs one round of thread `t`: write `round` into the thread's
+    /// field on both of its objects (optionally reading the ring
+    /// neighbor's field first, to manufacture rw-antidependencies under
+    /// SSI), retrying validation/conflict aborts on a fresh snapshot.
+    /// Returns the number of commit-time validation aborts hit.
+    fn run_round(&self, t: usize, round: i64, read_neighbor: bool) -> u64 {
+        let (a, b) = self.pair_of(t);
+        let field = self.fields[t];
+        let neighbor = self.fields[(t + 1) % self.fields.len()];
+        let mut validation_aborts = 0;
+        for _attempt in 0..10_000 {
+            let txn = TxnId(self.next_txn.fetch_add(1, Ordering::Relaxed));
+            self.heap.begin(txn);
+            if read_neighbor {
+                self.heap.read(txn, a, neighbor).unwrap();
+            }
+            let writes = self
+                .heap
+                .write(txn, a, field, Value::Int(round))
+                .and_then(|_| self.heap.write(txn, b, field, Value::Int(round)));
+            match writes {
+                Ok(_) => match self.heap.commit(txn) {
+                    Ok(_) => return validation_aborts,
+                    Err(_) => validation_aborts += 1, // rolled back; retry
+                },
+                Err(MvccWriteError::Conflict(_)) => {
+                    self.heap.abort(txn);
+                }
+                Err(e) => panic!("storm write failed: {e}"),
+            }
+        }
+        panic!("thread {t} round {round}: retry budget exhausted");
+    }
+
+    /// Asserts the no-torn-write invariant on a fresh snapshot: for
+    /// every thread, the two objects it writes atomically hold the same
+    /// round value, and a second read returns the same answer
+    /// (stability). Returns the snapshot timestamp.
+    fn check_snapshot(&self) -> u64 {
+        let snap = self.heap.snapshot();
+        for (t, &field) in self.fields.iter().enumerate() {
+            let (a, b) = self.pair_of(t);
+            let va = snap.read(a, field).unwrap();
+            let vb = snap.read(b, field).unwrap();
+            assert_eq!(
+                va,
+                vb,
+                "torn commit visible: thread {t} objects disagree at ts {}",
+                snap.ts()
+            );
+            assert_eq!(snap.read(a, field).unwrap(), va, "snapshot unstable");
+        }
+        snap.ts()
+    }
+}
+
+fn run_storm(isolation: IsolationLevel, commit_path: CommitPath, rounds: i64, read_neighbor: bool) {
+    let threads = storm_threads();
+    let storm = Arc::new(setup(threads, isolation, commit_path));
+    let stop = Arc::new(AtomicBool::new(false));
+    let total_validation_aborts = Arc::new(AtomicU64::new(0));
+
+    std::thread::scope(|s| {
+        // Watermark observer: current_ts must be monotone.
+        {
+            let storm = Arc::clone(&storm);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                let mut last = 0;
+                while !stop.load(Ordering::Relaxed) {
+                    let now = storm.heap.current_ts();
+                    assert!(now >= last, "watermark moved backwards: {last} -> {now}");
+                    last = now;
+                    std::thread::yield_now();
+                }
+            });
+        }
+        // Snapshot observer: reads must never see a torn commit and
+        // snapshot timestamps must be monotone too (they come straight
+        // off the watermark).
+        {
+            let storm = Arc::clone(&storm);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                let mut last = 0;
+                while !stop.load(Ordering::Relaxed) {
+                    let ts = storm.check_snapshot();
+                    assert!(ts >= last, "snapshot ts moved backwards");
+                    last = ts;
+                }
+            });
+        }
+        // The writer storm itself.
+        let mut writers = Vec::new();
+        for t in 0..threads {
+            let storm = Arc::clone(&storm);
+            let aborts = Arc::clone(&total_validation_aborts);
+            writers.push(s.spawn(move || {
+                let mut local = 0;
+                for round in 0..rounds {
+                    local += storm.run_round(t, round, read_neighbor);
+                }
+                aborts.fetch_add(local, Ordering::Relaxed);
+            }));
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    // No lost writes: the final base state holds every thread's last
+    // round on both of its objects.
+    for (t, &field) in storm.fields.iter().enumerate() {
+        let (a, b) = storm.pair_of(t);
+        assert_eq!(
+            storm.heap.base().read(a, field),
+            Ok(Value::Int(rounds - 1)),
+            "thread {t} lost its last round on object a"
+        );
+        assert_eq!(
+            storm.heap.base().read(b, field),
+            Ok(Value::Int(rounds - 1)),
+            "thread {t} lost its last round on object b"
+        );
+    }
+
+    // Contiguous prefix, fully drained: every drawn timestamp was
+    // published — writer commits each drew one, and every SSI
+    // validation abort after the draw published a skip.
+    let m = storm.heap.stats.snapshot();
+    let expected_commits = threads as u64 * rounds as u64;
+    assert_eq!(
+        m.commits, expected_commits,
+        "one commit per (thread, round)"
+    );
+    assert_eq!(
+        storm.heap.current_ts(),
+        m.commits + m.ts_skips,
+        "watermark must drain to the drawn-timestamp clock with no holes"
+    );
+    assert_eq!(
+        m.ts_skips,
+        total_validation_aborts.load(Ordering::Relaxed),
+        "every commit-time validation abort publishes exactly one skip"
+    );
+    if isolation == IsolationLevel::Snapshot {
+        assert_eq!(m.ssi_aborts, 0);
+        assert_eq!(m.ts_skips, 0);
+    }
+
+    // A final snapshot at the drained watermark sees the whole prefix.
+    assert!(storm.check_snapshot() >= expected_commits);
+}
+
+#[test]
+fn commit_storm_snapshot_isolation() {
+    // Field-disjoint writers over overlapping objects: zero conflicts,
+    // maximal commit-path concurrency.
+    run_storm(IsolationLevel::Snapshot, CommitPath::Sharded, 100, false);
+}
+
+#[test]
+fn commit_storm_serializable_with_validation_skips() {
+    // Each writer also reads its ring neighbor's field, manufacturing
+    // rw-antidependency chains: some commits are refused by validation
+    // *after* drawing their timestamp, so the watermark must skip-fill
+    // the holes — the storm asserts the prefix still drains tight.
+    run_storm(IsolationLevel::Serializable, CommitPath::Sharded, 40, true);
+}
+
+#[test]
+fn commit_storm_coarse_baseline_matches_semantics() {
+    // The retained benchmarking baseline must hold exactly the same
+    // invariants under exactly the same storm (it only serializes the
+    // commit window, never changes semantics).
+    run_storm(
+        IsolationLevel::Snapshot,
+        CommitPath::CoarseBaseline,
+        50,
+        false,
+    );
+}
