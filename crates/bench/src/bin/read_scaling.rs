@@ -1,0 +1,269 @@
+//! Experiment E9 — read-path scaling: what reader latch freedom buys.
+//!
+//! N reader threads hammer snapshot reads over a hot set of versioned
+//! objects, at rising thread counts, under the two read-path
+//! configurations the heap retains:
+//!
+//! * **sharded** (production): latch-free reads over the copy-on-write
+//!   chains — a reader pins the reclamation clock (two atomic ops),
+//!   loads two published pointers, and walks the records; a chain hit
+//!   never takes a mutex, an `RwLock`, or a base-store access.
+//! * **coarse-baseline** (the seed's reader): every read holds the
+//!   per-OID chain-shard latch across its walk, so readers contend
+//!   with each other and with writers on the shard mutexes.
+//!
+//! Each sweep runs twice: pure readers, and readers with one background
+//! writer thread churning versions on the hot set (the case latch-free
+//! reads are really for — under the latched baseline every commit flip
+//! collides with every reader of the same shard).
+//!
+//! Shape: sharded reads/sec scales with threads where the baseline
+//! flattens on shard-latch contention, and the sharded run's
+//! `read_base_loads` stays **zero** — every read was answered entirely
+//! from the chains (this one is asserted: it is the acceptance check
+//! that the hit path is latch-free end to end; timing shapes are not
+//! asserted — CI smoke runs are too small — but recorded in the JSON).
+//!
+//! `FINECC_BENCH_TXNS` overrides the per-thread read count and
+//! `FINECC_BENCH_THREADS` the thread list (the CI bench-smoke job sets
+//! both). The run emits `BENCH_read_scaling.json` (into
+//! `FINECC_BENCH_JSON_DIR`, default the workspace root) so the perf
+//! trajectory is tracked across PRs.
+
+use finecc_bench::{bench_threads, json_object, txns_per_cell, write_bench_json, JsonVal};
+use finecc_model::{FieldId, FieldType, Oid, SchemaBuilder, TxnId, Value};
+use finecc_mvcc::{CommitPath, IsolationLevel, MvccHeap};
+use finecc_sim::render_table;
+use finecc_store::Database;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Hot objects the readers cycle over.
+const HOT_OBJECTS: usize = 16;
+/// Fields per object (readers cycle over these too).
+const FIELDS: usize = 4;
+/// Committed versions stacked on every field before the sweep starts.
+const WARMUP_VERSIONS: u64 = 3;
+
+struct Fixture {
+    heap: Arc<MvccHeap>,
+    oids: Vec<Oid>,
+    fields: Vec<FieldId>,
+    /// Keeps the GC horizon at 0 so the warmed chains are never
+    /// reclaimed: every read of the sweep is a chain hit by
+    /// construction.
+    _pin: finecc_mvcc::Snapshot,
+    next_txn: AtomicU64,
+}
+
+fn fixture(path: CommitPath) -> Fixture {
+    let mut b = SchemaBuilder::new();
+    {
+        let c = b.class("hot");
+        for f in 0..FIELDS {
+            c.field(&format!("f{f}"), FieldType::Int);
+        }
+    }
+    let schema = Arc::new(b.finish().unwrap());
+    let class = schema.class_by_name("hot").unwrap();
+    let fields: Vec<FieldId> = (0..FIELDS)
+        .map(|f| schema.resolve_field(class, &format!("f{f}")).unwrap())
+        .collect();
+    let db = Arc::new(Database::new(Arc::clone(&schema)));
+    let oids: Vec<Oid> = (0..HOT_OBJECTS).map(|_| db.create(class)).collect();
+    let heap = Arc::new(MvccHeap::with_commit_path(
+        db,
+        IsolationLevel::Snapshot,
+        path,
+    ));
+    let pin = heap.snapshot();
+    let next_txn = AtomicU64::new(1);
+    for round in 0..WARMUP_VERSIONS {
+        for &oid in &oids {
+            let txn = TxnId(next_txn.fetch_add(1, Ordering::Relaxed));
+            heap.begin(txn);
+            for &field in &fields {
+                heap.write(txn, oid, field, Value::Int(round as i64))
+                    .unwrap();
+            }
+            heap.commit(txn).unwrap();
+        }
+    }
+    Fixture {
+        heap,
+        oids,
+        fields,
+        _pin: pin,
+        next_txn,
+    }
+}
+
+/// One cell: `threads` readers × `reads_per_thread` snapshot reads over
+/// the hot set, optionally against a background version-churning
+/// writer. Returns `(reads_per_sec, writer_commits)`.
+fn run_cell(
+    fx: &Fixture,
+    threads: usize,
+    reads_per_thread: usize,
+    with_writer: bool,
+) -> (f64, u64) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer_commits = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        if with_writer {
+            let heap = Arc::clone(&fx.heap);
+            let stop = Arc::clone(&stop);
+            let commits = Arc::clone(&writer_commits);
+            let oids = fx.oids.clone();
+            let fields = fx.fields.clone();
+            let next_txn = &fx.next_txn;
+            s.spawn(move || {
+                let mut round = WARMUP_VERSIONS as i64;
+                while !stop.load(Ordering::Relaxed) {
+                    for &oid in &oids {
+                        let txn = TxnId(next_txn.fetch_add(1, Ordering::Relaxed));
+                        heap.begin(txn);
+                        for &field in &fields {
+                            heap.write(txn, oid, field, Value::Int(round)).unwrap();
+                        }
+                        heap.commit(txn).unwrap();
+                        commits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    round += 1;
+                }
+            });
+        }
+        let mut readers = Vec::new();
+        for t in 0..threads {
+            let heap = Arc::clone(&fx.heap);
+            let oids = fx.oids.clone();
+            let fields = fx.fields.clone();
+            readers.push(s.spawn(move || {
+                // One registered snapshot per reader: the sweep measures
+                // the read path, not begin/commit traffic.
+                let snap = heap.snapshot();
+                let mut idx = t; // offset readers so they spread over the hot set
+                for _ in 0..reads_per_thread {
+                    let oid = oids[idx % oids.len()];
+                    let field = fields[(idx / oids.len()) % fields.len()];
+                    let v = snap.read(oid, field).unwrap();
+                    assert!(matches!(v, Value::Int(_)));
+                    idx = idx.wrapping_add(1);
+                }
+            }));
+        }
+        for r in readers {
+            r.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    let total_reads = (threads * reads_per_thread) as f64;
+    (
+        if elapsed > 0.0 {
+            total_reads / elapsed
+        } else {
+            0.0
+        },
+        writer_commits.load(Ordering::Relaxed),
+    )
+}
+
+const VARIANTS: [(&str, CommitPath); 2] = [
+    ("mvcc", CommitPath::Sharded),
+    ("mvcc/latched", CommitPath::CoarseBaseline),
+];
+
+fn main() {
+    let reads_per_thread = txns_per_cell(200_000);
+    let threads_list = bench_threads(&[1, 2, 4, 8, 16]);
+    println!("read-path scaling: {reads_per_thread} snapshot reads per reader thread over");
+    println!(
+        "{HOT_OBJECTS} hot objects x {FIELDS} fields ({WARMUP_VERSIONS} committed versions each) —"
+    );
+    println!("latch-free copy-on-write reads (sharded) vs the seed's latched reader");
+    println!("(coarse-baseline), pure readers and readers + 1 version-churning writer\n");
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for &threads in &threads_list {
+        for with_writer in [false, true] {
+            for (label, path) in VARIANTS {
+                let fx = fixture(path);
+                fx.heap.stats.reset();
+                let (reads_per_sec, writer_commits) =
+                    run_cell(&fx, threads, reads_per_thread, with_writer);
+                let m = fx.heap.stats.snapshot();
+                if path == CommitPath::Sharded {
+                    // The acceptance check: with warmed, GC-pinned
+                    // chains, every read is answered from the chains
+                    // alone — the hit path never took a latch or a
+                    // base-store lock.
+                    assert_eq!(
+                        m.read_base_loads, 0,
+                        "{label}: a chain hit touched the base store"
+                    );
+                }
+                assert_eq!(
+                    m.read_chain_hits,
+                    (threads * reads_per_thread) as u64,
+                    "{label}: every read accounted for as a chain hit"
+                );
+                rows.push(vec![
+                    threads.to_string(),
+                    label.to_string(),
+                    if with_writer { "1" } else { "0" }.to_string(),
+                    format!("{reads_per_sec:.0}"),
+                    m.read_chain_hits.to_string(),
+                    m.read_base_loads.to_string(),
+                    m.read_retries.to_string(),
+                    writer_commits.to_string(),
+                ]);
+                json.push(json_object(&[
+                    ("experiment", JsonVal::from("read_scaling")),
+                    ("scheme", JsonVal::from(label)),
+                    (
+                        "read_path",
+                        JsonVal::from(match path {
+                            CommitPath::Sharded => "latch-free",
+                            CommitPath::CoarseBaseline => "shard-latched",
+                        }),
+                    ),
+                    ("threads", JsonVal::from(threads)),
+                    ("writers", JsonVal::from(usize::from(with_writer))),
+                    ("reads", JsonVal::from(threads * reads_per_thread)),
+                    ("reads_per_sec", JsonVal::from(reads_per_sec)),
+                    ("chain_hits", JsonVal::from(m.read_chain_hits)),
+                    ("base_loads", JsonVal::from(m.read_base_loads)),
+                    ("read_retries", JsonVal::from(m.read_retries)),
+                    ("pin_retries", JsonVal::from(m.read_pin_retries)),
+                    ("writer_commits", JsonVal::from(writer_commits)),
+                ]));
+            }
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "threads",
+                "scheme",
+                "writers",
+                "reads/s",
+                "chain hits",
+                "base loads",
+                "read retries",
+                "writer commits",
+            ],
+            &rows
+        )
+    );
+    println!("shape: sharded reads scale with threads (zero latches, zero base-store");
+    println!("locks — base loads is asserted 0); the latched baseline pays shard-mutex");
+    println!("contention, steepest with the writer churning the same shards.");
+    match write_bench_json("BENCH_read_scaling.json", &json) {
+        Ok(path) => println!("\nmachine-readable results: {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write BENCH_read_scaling.json: {e}"),
+    }
+}

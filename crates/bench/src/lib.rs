@@ -120,11 +120,22 @@ pub fn json_object(pairs: &[(&str, JsonVal)]) -> String {
 
 /// Writes a JSON array of pre-rendered object rows to
 /// `$FINECC_BENCH_JSON_DIR/<file_name>` (directory defaults to the
-/// working directory; created if missing) so the perf trajectory is
-/// tracked as a machine-readable artifact across PRs. Returns the path
-/// written.
+/// **workspace root**, regardless of the invocation cwd, so the
+/// committed `BENCH_*.json` artifacts always land in the same place;
+/// created if missing) so the perf trajectory is tracked as a
+/// machine-readable artifact across PRs. Returns the path written.
 pub fn write_bench_json(file_name: &str, rows: &[String]) -> std::io::Result<std::path::PathBuf> {
-    let dir = std::env::var("FINECC_BENCH_JSON_DIR").unwrap_or_else(|_| ".".to_string());
+    let dir = std::env::var("FINECC_BENCH_JSON_DIR").unwrap_or_else(|_| {
+        // The workspace root as recorded at compile time; a relocated
+        // binary (different checkout/machine) falls back to the cwd
+        // rather than resurrecting the build machine's path.
+        let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+        if std::path::Path::new(root).is_dir() {
+            root.to_string()
+        } else {
+            ".".to_string()
+        }
+    });
     std::fs::create_dir_all(&dir)?;
     let path = std::path::Path::new(&dir).join(file_name);
     let mut body = String::from("[\n");

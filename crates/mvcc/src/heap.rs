@@ -3,59 +3,92 @@
 //!
 //! # Concurrency architecture
 //!
-//! The commit path is **sharded**: no global mutex is held while a
-//! transaction's chains are flipped, so committers of disjoint objects
-//! proceed fully in parallel and committers of overlapping objects
-//! contend only on the short per-shard flip sections.
+//! The heap is latch-free where it matters most: **snapshot reads take
+//! zero latches end to end** on the chain-hit path, and neither
+//! timestamp allocation nor publication holds a mutex anywhere.
 //!
-//! * **Timestamp allocation** is one `fetch_add` on an atomic clock
-//!   ([`MvccHeap::commit`]); timestamps are unique and monotone in draw
-//!   order, never guarded by a lock.
-//! * **Chain flips** take per-OID shard latches only, one at a time, in
-//!   canonical (ascending-OID) order.
-//! * **Publication** goes through an ordered watermark (`Watermark`): a small
-//!   in-flight commit table advances `last_committed` only when the
-//!   committed-timestamp prefix is contiguous, so a snapshot taken at
-//!   the watermark observes *every* write at or below it even when
-//!   transactions finish flipping out of timestamp order. A timestamp
-//!   drawn by a transaction that then fails SSI validation is published
-//!   as a *skip* (nothing was flipped at it), keeping the prefix dense.
+//! * **Reads are latch-free.** Chains are published copy-on-write
+//!   (the crate-private `cow` module): each per-OID record list is an immutable
+//!   snapshot behind an atomic pointer, and the per-shard OID→chain map
+//!   is published the same way. A reader pins the reclamation clock
+//!   (two atomic counter ops — no mutex, no spinning), loads the two
+//!   pointers, and walks the records by reference. Records carry
+//!   **both before- and after-images** per field, so a chain hit is
+//!   answered entirely from the chain — the base store is not touched.
+//!   A chain miss (no record covers the field) pays one base
+//!   `RwLock::read`, then a **seqlock-style stability check**: the
+//!   read is kept only if both publication pointers (bucket map and
+//!   chain) are bit-identical across it. Writers publish their record
+//!   *before* the base write-through and unpublish it *after* the
+//!   rollback restore, so any racing install **or** unpublish — either
+//!   of which could expose an uncommitted write-through — moves a
+//!   pointer and forces a retry (counted in `read_retries`; pointer
+//!   equality is sound because nodes retired after the first look
+//!   cannot be freed, let alone address-reused, under the reader's
+//!   pin).
+//! * **Commits flip without latches.** A committer stores its commit
+//!   timestamp into each of its records' atomic `commit_ts` — record
+//!   identity is stable across concurrent snapshot swaps (snapshots
+//!   share records by `Arc`), so no chain latch is needed to flip.
+//! * **Publication is a lock-free ring** (the crate-private `watermark` module): an
+//!   ordered watermark advances `last_committed` only across a
+//!   contiguous flipped prefix, with CAS-claimed in-flight slots
+//!   instead of the earlier pending-set mutex. A timestamp drawn by a
+//!   transaction that then fails SSI validation is published as a
+//!   *skip* (nothing was flipped at it), keeping the prefix dense.
+//! * **Writers keep a per-shard writer latch** — installs, merges,
+//!   rollbacks, and GC edits of one shard serialize on it, but readers
+//!   never take it and committers flipping records do not either.
 //! * **Registries are striped**: the transaction table by `TxnId` and
-//!   the snapshot-epoch table by a round-robin shard pick, so
-//!   begin/commit never funnel through one mutex either.
+//!   the snapshot-epoch table by a round-robin shard pick. The
+//!   `MvccScheme` additionally caches each transaction's snapshot
+//!   timestamp in its session, so steady-state reads and writes skip
+//!   the transaction registry entirely (the registry is touched once
+//!   per transaction at begin/commit plus once per *first* write of an
+//!   object).
 //!
 //! ## Latch order
 //!
-//! Heap latches are acquired in this order, each dropped before the
-//! next class is taken (no heap latch is ever held across another —
-//! with the single documented exception that the rollback path restores
-//! base-store values under the owning chain-shard latch):
+//! The writer-side latches that remain are acquired in this order,
+//! each dropped before the next class is taken, with one documented
+//! exception — the rollback path and the write path perform base-store
+//! operations *under* the owning chain-shard writer latch (install
+//! ordering and before-image restoration demand it):
 //!
 //! 1. a **txn stripe** (registry bookkeeping; held briefly, never
 //!    across a chain shard);
-//! 2. **OID chain shards**, in canonical ascending-OID order, one at a
-//!    time;
-//! 3. the **watermark** mutex (publication; a few integer ops);
-//! 4. an **epoch shard** (snapshot registration/release).
+//! 2. **chain-shard writer latches**, one at a time (readers and
+//!    commit-time flips never take these);
+//! 3. an **epoch shard** (snapshot registration/release).
 //!
-//! SSI-tracker latches (flag stripes, SIREAD shards — see [`crate::ssi`])
-//! are never nested with heap latches: reads register SIREADs *before*
-//! taking the chain shard and record edges *after* releasing it; writes
-//! scan the SIREAD registry after releasing the shard; commit validates
-//! before the first flip.
+//! The watermark no longer appears in the latch order at all — it has
+//! no latch. SSI-tracker latches (flag stripes, SIREAD shards — see
+//! [`crate::ssi`]) are never nested with heap latches: reads register
+//! SIREADs *before* the chain walk and record edges *after* it; writes
+//! scan the SIREAD registry after releasing the shard writer latch;
+//! commit validates before the first flip. (At
+//! [`IsolationLevel::Serializable`] the read path therefore still pays
+//! the tracker's stripe latches — inherent to Cahill-style SSI, as in
+//! PostgreSQL's SIREAD locks; the latch-free guarantee is about the
+//! *heap*, and holds unconditionally at
+//! [`IsolationLevel::Snapshot`].)
 //!
-//! The coarse single-mutex commit path of the seed implementation is
-//! retained behind [`CommitPath::CoarseBaseline`] purely so the
-//! `parallelism_sweep` experiment can measure the before/after win; the
-//! production path is [`CommitPath::Sharded`].
+//! The seed's coarse behavior is retained behind
+//! [`CommitPath::CoarseBaseline`] purely so experiments can measure
+//! the win: it serializes the whole commit window behind one mutex
+//! *and* reinstates the latched reader path (every read holds the
+//! chain-shard latch across the walk, as the seed did). The production
+//! path is [`CommitPath::Sharded`].
 
+use crate::cow::{CowCell, Pin, Rcu, Retired};
 use crate::ssi::{SsiTracker, SsiVerdict};
 use crate::stats::MvccStats;
+use crate::watermark::Watermark;
 use crate::{IsolationLevel, SsiConflict, Ts, TS_PENDING};
 use finecc_model::{FieldId, Oid, TxnId, Value};
 use finecc_store::{Database, StoreError};
 use parking_lot::Mutex;
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -110,63 +143,203 @@ impl std::error::Error for MvccConflict {}
 pub enum WriteOutcome {
     /// A fresh pending version record was installed on the chain.
     NewVersion,
-    /// The transaction already owned the chain head; the before-image set
-    /// was extended in place.
+    /// The transaction already owned the chain head; the record was
+    /// republished with the field added (or its after-image updated).
     MergedVersion,
 }
 
 /// Which commit path the heap runs.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum CommitPath {
-    /// The production path: atomic timestamp draw, per-shard chain
-    /// flips, ordered-watermark publication. No mutex is held across
-    /// the chain flips; committers synchronize only on short per-shard
-    /// latches and the watermark's brief publication mutex.
+    /// The production path: latch-free snapshot reads over
+    /// copy-on-write chains, atomic timestamp draw, latch-free record
+    /// flips, lock-free ordered-watermark publication. Writers
+    /// synchronize only on short per-shard writer latches.
     #[default]
     Sharded,
     /// The pre-sharding baseline: the whole draw→flip→publish window is
-    /// serialized behind one mutex. Kept **only** so experiments can
-    /// measure the sharded path's win against the seed behavior; do not
-    /// use it outside benchmarks.
+    /// serialized behind one mutex **and** every read holds the chain-
+    /// shard latch across its walk (the seed's reader path). Kept
+    /// **only** so experiments (`parallelism_sweep`, `read_scaling`)
+    /// can measure the latch-free paths' win against the seed behavior;
+    /// do not use it outside benchmarks.
     CoarseBaseline,
 }
 
-/// One version record: the before-images of the fields its writer
-/// modified, i.e. everything needed to roll the object *back* past that
-/// writer.
+/// One field mutation inside a version record: the value before the
+/// writer's first write of the field (the undo image, what invisible-
+/// version readers reconstruct) and the value after its latest write
+/// (the redo image, what makes chain hits self-contained — readers of
+/// a visible version never consult the base store).
+#[derive(Clone, Debug)]
+struct FieldWrite {
+    field: FieldId,
+    before: Value,
+    after: Value,
+}
+
+/// One version record: everything needed to read *at* its writer
+/// (after-images) or *past* its writer (before-images).
+///
+/// Immutable once published, with one deliberate exception: `commit_ts`
+/// is atomic, so the commit flip is a plain store through the shared
+/// record — no copy, no latch. A torn observation is benign by
+/// construction: a concurrent reader that loads the old value sees
+/// [`TS_PENDING`] (invisible: not its own record) and one that loads
+/// the new value sees a timestamp above its snapshot (invisible: fresh
+/// commits publish above every registered snapshot) — the visibility
+/// verdict is identical either way.
 #[derive(Debug)]
 struct VersionRecord {
     writer: TxnId,
     /// Commit timestamp; [`TS_PENDING`] until the writer commits.
-    commit_ts: Ts,
-    /// `(field, value before this writer's first write of the field)`.
-    before: Vec<(FieldId, Value)>,
+    commit_ts: AtomicU64,
+    /// `(field, before, after)` for every field this writer modified.
+    writes: Vec<FieldWrite>,
 }
 
 impl VersionRecord {
-    fn before_of(&self, field: FieldId) -> Option<&Value> {
-        self.before
-            .iter()
-            .find(|(f, _)| *f == field)
-            .map(|(_, v)| v)
+    fn pending(writer: TxnId, writes: Vec<FieldWrite>) -> VersionRecord {
+        VersionRecord {
+            writer,
+            commit_ts: AtomicU64::new(TS_PENDING),
+            writes,
+        }
+    }
+
+    #[inline]
+    fn ts(&self) -> Ts {
+        self.commit_ts.load(Ordering::SeqCst)
+    }
+
+    fn write_of(&self, field: FieldId) -> Option<&FieldWrite> {
+        self.writes.iter().find(|w| w.field == field)
     }
 }
 
-/// A per-OID chain, ordered by *installation*, newest record first.
+/// A published chain snapshot: records ordered by *installation*,
+/// newest first, shared by `Arc` across successive snapshots.
 /// Invariants:
 ///
-/// * each transaction owns at most one record per chain (merged on
+/// * each transaction owns at most one record per chain (republished on
 ///   repeated writes);
 /// * two records that touch a common field are ordered consistently by
 ///   install position *and* commit timestamp (field-level
 ///   first-updater-wins forbids concurrently pending writers of one
-///   field), so newest-first before-image application per field is
-///   well-defined — records touching disjoint fields may commit out of
-///   install order, which is why readers walk the whole chain;
-/// * the base store holds every field's newest (possibly pending) value.
+///   field), so the newest *visible* record of a field carries its
+///   value at the snapshot, and the oldest *invisible* one carries the
+///   value before any invisible writer;
+/// * the base store holds every field's newest (possibly pending)
+///   value — maintained for non-MVCC consumers and chain-miss reads,
+///   never consulted on a chain hit.
 #[derive(Debug, Default)]
 struct Chain {
-    records: Vec<VersionRecord>,
+    records: Vec<Arc<VersionRecord>>,
+}
+
+/// Walks `records` for `field` as of snapshot `ts` (seeing `as_txn`'s
+/// pending writes). Returns the reconstructed value by reference —
+/// `None` is a chain miss (no record touches the field). When
+/// `overwriters` is given, it collects the writers of invisible
+/// versions stepped past (the read side of SSI's rw-antidependencies).
+fn reconstruct<'a>(
+    records: &'a [Arc<VersionRecord>],
+    ts: Ts,
+    as_txn: Option<TxnId>,
+    field: FieldId,
+    mut overwriters: Option<&mut Vec<TxnId>>,
+) -> Option<&'a Value> {
+    let mut oldest_invisible: Option<&'a Value> = None;
+    for rec in records {
+        let Some(w) = rec.write_of(field) else {
+            continue;
+        };
+        let cts = rec.ts();
+        let visible = if cts == TS_PENDING {
+            as_txn == Some(rec.writer)
+        } else {
+            cts <= ts
+        };
+        if visible {
+            // Records of one field are newest-first: the first visible
+            // one holds the field's value at this snapshot.
+            return Some(&w.after);
+        }
+        if let Some(ovw) = overwriters.as_deref_mut() {
+            ovw.push(rec.writer);
+        }
+        oldest_invisible = Some(&w.before);
+    }
+    // No visible version: the value before the oldest invisible writer
+    // (or a miss if nobody ever wrote the field here).
+    oldest_invisible
+}
+
+/// The per-OID chain anchor: stable identity (shared by `Arc` across
+/// map snapshots) holding the atomically published record list.
+#[derive(Debug)]
+struct ChainCell {
+    records: CowCell<Chain>,
+}
+
+/// The copy-on-write published OID→chain map of one shard.
+type ChainMap = HashMap<Oid, Arc<ChainCell>>;
+
+/// A snapshot awaiting its reclamation grace period, in a shard's
+/// retire bin.
+#[derive(Debug)]
+enum RetiredNode {
+    Map(Retired<ChainMap>),
+    Chain(Retired<Chain>),
+}
+
+impl RetiredNode {
+    fn era(&self) -> u64 {
+        match self {
+            RetiredNode::Map(r) => r.era,
+            RetiredNode::Chain(r) => r.era,
+        }
+    }
+}
+
+/// How many independently published map buckets each shard holds.
+/// Inserting or removing a chain republishes **one bucket's** map (a
+/// full `HashMap` clone), so bucketing divides the copy-on-write cost
+/// of first-writes and chain removals by `SHARD_COUNT * MAP_BUCKETS` —
+/// without it, bulk-loading N fresh objects would clone O(N/shards)
+/// entries per insert, quadratic in total. (A real lock-free hash map
+/// would remove the clone entirely; see the ROADMAP.)
+const MAP_BUCKETS: usize = 16;
+
+/// One chain shard: the writer-side latch doubles as the retire bin
+/// (retires only ever happen under it), plus the published map buckets.
+#[derive(Debug)]
+struct ChainShard {
+    /// Serializes writers (install/merge/rollback/GC) of this shard's
+    /// chains; the guarded `Vec` is the shard's retire bin. Readers and
+    /// commit-time flips never take it.
+    writer: Mutex<Vec<RetiredNode>>,
+    maps: Box<[CowCell<ChainMap>]>,
+}
+
+impl ChainShard {
+    fn new() -> ChainShard {
+        ChainShard {
+            writer: Mutex::new(Vec::new()),
+            maps: (0..MAP_BUCKETS)
+                .map(|_| CowCell::new(ChainMap::new()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+        }
+    }
+
+    /// The published map bucket holding `oid`'s chain. Consecutive OIDs
+    /// land in one shard every `SHARD_COUNT`, so dividing first spreads
+    /// them across buckets.
+    #[inline]
+    fn map_for(&self, oid: Oid) -> &CowCell<ChainMap> {
+        &self.maps[(oid.raw() as usize / SHARD_COUNT) % MAP_BUCKETS]
+    }
 }
 
 struct TxnState {
@@ -177,68 +350,6 @@ struct TxnState {
     /// owning transaction's thread reads or writes this set, so it
     /// needs no latch beyond the registry stripe that holds it.
     write_set: HashSet<Oid>,
-}
-
-/// The ordered publication watermark: the bridge between *flipped* and
-/// *visible*.
-///
-/// Committers draw timestamps from an atomic clock and flip their
-/// chains without any global lock, so transaction `T+1` can finish
-/// flipping before `T` does. Publishing `T+1` at that moment would let
-/// a snapshot at `T+1` miss `T`'s writes. The watermark therefore
-/// tracks completed-but-unpublished timestamps and advances
-/// `published` (the snapshot source) only across a **contiguous**
-/// prefix: every commit at or below the watermark has fully flipped.
-///
-/// The internal mutex is held only for the few integer operations of
-/// [`Watermark::publish`] — never across a chain flip — and it also
-/// provides the happens-before edge from a committer's flips to the
-/// (possibly different) committer that ultimately advances the
-/// watermark past them, which the `Release` store then passes on to
-/// snapshot readers.
-#[derive(Debug)]
-struct Watermark {
-    /// The highest timestamp `t` such that every commit in `1..=t` has
-    /// fully flipped (or was skipped). This is `last_committed` — the
-    /// snapshot source.
-    published: AtomicU64,
-    /// Flipped (or skipped) timestamps above `published`, awaiting
-    /// their predecessors. Bounded by the number of in-flight commits.
-    pending: Mutex<BTreeSet<Ts>>,
-}
-
-impl Watermark {
-    fn new() -> Watermark {
-        Watermark {
-            published: AtomicU64::new(0),
-            pending: Mutex::new(BTreeSet::new()),
-        }
-    }
-
-    /// The latest fully published commit timestamp.
-    #[inline]
-    fn get(&self) -> Ts {
-        self.published.load(Ordering::Acquire)
-    }
-
-    /// Marks `ts` complete (flipped, or skipped by an aborted
-    /// validation) and advances the contiguous published prefix as far
-    /// as it now reaches.
-    fn publish(&self, ts: Ts) {
-        let mut pending = self.pending.lock();
-        pending.insert(ts);
-        let mut head = self.published.load(Ordering::Relaxed);
-        let mut advanced = false;
-        while pending.remove(&(head + 1)) {
-            head += 1;
-            advanced = true;
-        }
-        if advanced {
-            // Still under the `pending` mutex: stores are totally
-            // ordered and monotone.
-            self.published.store(head, Ordering::Release);
-        }
-    }
 }
 
 /// A live registration in the sharded epoch table: which shard holds
@@ -318,7 +429,9 @@ impl EpochTable {
 /// The multi-version heap over a base [`Database`].
 pub struct MvccHeap {
     base: Arc<Database>,
-    shards: Box<[Mutex<HashMap<Oid, Chain>>]>,
+    shards: Box<[ChainShard]>,
+    /// The reclamation clock shared by every copy-on-write cell.
+    rcu: Rcu,
     /// Transaction registry, striped by `TxnId`.
     txns: Box<[Mutex<HashMap<TxnId, TxnState>>]>,
     /// Snapshot registry; the minimum active entry is the GC horizon.
@@ -327,8 +440,8 @@ pub struct MvccHeap {
     /// `fetch_add`; visibility is governed by the watermark, not the
     /// clock.
     clock: AtomicU64,
-    /// Ordered publication: `last_committed` advances only across a
-    /// contiguous flipped prefix.
+    /// Lock-free ordered publication: `last_committed` advances only
+    /// across a contiguous flipped prefix.
     watermark: Watermark,
     commits_since_gc: AtomicU64,
     /// `Some` iff the heap runs [`CommitPath::CoarseBaseline`].
@@ -361,7 +474,7 @@ impl MvccHeap {
         commit_path: CommitPath,
     ) -> MvccHeap {
         let shards = (0..SHARD_COUNT)
-            .map(|_| Mutex::new(HashMap::new()))
+            .map(|_| ChainShard::new())
             .collect::<Vec<_>>()
             .into_boxed_slice();
         let txns = (0..TXN_STRIPES)
@@ -371,6 +484,7 @@ impl MvccHeap {
         MvccHeap {
             base,
             shards,
+            rcu: Rcu::new(),
             txns,
             epochs: EpochTable::new(),
             clock: AtomicU64::new(0),
@@ -412,13 +526,24 @@ impl MvccHeap {
     }
 
     #[inline]
-    fn shard(&self, oid: Oid) -> &Mutex<HashMap<Oid, Chain>> {
+    fn shard(&self, oid: Oid) -> &ChainShard {
         &self.shards[(oid.raw() as usize) % SHARD_COUNT]
     }
 
     #[inline]
     fn txn_stripe(&self, txn: TxnId) -> &Mutex<HashMap<TxnId, TxnState>> {
         &self.txns[(txn.raw() as usize) % TXN_STRIPES]
+    }
+
+    /// Pins the reclamation clock, folding any (rare) era-race retries
+    /// into the read-contention counters.
+    #[inline]
+    fn pin(&self) -> Pin<'_> {
+        let (pin, retries) = self.rcu.pin();
+        if retries > 0 {
+            self.stats.add_read_pin_retries(retries);
+        }
+        pin
     }
 
     /// The latest fully published commit timestamp (the watermark).
@@ -446,7 +571,10 @@ impl MvccHeap {
         ts
     }
 
-    /// The registered snapshot timestamp of `txn`.
+    /// The registered snapshot timestamp of `txn`. Callers on a hot
+    /// path should cache the value returned by [`MvccHeap::begin`]
+    /// instead (the scheme's transaction session does), so steady-state
+    /// operations skip the registry stripe.
     pub fn snapshot_ts(&self, txn: TxnId) -> Option<Ts> {
         self.txn_stripe(txn).lock().get(&txn).map(|s| s.epoch.ts)
     }
@@ -462,12 +590,24 @@ impl MvccHeap {
     /// Reconstructs `field` of `oid` as of snapshot `ts`, seeing the
     /// pending writes of `as_txn` (pass `None` for a pure snapshot read).
     ///
-    /// Takes **no logical locks**: reconstruction walks the version chain
-    /// under the chain shard's short physical mutex only. At
-    /// [`IsolationLevel::Serializable`] a transactional read additionally
-    /// registers a SIREAD entry (before the walk) and records an outgoing
-    /// rw-antidependency for every invisible overwrite of the field it
-    /// steps past — still without blocking anyone.
+    /// Takes **no logical locks and no latches** on the chain-hit path:
+    /// reconstruction pins the reclamation clock (atomic counters),
+    /// loads the published chain snapshot, and walks it by reference —
+    /// cloning exactly one [`Value`] at the end. A chain miss pays a
+    /// single base `RwLock::read` and revalidates against the chain
+    /// (see the module docs). At [`IsolationLevel::Serializable`] a
+    /// transactional read additionally registers a SIREAD entry (before
+    /// the walk) and records an outgoing rw-antidependency for every
+    /// invisible overwrite of the field it steps past — still without
+    /// blocking anyone.
+    ///
+    /// Deletion caveat: [`Database::delete`] bypasses the version layer
+    /// (like creation — see the ROADMAP's versioned-extents item), so a
+    /// read of a *deleted* object answers from whatever it consults: a
+    /// chain hit returns the field's value as of the snapshot (the
+    /// object existed there), while a chain miss surfaces the base
+    /// store's [`StoreError::UnknownOid`]. Until extents are versioned,
+    /// don't use read errors to probe liveness of versioned objects.
     pub fn read_as(
         &self,
         ts: Ts,
@@ -486,37 +626,65 @@ impl MvccHeap {
             }
             _ => None,
         };
+        // Benchmark baseline only: reinstate the seed's latched reader.
+        let _coarse_guard = self
+            .coarse_commit
+            .as_ref()
+            .map(|_| self.shard(oid).writer.lock());
         let mut overwriters: Vec<TxnId> = Vec::new();
-        let shard = self.shard(oid).lock();
-        let mut value = self.base.read(oid, field)?;
-        if let Some(chain) = shard.get(&oid) {
-            // Walk the whole chain (records touching disjoint fields may
-            // commit out of install order, so there is no early stop):
-            // revert every version that is invisible to this snapshot.
-            // Records sharing a field are install- and timestamp-ordered,
-            // so newest-first application lands on the value as of `ts`.
-            for rec in &chain.records {
-                let visible = if rec.commit_ts == TS_PENDING {
-                    as_txn == Some(rec.writer)
-                } else {
-                    rec.commit_ts <= ts
-                };
-                if !visible {
-                    if let Some(before) = rec.before_of(field) {
-                        value = before.clone();
-                        // The record overwrote the value this snapshot
-                        // reads: an outgoing rw edge to its writer.
-                        if ssi.is_some() {
-                            overwriters.push(rec.writer);
-                        }
-                    }
-                }
+        let value = loop {
+            overwriters.clear();
+            let pin = self.pin();
+            let map_cell = self.shard(oid).map_for(oid);
+            let map = map_cell.load(&pin);
+            let chain = map.get(&oid).map(|cell| cell.records.load(&pin));
+            // Overwriters are only worth collecting when an SSI tracker
+            // will consume them — the pure-snapshot hot path stays
+            // allocation-free.
+            let collect = if ssi.is_some() {
+                Some(&mut overwriters)
+            } else {
+                None
+            };
+            if let Some(v) =
+                chain.and_then(|chain| reconstruct(&chain.records, ts, as_txn, field, collect))
+            {
+                self.stats.bump_read_chain_hits();
+                break v.clone();
             }
+            // Chain miss: one base-store read, then a seqlock-style
+            // stability check. Writers publish their record BEFORE the
+            // base write-through and unpublish it AFTER restoring the
+            // base on rollback, so the base value just read is
+            // committed-stable iff NEITHER publication pointer moved
+            // across the read — a changed pointer means an install or
+            // an unpublish raced us (either could have exposed an
+            // uncommitted write-through), so retry. Pointer equality is
+            // sound: nodes retired after the first look cannot be freed
+            // — let alone have their addresses reused — while the pin
+            // is held.
+            let v = self.base.read(oid, field)?;
+            self.stats.bump_read_base_loads();
+            let map_again = map_cell.load(&pin);
+            let stable = std::ptr::eq(map, map_again)
+                && match chain {
+                    None => true,
+                    Some(chain) => map_again
+                        .get(&oid)
+                        .is_some_and(|cell| std::ptr::eq(chain, cell.records.load(&pin))),
+                };
+            if stable {
+                break v;
+            }
+            self.stats.bump_read_retries();
+        };
+        #[cfg(debug_assertions)]
+        if self.coarse_commit.is_none() {
+            self.crosscheck_read(ts, as_txn, oid, field, &value);
         }
-        drop(shard);
         if let Some((ssi, txn)) = ssi {
             let mut edges = 0;
-            for writer in overwriters {
+            for &writer in &overwriters {
                 edges += ssi.read_edge(txn, writer);
             }
             if edges > 0 {
@@ -525,6 +693,50 @@ impl MvccHeap {
         }
         self.stats.bump_snapshot_reads();
         Ok(value)
+    }
+
+    /// Re-runs the reconstruction under the shard's writer latch and
+    /// asserts it agrees with the latch-free result. Debug builds only
+    /// (so the multi-threaded integration storms exercise it too, not
+    /// just this crate's unit tests) — the cross-check that the
+    /// copy-on-write publication protocol never lets a latch-free
+    /// reader observe a value a latched reader could not.
+    /// (Reconstruction at a fixed snapshot is stable across concurrent
+    /// installs, flips, rollbacks and GC, which is exactly what this
+    /// verifies.)
+    #[cfg(debug_assertions)]
+    fn crosscheck_read(
+        &self,
+        ts: Ts,
+        as_txn: Option<TxnId>,
+        oid: Oid,
+        field: FieldId,
+        got: &Value,
+    ) {
+        let shard = self.shard(oid);
+        let _writer = shard.writer.lock();
+        let map = shard.map_for(oid).load_exclusive();
+        let locked = map
+            .get(&oid)
+            .and_then(|cell| {
+                reconstruct(
+                    &cell.records.load_exclusive().records,
+                    ts,
+                    as_txn,
+                    field,
+                    None,
+                )
+            })
+            .cloned()
+            .map_or_else(|| self.base.read(oid, field), Ok);
+        // An `Err` means the object was deleted under the read (deletes
+        // bypass the version chains); there is nothing to compare.
+        if let Ok(locked) = locked {
+            debug_assert_eq!(
+                &locked, got,
+                "latch-free read of {oid}.{field} at ts {ts} diverged from the latched re-read"
+            );
+        }
     }
 
     /// Snapshot read through a registered transaction (sees its own
@@ -536,9 +748,10 @@ impl MvccHeap {
         self.read_as(ts, Some(txn), oid, field)
     }
 
-    /// Writes `field` of `oid` in transaction `txn`: first-updater-wins
-    /// conflict check, pending-version installation, then write-through
-    /// to the base store. Returns what happened to the chain.
+    /// Writes `field` of `oid` in transaction `txn`, resolving the
+    /// snapshot timestamp from the registry. Hot paths that already
+    /// know it (the scheme session caches it at begin) use
+    /// [`MvccHeap::write_at`] and skip the registry stripe.
     pub fn write(
         &self,
         txn: TxnId,
@@ -549,8 +762,50 @@ impl MvccHeap {
         let snapshot_ts = self
             .snapshot_ts(txn)
             .unwrap_or_else(|| panic!("transaction {txn} is not registered with the mvcc heap"));
-        let mut shard = self.shard(oid).lock();
-        let chain = shard.entry(oid).or_default();
+        self.write_at(snapshot_ts, txn, oid, field, value)
+    }
+
+    /// Writes `field` of `oid` in transaction `txn`, whose registered
+    /// snapshot timestamp the caller supplies: first-updater-wins
+    /// conflict check, copy-on-write publication of the pending record,
+    /// then write-through to the base store. Returns what happened to
+    /// the chain.
+    ///
+    /// The record is published **before** the base write-through — the
+    /// ordering the latch-free reader's miss-revalidation relies on
+    /// (see the module docs).
+    pub fn write_at(
+        &self,
+        snapshot_ts: Ts,
+        txn: TxnId,
+        oid: Oid,
+        field: FieldId,
+        value: Value,
+    ) -> Result<WriteOutcome, MvccWriteError> {
+        // Type/domain validation runs before any latch is taken.
+        self.base.check_write(field, &value)?;
+        let shard = self.shard(oid);
+        let mut bin = shard.writer.lock();
+        // Anchor the chain cell (copy-on-write bucket-map insert on
+        // first write of the object).
+        let cell: Arc<ChainCell> = {
+            let map_cell = shard.map_for(oid);
+            let map = map_cell.load_exclusive();
+            match map.get(&oid) {
+                Some(cell) => Arc::clone(cell),
+                None => {
+                    let cell = Arc::new(ChainCell {
+                        records: CowCell::new(Chain::default()),
+                    });
+                    let mut next = map.clone();
+                    next.insert(oid, Arc::clone(&cell));
+                    let old = map_cell.swap(next, &self.rcu);
+                    bin.push(RetiredNode::Map(old));
+                    cell
+                }
+            }
+        };
+        let chain = cell.records.load_exclusive();
 
         // First-updater-wins admission control, at field granularity:
         // another live transaction with a pending version of this field,
@@ -560,10 +815,11 @@ impl MvccHeap {
         // snapshot record here, which is the correct verdict: it can
         // only publish above this transaction's snapshot.)
         for rec in &chain.records {
-            if rec.writer == txn || rec.before_of(field).is_none() {
+            if rec.writer == txn || rec.write_of(field).is_none() {
                 continue;
             }
-            if rec.commit_ts == TS_PENDING {
+            let cts = rec.ts();
+            if cts == TS_PENDING {
                 self.stats.bump_write_conflicts();
                 return Err(MvccWriteError::Conflict(MvccConflict {
                     oid,
@@ -571,7 +827,7 @@ impl MvccHeap {
                     pending_in: Some(rec.writer),
                 }));
             }
-            if rec.commit_ts > snapshot_ts {
+            if cts > snapshot_ts {
                 self.stats.bump_write_conflicts();
                 return Err(MvccWriteError::Conflict(MvccConflict {
                     oid,
@@ -581,31 +837,66 @@ impl MvccHeap {
             }
         }
 
-        // Type/domain checks and the before-image come from the base
-        // store; `write` returns the previous value.
-        let before = self.base.write(oid, field, value)?;
+        // The before-image is the current base value (no concurrent
+        // heap writer of this object can interleave — we hold the shard
+        // writer latch); this also surfaces unknown-OID/visibility
+        // errors before anything is published.
+        let before = self.base.read(oid, field)?;
         let own = chain
             .records
-            .iter_mut()
-            .find(|r| r.commit_ts == TS_PENDING && r.writer == txn);
-        let outcome = if let Some(own) = own {
-            if own.before_of(field).is_none() {
-                own.before.push((field, before));
+            .iter()
+            .position(|r| r.ts() == TS_PENDING && r.writer == txn);
+        let (outcome, records) = match own {
+            Some(i) => {
+                // Republish the transaction's record with the field
+                // added (or its after-image updated) — records are
+                // immutable once published, so a merge is a new record.
+                let mut writes = chain.records[i].writes.clone();
+                match writes.iter_mut().find(|w| w.field == field) {
+                    Some(w) => w.after = value.clone(),
+                    None => writes.push(FieldWrite {
+                        field,
+                        before,
+                        after: value.clone(),
+                    }),
+                }
+                let mut records = chain.records.clone();
+                records[i] = Arc::new(VersionRecord::pending(txn, writes));
+                (WriteOutcome::MergedVersion, records)
             }
-            WriteOutcome::MergedVersion
-        } else {
-            chain.records.insert(
-                0,
-                VersionRecord {
-                    writer: txn,
-                    commit_ts: TS_PENDING,
-                    before: vec![(field, before)],
-                },
-            );
-            WriteOutcome::NewVersion
+            None => {
+                let mut records = Vec::with_capacity(chain.records.len() + 1);
+                records.push(Arc::new(VersionRecord::pending(
+                    txn,
+                    vec![FieldWrite {
+                        field,
+                        before,
+                        after: value.clone(),
+                    }],
+                )));
+                records.extend(chain.records.iter().cloned());
+                (WriteOutcome::NewVersion, records)
+            }
         };
-        let chain_len = chain.records.len() as u64;
-        drop(shard);
+        let chain_len = records.len() as u64;
+        // Publish the record, THEN write through to the base store (the
+        // order the miss-revalidating reader depends on).
+        let old_chain = cell.records.swap(Chain { records }, &self.rcu);
+        if let Err(e) = self.base.exchange_unchecked(oid, field, value) {
+            // The object vanished between the before-image read and the
+            // write-through (concurrent delete): unpublish the edit.
+            let undo = cell.records.swap(
+                Chain {
+                    records: old_chain.node().records.clone(),
+                },
+                &self.rcu,
+            );
+            bin.push(RetiredNode::Chain(old_chain));
+            bin.push(RetiredNode::Chain(undo));
+            return Err(e.into());
+        }
+        bin.push(RetiredNode::Chain(old_chain));
+        drop(bin);
         // Registry and stats updates run off the shard latch (latch
         // order: a txn stripe is never taken under a chain shard). The
         // write set is only consulted by this transaction's own
@@ -615,13 +906,13 @@ impl MvccHeap {
             self.txn_stripe(txn)
                 .lock()
                 .get_mut(&txn)
-                .expect("registered above")
+                .expect("transaction is registered with the mvcc heap")
                 .write_set
                 .insert(oid);
         }
         self.stats.sample_chain_len(chain_len);
         // SSI: scan SIREAD entries AFTER the pending version is
-        // installed (see `read_as` for why the order closes the race)
+        // published (see `read_as` for why the order closes the race)
         // and record an incoming rw edge per concurrent reader.
         if let Some(ssi) = &self.ssi {
             let edges = ssi.write_edges(txn, snapshot_ts, oid, field);
@@ -633,17 +924,23 @@ impl MvccHeap {
     }
 
     /// Commits `txn`: draws the next commit timestamp from the atomic
-    /// clock, flips every pending record of the transaction under
-    /// per-OID shard latches (in canonical ascending-OID order), then
-    /// publishes the timestamp through the ordered watermark. No mutex
-    /// is held across the flips — transactions flipping disjoint shards
-    /// proceed in parallel, and the only commit-wide serialization left
-    /// is the few integer operations inside `Watermark::publish` —
-    /// in contrast to the seed's commit lock, which serialized entire
-    /// commits. Returns the commit timestamp; a
-    /// **read-only** transaction serializes at (and returns) its
-    /// snapshot timestamp without drawing a timestamp at all, keeping
-    /// the reader path coordination-free end to end.
+    /// clock, flips every pending record of the transaction by storing
+    /// the timestamp through the records' atomic `commit_ts` (record
+    /// identity is stable across concurrent snapshot swaps, so the flip
+    /// takes **no latch at all**), then publishes the timestamp through
+    /// the lock-free ordered watermark. Concurrent snapshots cannot
+    /// observe a half-flipped transaction: the records become visible
+    /// only once the watermark publishes the timestamp, and the
+    /// watermark publishes it only after every record is flipped.
+    /// Returns the commit timestamp, and returns only once the
+    /// timestamp is **published**: any snapshot taken after `commit`
+    /// returns — including this session's next transaction — observes
+    /// the commit (read-your-own-commits across transactions; the wait
+    /// covers only the bounded publication lag behind concurrent
+    /// committers holding earlier timestamps). A **read-only**
+    /// transaction serializes at (and returns) its snapshot timestamp
+    /// without drawing a timestamp at all, keeping the reader path
+    /// coordination-free end to end.
     ///
     /// At [`IsolationLevel::Snapshot`] commit is infallible by
     /// construction — all conflicts were detected at write time. At
@@ -684,14 +981,16 @@ impl MvccHeap {
         if let Some(ssi) = &self.ssi {
             // Validation and commit publication are one atomic step per
             // transaction in the tracker; the timestamp becomes visible
-            // to snapshots only below, after every chain is flipped.
+            // to snapshots only below, after every record is flipped.
             if let SsiVerdict::Abort(c) = ssi.validate_and_commit(txn, commit_ts) {
                 // The drawn timestamp must still reach the watermark —
                 // as a skip — or the contiguous prefix would stall
                 // forever. Nothing was flipped at `commit_ts`, so a
                 // snapshot there observes exactly the state at
                 // `commit_ts - 1`.
-                self.watermark.publish(commit_ts);
+                if self.watermark.publish(commit_ts) {
+                    self.stats.bump_watermark_waits();
+                }
                 self.stats.bump_ts_skips();
                 drop(coarse);
                 let rolled_back = self.rollback_writes(txn, &state);
@@ -703,25 +1002,42 @@ impl MvccHeap {
             }
         }
         // Flip this transaction's pending records to the commit
-        // timestamp, one shard latch at a time, in canonical order.
-        // Concurrent snapshots cannot observe a half-flipped state: the
-        // records become visible only once the watermark (below)
-        // publishes the timestamp, and the watermark publishes it only
-        // after every record is flipped.
+        // timestamp — an atomic store per record through the published
+        // chain snapshots, no latch. (Sorted iteration is determinism,
+        // not a lock-ordering requirement: there is nothing to order.)
         let mut oids: Vec<Oid> = state.write_set.iter().copied().collect();
         oids.sort_unstable();
-        for oid in oids {
-            let mut shard = self.shard(oid).lock();
-            let chain = shard.get_mut(&oid).expect("written chain exists");
-            let own = chain
-                .records
-                .iter_mut()
-                .find(|r| r.commit_ts == TS_PENDING && r.writer == txn)
-                .expect("pending record owned by committer");
-            own.commit_ts = commit_ts;
+        {
+            let pin = self.pin();
+            for oid in oids {
+                let map = self.shard(oid).map_for(oid).load(&pin);
+                let cell = map.get(&oid).expect("written chain exists");
+                let chain = cell.records.load(&pin);
+                let own = chain
+                    .records
+                    .iter()
+                    .find(|r| r.ts() == TS_PENDING && r.writer == txn)
+                    .expect("pending record owned by committer");
+                own.commit_ts.store(commit_ts, Ordering::SeqCst);
+            }
         }
-        self.watermark.publish(commit_ts);
+        if self.watermark.publish(commit_ts) {
+            self.stats.bump_watermark_waits();
+        }
         drop(coarse);
+        // A returned commit is a *visible* commit: wait out the (tiny,
+        // bounded) publication lag behind concurrent committers with
+        // earlier timestamps, so this session's next snapshot — and
+        // anyone it signals — observes the commit. Without this, a
+        // session's own next write could be refused as
+        // "committed after snapshot" by its previous transaction.
+        // Deliberate trade-off: commit *returns* re-serialize in
+        // timestamp order (head-of-line behind the slowest in-flight
+        // committer), but only the return waits — flips, validation
+        // and publication all ran latch-free above. Relaxing this
+        // needs a per-session visibility floor, which needs a session
+        // abstraction the heap does not have (see the ROADMAP).
+        self.watermark.wait_published(commit_ts);
 
         self.epochs.unregister(state.epoch);
         self.stats.bump_commits();
@@ -738,24 +1054,40 @@ impl MvccHeap {
     fn rollback_writes(&self, txn: TxnId, state: &TxnState) -> usize {
         let mut rolled_back = 0;
         for &oid in &state.write_set {
-            let mut shard = self.shard(oid).lock();
-            let chain = shard.get_mut(&oid).expect("written chain exists");
+            let shard = self.shard(oid);
+            let mut bin = shard.writer.lock();
+            let map_cell = shard.map_for(oid);
+            let map = map_cell.load_exclusive();
+            let cell = map.get(&oid).expect("written chain exists");
+            let chain = cell.records.load_exclusive();
             let idx = chain
                 .records
                 .iter()
-                .position(|r| r.commit_ts == TS_PENDING && r.writer == txn)
+                .position(|r| r.ts() == TS_PENDING && r.writer == txn)
                 .expect("pending record owned by aborter");
-            let own = chain.records.remove(idx);
-            for (field, before) in &own.before {
-                // No other live transaction wrote these fields (they
-                // would have conflicted), so restoring is safe. The
-                // instance may have been deleted concurrently; the undo
-                // then has nothing to restore (same contract as
-                // `UndoLog::rollback`).
-                let _ = self.base.write_unchecked(oid, *field, before.clone());
+            // Restore base values BEFORE unpublishing the record, so a
+            // reader that misses the shrunken chain finds the restored
+            // value (while the record is still published, invisible
+            // readers reconstruct through its before-images — the same
+            // values). No other live transaction wrote these fields
+            // (they would have conflicted), so restoring is safe. The
+            // instance may have been deleted concurrently; the undo
+            // then has nothing to restore (same contract as
+            // `UndoLog::rollback`).
+            for w in &chain.records[idx].writes {
+                let _ = self.base.write_unchecked(oid, w.field, w.before.clone());
             }
-            if chain.records.is_empty() {
-                shard.remove(&oid);
+            if chain.records.len() == 1 {
+                // Last record: drop the whole chain from the bucket map.
+                let mut next = map.clone();
+                next.remove(&oid);
+                let old = map_cell.swap(next, &self.rcu);
+                bin.push(RetiredNode::Map(old));
+            } else {
+                let mut records = chain.records.clone();
+                records.remove(idx);
+                let old = cell.records.swap(Chain { records }, &self.rcu);
+                bin.push(RetiredNode::Chain(old));
             }
             rolled_back += 1;
         }
@@ -813,7 +1145,11 @@ impl MvccHeap {
     /// [`IsolationLevel::Serializable`] the same horizon also retires
     /// SSI flag entries and SIREAD registrations (a transaction
     /// committed at or below the horizon cannot be concurrent with any
-    /// live or future one). Returns the number of records reclaimed.
+    /// live or future one). The pass also drives the copy-on-write
+    /// reclamation clock: chain snapshots retired by writers are freed
+    /// here once their grace period has run out every possible reader
+    /// (`cow_reclaimed` in the statistics). Returns the number of
+    /// records reclaimed.
     pub fn gc(&self) -> usize {
         let horizon = self.gc_horizon();
         if let Some(ssi) = &self.ssi {
@@ -821,36 +1157,108 @@ impl MvccHeap {
         }
         let mut reclaimed = 0;
         for shard in self.shards.iter() {
-            let mut shard = shard.lock();
-            shard.retain(|_, chain| {
-                let before = chain.records.len();
-                chain
-                    .records
-                    .retain(|r| r.commit_ts == TS_PENDING || r.commit_ts > horizon);
-                reclaimed += before - chain.records.len();
-                !chain.records.is_empty()
-            });
+            let mut bin = shard.writer.lock();
+            for map_cell in shard.maps.iter() {
+                let map = map_cell.load_exclusive();
+                let mut removed: Vec<Oid> = Vec::new();
+                let mut swaps: Vec<(Arc<ChainCell>, Vec<Arc<VersionRecord>>)> = Vec::new();
+                for (&oid, cell) in map.iter() {
+                    let records = &cell.records.load_exclusive().records;
+                    let keep: Vec<Arc<VersionRecord>> = records
+                        .iter()
+                        .filter(|r| {
+                            let cts = r.ts();
+                            cts == TS_PENDING || cts > horizon
+                        })
+                        .cloned()
+                        .collect();
+                    if keep.len() == records.len() {
+                        continue;
+                    }
+                    reclaimed += records.len() - keep.len();
+                    if keep.is_empty() {
+                        removed.push(oid);
+                    } else {
+                        swaps.push((Arc::clone(cell), keep));
+                    }
+                }
+                // Publish the shrunken chains, then the shrunken bucket
+                // map — all references into the old snapshots are
+                // released above, so the swaps cannot invalidate
+                // anything still borrowed.
+                let shrink_map = !removed.is_empty();
+                let next = shrink_map.then(|| {
+                    let mut next = map.clone();
+                    for oid in &removed {
+                        next.remove(oid);
+                    }
+                    next
+                });
+                for (cell, records) in swaps {
+                    let old = cell.records.swap(Chain { records }, &self.rcu);
+                    bin.push(RetiredNode::Chain(old));
+                }
+                if let Some(next) = next {
+                    let old = map_cell.swap(next, &self.rcu);
+                    bin.push(RetiredNode::Map(old));
+                }
+            }
         }
         self.stats.add_versions_reclaimed(reclaimed as u64);
+        self.collect_retired();
         reclaimed
     }
 
+    /// Frees retired copy-on-write snapshots whose grace period has
+    /// passed. GC-path only; never touched by readers.
+    fn collect_retired(&self) {
+        let horizon = self.rcu.try_advance();
+        let mut freed = 0u64;
+        for shard in self.shards.iter() {
+            let mut bin = shard.writer.lock();
+            let before = bin.len();
+            bin.retain(|node| node.era() >= horizon);
+            freed += (before - bin.len()) as u64;
+        }
+        if freed > 0 {
+            self.stats.add_cow_reclaimed(freed);
+        }
+    }
+
     /// Number of live version records across all chains (diagnostics).
-    /// Shards are visited one at a time, so under concurrent commits the
-    /// total is approximate — a consistent point-in-time count would
-    /// require holding every shard latch at once, which diagnostics must
-    /// never do.
+    /// Latch-free; under concurrent commits the total is approximate —
+    /// a consistent point-in-time count would require freezing every
+    /// shard at once, which diagnostics must never do.
     pub fn live_versions(&self) -> usize {
+        let pin = self.pin();
         self.shards
             .iter()
-            .map(|s| s.lock().values().map(|c| c.records.len()).sum::<usize>())
+            .flat_map(|s| s.maps.iter())
+            .map(|m| {
+                m.load(&pin)
+                    .values()
+                    .map(|cell| cell.records.load(&pin).records.len())
+                    .sum::<usize>()
+            })
             .sum()
     }
 
     /// Number of objects with a live chain (diagnostics; approximate
     /// under concurrency, like [`MvccHeap::live_versions`]).
     pub fn live_chains(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
+        let pin = self.pin();
+        self.shards
+            .iter()
+            .flat_map(|s| s.maps.iter())
+            .map(|m| m.load(&pin).len())
+            .sum()
+    }
+
+    /// Publishers that hit the watermark ring's overflow fallback so
+    /// far (diagnostics; also surfaced as `watermark_waits` in the
+    /// statistics relative to a reset).
+    pub fn watermark_waits(&self) -> u64 {
+        self.watermark.waits()
     }
 
     /// Number of live SIREAD registrations; 0 at
@@ -1113,18 +1521,66 @@ mod tests {
     }
 
     #[test]
-    fn watermark_publishes_contiguous_prefix_out_of_order() {
-        let w = Watermark::new();
-        assert_eq!(w.get(), 0);
-        w.publish(2);
-        assert_eq!(w.get(), 0, "2 waits for 1");
-        w.publish(3);
-        assert_eq!(w.get(), 0);
-        w.publish(1);
-        assert_eq!(w.get(), 3, "1 unlocks the whole prefix");
-        w.publish(4);
-        assert_eq!(w.get(), 4);
-        assert!(w.pending.lock().is_empty());
+    fn chain_hits_answer_from_the_chain_alone() {
+        // Once a field has any version record, snapshot reads of it are
+        // served entirely from the copy-on-write chain: no base-store
+        // lock, no latch — the counters prove it.
+        let (_, heap, a, x, y) = setup();
+        let o = heap.base().create(a);
+        let pin_gc = heap.snapshot(); // horizon 0: chains never shrink
+        for i in 0..3u64 {
+            let t = TxnId(i + 1);
+            heap.begin(t);
+            heap.write(t, o, x, Value::Int(i as i64)).unwrap();
+            heap.write(t, o, y, Value::Int(-(i as i64))).unwrap();
+            heap.commit(t).unwrap();
+        }
+        heap.stats.reset();
+        let snap = heap.snapshot();
+        assert_eq!(snap.read(o, x), Ok(Value::Int(2)));
+        assert_eq!(snap.read(o, y), Ok(Value::Int(-2)));
+        assert_eq!(pin_gc.read(o, x), Ok(Value::Int(0)));
+        let m = heap.stats.snapshot();
+        assert_eq!(m.snapshot_reads, 3);
+        assert_eq!(m.read_chain_hits, 3, "all three reads hit the chain");
+        assert_eq!(m.read_base_loads, 0, "the base store was never locked");
+        assert_eq!(m.read_retries, 0);
+    }
+
+    #[test]
+    fn chain_miss_pays_one_base_read() {
+        let (_, heap, a, x, _) = setup();
+        let o = heap.base().create(a);
+        heap.stats.reset();
+        let snap = heap.snapshot();
+        assert_eq!(snap.read(o, x), Ok(Value::Int(0)));
+        let m = heap.stats.snapshot();
+        assert_eq!(m.read_chain_hits, 0);
+        assert_eq!(m.read_base_loads, 1, "unversioned object: one base read");
+    }
+
+    #[test]
+    fn merged_writes_republish_with_updated_after_images() {
+        // Repeated writes by one transaction stay a single record whose
+        // after-image tracks the latest value — and its reader sees it
+        // without consulting the base store.
+        let (_, heap, a, x, _) = setup();
+        let o = heap.base().create(a);
+        heap.begin(TxnId(1));
+        assert_eq!(
+            heap.write(TxnId(1), o, x, Value::Int(1)).unwrap(),
+            WriteOutcome::NewVersion
+        );
+        assert_eq!(
+            heap.write(TxnId(1), o, x, Value::Int(2)).unwrap(),
+            WriteOutcome::MergedVersion
+        );
+        assert_eq!(heap.live_versions(), 1, "merge does not grow the chain");
+        assert_eq!(heap.read(TxnId(1), o, x), Ok(Value::Int(2)));
+        heap.commit(TxnId(1)).unwrap();
+        heap.begin(TxnId(2));
+        assert_eq!(heap.read(TxnId(2), o, x), Ok(Value::Int(2)));
+        heap.abort(TxnId(2));
     }
 
     #[test]
@@ -1147,7 +1603,59 @@ mod tests {
             heap.begin(t);
             heap.write(t, o, x, Value::Int(i as i64)).unwrap();
             assert_eq!(heap.commit(t).unwrap(), i + 1);
+            heap.begin(TxnId(100 + i));
+            assert_eq!(heap.read(TxnId(100 + i), o, x), Ok(Value::Int(i as i64)));
+            heap.abort(TxnId(100 + i));
         }
         assert_eq!(heap.current_ts(), 5);
+    }
+
+    #[test]
+    fn latch_free_readers_stay_consistent_under_write_churn() {
+        // Readers hammer one hot object while a writer thread churns
+        // versions (install → flip → GC): the debug-build cross-check
+        // inside read_as latches and re-reads every single read, so
+        // this is the copy-on-write publication protocol's sharpest
+        // unit-level race test. Reads must also be atomic across the
+        // two fields each commit writes together.
+        let (_, heap, a, x, y) = setup();
+        let o = heap.base().create(a);
+        std::thread::scope(|s| {
+            {
+                let heap = Arc::clone(&heap);
+                s.spawn(move || {
+                    for round in 0..300u64 {
+                        let t = TxnId(round + 1);
+                        heap.begin(t);
+                        heap.write(t, o, x, Value::Int(round as i64)).unwrap();
+                        heap.write(t, o, y, Value::Int(round as i64)).unwrap();
+                        heap.commit(t).unwrap();
+                    }
+                });
+            }
+            for _ in 0..3 {
+                let heap = Arc::clone(&heap);
+                s.spawn(move || {
+                    let mut last = -1i64;
+                    while !writer_done(&heap) {
+                        let snap = heap.snapshot();
+                        let vx = snap.read(o, x).unwrap();
+                        let vy = snap.read(o, y).unwrap();
+                        assert_eq!(vx, vy, "torn read across one commit's fields");
+                        let Value::Int(v) = vx else { panic!() };
+                        assert!(v >= last, "snapshot went backwards");
+                        last = v;
+                    }
+                });
+            }
+
+            fn writer_done(heap: &MvccHeap) -> bool {
+                heap.current_ts() >= 300
+            }
+        });
+        assert_eq!(heap.base().read(o, x), Ok(Value::Int(299)));
+        let m = heap.stats.snapshot();
+        assert_eq!(m.commits, 300);
+        assert_eq!(m.write_conflicts, 0);
     }
 }

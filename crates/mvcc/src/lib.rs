@@ -12,15 +12,20 @@
 //!   chain records hold the before-images needed to reconstruct any
 //!   registered snapshot — the rollback-segment organization.
 //! * **Timestamps** — an atomic commit-timestamp clock (one `fetch_add`
-//!   per writer commit) decoupled from *visibility*: an ordered
-//!   publication watermark advances the snapshot source only across a
-//!   contiguous flipped prefix, so a snapshot never observes a
-//!   half-flipped transaction even though committers flip their chains
-//!   without any global lock (see the `heap` module's "Concurrency
-//!   architecture" docs).
+//!   per writer commit) decoupled from *visibility*: a **lock-free**
+//!   ordered publication watermark (a CAS ring of in-flight commit
+//!   slots) advances the snapshot source only across a contiguous
+//!   flipped prefix, so a snapshot never observes a half-flipped
+//!   transaction even though committers flip their chains without any
+//!   lock at all (see the `heap` module's "Concurrency architecture"
+//!   docs).
 //! * **Snapshots** ([`snapshot::Snapshot`]) — first-class read-only
 //!   views: no logical locks, stable for their whole lifetime, and
 //!   registered with the GC so the versions they need stay alive.
+//!   Snapshot reads are **latch-free**: chains are published
+//!   copy-on-write behind atomic pointers with epoch-based
+//!   reclamation, and a chain hit never touches the base store
+//!   (records carry before- *and* after-images per field).
 //! * **Write conflicts** — first-updater-wins at **field granularity**
 //!   (the paper's granularity): a write fails immediately with
 //!   [`MvccConflict`] iff another live transaction holds a pending
@@ -44,10 +49,12 @@
 //! `finecc_runtime::schemes::mvcc`, one scheme-matrix entry per
 //! isolation level (`mvcc`, `mvcc-ssi`).
 
+mod cow;
 pub mod heap;
 pub mod snapshot;
 pub mod ssi;
 pub mod stats;
+mod watermark;
 
 pub use heap::{CommitPath, MvccConflict, MvccHeap, MvccWriteError, WriteOutcome};
 pub use snapshot::Snapshot;

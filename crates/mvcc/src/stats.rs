@@ -14,6 +14,12 @@ pub struct MvccStats {
     ssi_edges: AtomicU64,
     ts_skips: AtomicU64,
     snapshot_reads: AtomicU64,
+    read_chain_hits: AtomicU64,
+    read_base_loads: AtomicU64,
+    read_retries: AtomicU64,
+    read_pin_retries: AtomicU64,
+    watermark_waits: AtomicU64,
+    cow_reclaimed: AtomicU64,
     versions_created: AtomicU64,
     versions_reclaimed: AtomicU64,
     chain_len_sum: AtomicU64,
@@ -38,6 +44,10 @@ impl MvccStats {
         bump_ssi_aborts => ssi_aborts,
         bump_ts_skips => ts_skips,
         bump_snapshot_reads => snapshot_reads,
+        bump_read_chain_hits => read_chain_hits,
+        bump_read_base_loads => read_base_loads,
+        bump_read_retries => read_retries,
+        bump_watermark_waits => watermark_waits,
         bump_versions_created => versions_created,
     }
 
@@ -47,6 +57,14 @@ impl MvccStats {
 
     pub(crate) fn add_ssi_edges(&self, n: u64) {
         self.ssi_edges.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_read_pin_retries(&self, n: u64) {
+        self.read_pin_retries.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_cow_reclaimed(&self, n: u64) {
+        self.cow_reclaimed.fetch_add(n, Ordering::Relaxed);
     }
 
     pub(crate) fn sample_chain_len(&self, len: u64) {
@@ -66,6 +84,12 @@ impl MvccStats {
             ssi_edges: self.ssi_edges.load(Ordering::Relaxed),
             ts_skips: self.ts_skips.load(Ordering::Relaxed),
             snapshot_reads: self.snapshot_reads.load(Ordering::Relaxed),
+            read_chain_hits: self.read_chain_hits.load(Ordering::Relaxed),
+            read_base_loads: self.read_base_loads.load(Ordering::Relaxed),
+            read_retries: self.read_retries.load(Ordering::Relaxed),
+            read_pin_retries: self.read_pin_retries.load(Ordering::Relaxed),
+            watermark_waits: self.watermark_waits.load(Ordering::Relaxed),
+            cow_reclaimed: self.cow_reclaimed.load(Ordering::Relaxed),
             versions_created: self.versions_created.load(Ordering::Relaxed),
             versions_reclaimed: self.versions_reclaimed.load(Ordering::Relaxed),
             chain_len_sum: self.chain_len_sum.load(Ordering::Relaxed),
@@ -84,6 +108,12 @@ impl MvccStats {
         self.ssi_edges.store(0, Ordering::Relaxed);
         self.ts_skips.store(0, Ordering::Relaxed);
         self.snapshot_reads.store(0, Ordering::Relaxed);
+        self.read_chain_hits.store(0, Ordering::Relaxed);
+        self.read_base_loads.store(0, Ordering::Relaxed);
+        self.read_retries.store(0, Ordering::Relaxed);
+        self.read_pin_retries.store(0, Ordering::Relaxed);
+        self.watermark_waits.store(0, Ordering::Relaxed);
+        self.cow_reclaimed.store(0, Ordering::Relaxed);
         self.versions_created.store(0, Ordering::Relaxed);
         self.versions_reclaimed.store(0, Ordering::Relaxed);
         self.chain_len_sum.store(0, Ordering::Relaxed);
@@ -116,6 +146,26 @@ pub struct MvccStatsSnapshot {
     pub ts_skips: u64,
     /// Snapshot field reads served.
     pub snapshot_reads: u64,
+    /// Snapshot reads answered entirely from a copy-on-write chain —
+    /// the **latch-free** path: no mutex, no `RwLock`, no base-store
+    /// access.
+    pub read_chain_hits: u64,
+    /// Snapshot reads that missed the chains (no record covers the
+    /// field) and paid exactly one base-store `RwLock::read`.
+    pub read_base_loads: u64,
+    /// Miss-revalidation retries: a chain-miss read raced a first
+    /// writer of the field and re-ran through the chain (the read
+    /// path's only loop; it resolves on the next iteration).
+    pub read_retries: u64,
+    /// Reclamation-era races during reader pinning (bounded retry of
+    /// two atomic ops; fires at most around GC passes).
+    pub read_pin_retries: u64,
+    /// Commit publications that hit the watermark ring's overflow
+    /// fallback (more in-flight commits than ring slots).
+    pub watermark_waits: u64,
+    /// Retired copy-on-write chain/map snapshots freed after their
+    /// reclamation grace period.
+    pub cow_reclaimed: u64,
     /// Version records installed.
     pub versions_created: u64,
     /// Version records reclaimed — by epoch GC or discarded by abort
@@ -151,6 +201,14 @@ impl MvccStatsSnapshot {
             ssi_edges: self.ssi_edges.saturating_sub(earlier.ssi_edges),
             ts_skips: self.ts_skips.saturating_sub(earlier.ts_skips),
             snapshot_reads: self.snapshot_reads.saturating_sub(earlier.snapshot_reads),
+            read_chain_hits: self.read_chain_hits.saturating_sub(earlier.read_chain_hits),
+            read_base_loads: self.read_base_loads.saturating_sub(earlier.read_base_loads),
+            read_retries: self.read_retries.saturating_sub(earlier.read_retries),
+            read_pin_retries: self
+                .read_pin_retries
+                .saturating_sub(earlier.read_pin_retries),
+            watermark_waits: self.watermark_waits.saturating_sub(earlier.watermark_waits),
+            cow_reclaimed: self.cow_reclaimed.saturating_sub(earlier.cow_reclaimed),
             versions_created: self
                 .versions_created
                 .saturating_sub(earlier.versions_created),

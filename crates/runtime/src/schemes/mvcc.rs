@@ -13,10 +13,14 @@
 //! validation aborts — plus optimistic restarts on field-level
 //! write-write conflicts:
 //!
-//! * **Reads** reconstruct the transaction's snapshot from the version
-//!   chains of [`finecc_mvcc::MvccHeap`]. The lock manager is never
-//!   consulted — the scheme's `finecc_lock` statistics stay at zero by
-//!   construction.
+//! * **Reads** reconstruct the transaction's snapshot from the
+//!   copy-on-write version chains of [`finecc_mvcc::MvccHeap`] —
+//!   **latch-free** on the chain-hit path: no lock manager, no mutex,
+//!   no base-store `RwLock` (the scheme's `finecc_lock` statistics stay
+//!   at zero by construction, and the heap's `read_base_loads` counter
+//!   stays at zero whenever a chain covers the field). The snapshot
+//!   timestamp is cached in the transaction session, so steady-state
+//!   operations skip the heap's transaction registry too.
 //! * **Writes** install pending versions under first-updater-wins
 //!   admission control at **field granularity** — like the TAV scheme,
 //!   writers of disjoint fields of one instance run in parallel (the
@@ -141,9 +145,10 @@ struct MvccAccess<'a> {
     env: &'a Env,
     heap: &'a MvccHeap,
     txn: TxnId,
-    /// The transaction's snapshot timestamp, resolved once per message —
-    /// field reads go straight to the version chains without touching
-    /// the heap's transaction registry.
+    /// The transaction's snapshot timestamp, cached in the [`Txn`]
+    /// session at begin — field reads and writes go straight to the
+    /// version chains without ever touching the heap's transaction
+    /// registry.
     snapshot_ts: u64,
 }
 
@@ -160,7 +165,7 @@ impl DataAccess for MvccAccess<'_> {
 
     fn write_field(&mut self, oid: Oid, field: FieldId, value: Value) -> Result<(), ExecError> {
         self.heap
-            .write(self.txn, oid, field, value)
+            .write_at(self.snapshot_ts, self.txn, oid, field, value)
             .map(drop)
             .map_err(MvccScheme::exec_err)
     }
@@ -175,10 +180,14 @@ impl DataAccess for MvccAccess<'_> {
 
 impl MvccScheme {
     fn access<'a>(&'a self, txn: &Txn) -> MvccAccess<'a> {
-        let snapshot_ts = self
-            .heap
-            .snapshot_ts(txn.id)
-            .expect("transaction began through this scheme");
+        // The snapshot timestamp is cached in the transaction session at
+        // begin, so steady-state message sends never touch the heap's
+        // transaction registry (the fallback covers hand-built `Txn`s).
+        let snapshot_ts = txn.snapshot_ts.unwrap_or_else(|| {
+            self.heap
+                .snapshot_ts(txn.id)
+                .expect("transaction began through this scheme")
+        });
         MvccAccess {
             env: &self.env,
             heap: &self.heap,
@@ -202,8 +211,8 @@ impl CcScheme for MvccScheme {
 
     fn begin(&self) -> Txn {
         let id = TxnId(self.next_txn.fetch_add(1, Ordering::Relaxed));
-        self.heap.begin(id);
-        Txn::new(id)
+        let snapshot_ts = self.heap.begin(id);
+        Txn::with_snapshot_ts(id, snapshot_ts)
     }
 
     fn send(

@@ -12,6 +12,13 @@ pub struct Txn {
     pub id: TxnId,
     /// Before-images recorded during execution.
     pub undo: UndoLog,
+    /// The session-cached MVCC snapshot timestamp (`None` for the lock
+    /// schemes). The mvcc schemes stamp it at begin so steady-state
+    /// reads and writes never consult the heap's transaction registry —
+    /// the per-operation registry-stripe lookup this cache replaced was
+    /// the read path's last shared-mutable touch besides the chains
+    /// themselves.
+    pub snapshot_ts: Option<u64>,
 }
 
 impl Txn {
@@ -20,6 +27,16 @@ impl Txn {
         Txn {
             id,
             undo: UndoLog::new(),
+            snapshot_ts: None,
+        }
+    }
+
+    /// Creates a transaction carrying its MVCC snapshot timestamp.
+    pub fn with_snapshot_ts(id: TxnId, snapshot_ts: u64) -> Txn {
+        Txn {
+            id,
+            undo: UndoLog::new(),
+            snapshot_ts: Some(snapshot_ts),
         }
     }
 }

@@ -96,18 +96,22 @@ impl Database {
             .ok_or(StoreError::FieldNotVisible { oid, field })
     }
 
-    /// Writes one field after type checking (including the reference
-    /// domain check). Returns the previous value.
-    pub fn write(&self, oid: Oid, field: FieldId, value: Value) -> Result<Value, StoreError> {
+    /// Validates that `value` may be written to `field`: the type check
+    /// and the reference domain check, **without** touching the target
+    /// shard. Split out so callers that serialize writes themselves
+    /// (the MVCC heap's per-shard writer latch) can run validation
+    /// outside their critical section and follow up with
+    /// [`Database::exchange_unchecked`].
+    pub fn check_write(&self, field: FieldId, value: &Value) -> Result<(), StoreError> {
         let fi = self.schema.field(field);
-        if !fi.ty.admits(&value) {
+        if !fi.ty.admits(value) {
             return Err(StoreError::TypeMismatch {
                 field,
                 expected: fi.ty.to_string(),
                 got: value.type_name(),
             });
         }
-        if let (FieldType::Ref(domain_root), Value::Ref(target)) = (fi.ty, &value) {
+        if let (FieldType::Ref(domain_root), Value::Ref(target)) = (fi.ty, value) {
             let target_class = self.class_of(*target)?;
             if !self.schema.in_domain(domain_root, target_class) {
                 return Err(StoreError::RefDomainMismatch {
@@ -117,10 +121,30 @@ impl Database {
                 });
             }
         }
+        Ok(())
+    }
+
+    /// Writes a field **without** type checking and returns the
+    /// previous value — the exchange half of [`Database::write`], for
+    /// callers that already ran [`Database::check_write`]. One shard
+    /// `RwLock::write`, nothing else.
+    pub fn exchange_unchecked(
+        &self,
+        oid: Oid,
+        field: FieldId,
+        value: Value,
+    ) -> Result<Value, StoreError> {
         let mut shard = self.shard(oid).write();
         let inst = shard.get_mut(&oid).ok_or(StoreError::UnknownOid(oid))?;
         inst.set(&self.schema, field, value)
             .ok_or(StoreError::FieldNotVisible { oid, field })
+    }
+
+    /// Writes one field after type checking (including the reference
+    /// domain check). Returns the previous value.
+    pub fn write(&self, oid: Oid, field: FieldId, value: Value) -> Result<Value, StoreError> {
+        self.check_write(field, &value)?;
+        self.exchange_unchecked(oid, field, value)
     }
 
     /// Writes a field **without** type checking — used only by undo
