@@ -16,6 +16,15 @@
 //! validation aborts (dangerous structures) — the price of buying
 //! serializability back.
 //!
+//! A third table measures the **durability tax**: the medium-contention
+//! cell re-run with the write-ahead log attached at each
+//! [`DurabilityLevel`] — `wal` (async group commit) and `wal-sync`
+//! (commit acks after its group fsync) — for one lock scheme and both
+//! mvcc schemes. The lock scheme logs through its undo projection, the
+//! mvcc schemes through their heap's commit path; both produce the same
+//! field-granular record format, so the log-bytes column is directly
+//! comparable across scheme families.
+//!
 //! `FINECC_BENCH_TXNS` overrides the per-cell transaction count (the CI
 //! bench-smoke job sets it low so the matrix runs in seconds). The run
 //! also emits `BENCH_schemes.json` (into `FINECC_BENCH_JSON_DIR`,
@@ -23,7 +32,7 @@
 //! trajectory is tracked as a machine-readable artifact across PRs.
 
 use finecc_bench::{json_object, txns_per_cell, write_bench_json, JsonVal};
-use finecc_runtime::SchemeKind;
+use finecc_runtime::{DurabilityLevel, SchemeKind};
 use finecc_sim::workload::{
     generate_env, generate_workload, populate_random, SchemaGenConfig, WorkloadConfig,
 };
@@ -95,6 +104,9 @@ fn main() {
                 ("deadlocks", JsonVal::from(report.lock.deadlocks)),
                 ("ww_conflicts", JsonVal::from(report.ww_conflicts())),
                 ("ssi_aborts", JsonVal::from(report.ssi_aborts())),
+                ("read_retries", JsonVal::from(report.read_retries())),
+                ("watermark_waits", JsonVal::from(report.watermark_waits())),
+                ("cow_reclaimed", JsonVal::from(report.cow_reclaimed())),
                 ("txns_per_sec", JsonVal::from(report.throughput())),
             ]));
             if let Some(v) = report.mvcc {
@@ -111,6 +123,9 @@ fn main() {
                     v.chain_len_max.to_string(),
                     v.versions_created.to_string(),
                     v.versions_reclaimed.to_string(),
+                    v.read_retries.to_string(),
+                    v.watermark_waits.to_string(),
+                    v.cow_reclaimed.to_string(),
                 ]);
             }
         }
@@ -136,8 +151,112 @@ fn main() {
                 "max chain",
                 "versions",
                 "reclaimed",
+                "read retries",
+                "wm waits",
+                "cow freed",
             ],
             &mvcc_rows
+        )
+    );
+    // Durability tax: the same medium-contention cell with the
+    // write-ahead log attached, at each level. `wal` logs without a
+    // commit-time fsync (group-committed asynchronously); `wal-sync`
+    // acks a commit only after its record is on disk, so the mean
+    // group-commit size shows how many commits shared each fsync.
+    let mut wal_rows = Vec::new();
+    for kind in [SchemeKind::Tav, SchemeKind::Mvcc, SchemeKind::MvccSsi] {
+        for level in [
+            DurabilityLevel::None,
+            DurabilityLevel::Wal,
+            DurabilityLevel::WalSync,
+        ] {
+            let env = generate_env(&SchemaGenConfig {
+                classes: 10,
+                seed: 33,
+                write_prob: 0.6,
+                self_call_prob: 0.4,
+                ..SchemaGenConfig::default()
+            });
+            populate_random(&env, 4);
+            let wl = generate_workload(
+                &env,
+                &WorkloadConfig {
+                    txns,
+                    hot_frac: 0.4,
+                    hot_set: 6,
+                    seed: 5,
+                    ..WorkloadConfig::default()
+                },
+            );
+            let dir = std::env::temp_dir().join(format!(
+                "finecc-compare-wal-{}-{}-{}",
+                std::process::id(),
+                kind.name(),
+                level.name()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let scheme = kind
+                .build_durable(env, level, &dir)
+                .expect("durable scheme builds");
+            let report = run_concurrent(
+                scheme.as_ref(),
+                &wl.ops,
+                ExecConfig {
+                    threads: 4,
+                    max_retries: 100,
+                },
+            );
+            assert_eq!(report.failed, 0, "{kind}/{level}: non-retryable failure");
+            if level == DurabilityLevel::None {
+                assert!(report.wal.is_none(), "{kind}: log stats without a log");
+            } else {
+                assert!(report.log_bytes() > 0, "{kind}/{level}: nothing logged");
+            }
+            wal_rows.push(vec![
+                kind.name().to_string(),
+                level.name().to_string(),
+                report.committed.to_string(),
+                format!("{:.0}", report.throughput()),
+                report.log_bytes().to_string(),
+                report.log_fsyncs().to_string(),
+                format!("{:.2}", report.group_commit_mean()),
+            ]);
+            json.push(json_object(&[
+                ("experiment", JsonVal::from("durability_tax")),
+                ("scheme", JsonVal::from(kind.name())),
+                ("durability", JsonVal::from(level.name())),
+                ("threads", JsonVal::from(4usize)),
+                ("txns", JsonVal::from(txns)),
+                ("committed", JsonVal::from(report.committed)),
+                ("txns_per_sec", JsonVal::from(report.throughput())),
+                ("log_bytes", JsonVal::from(report.log_bytes())),
+                ("log_fsyncs", JsonVal::from(report.log_fsyncs())),
+                (
+                    "group_commit_mean",
+                    JsonVal::from(report.group_commit_mean()),
+                ),
+            ]));
+            drop(scheme);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+    println!(
+        "durability tax (medium contention; wal = async group commit, wal-sync = commit\n\
+         acks only after its group fsync; 'mean batch' = commits amortized per fsync)\n"
+    );
+    println!(
+        "{}",
+        render_table(
+            &[
+                "scheme",
+                "durability",
+                "committed",
+                "txn/s",
+                "log bytes",
+                "fsyncs",
+                "mean batch",
+            ],
+            &wal_rows
         )
     );
     println!("shapes: tav has the lowest lock traffic per committed txn and");

@@ -124,6 +124,12 @@ pub fn json_object(pairs: &[(&str, JsonVal)]) -> String {
 /// committed `BENCH_*.json` artifacts always land in the same place;
 /// created if missing) so the perf trajectory is tracked as a
 /// machine-readable artifact across PRs. Returns the path written.
+///
+/// The write is **atomic** (temp file in the same directory, then
+/// rename): a sweep that panics or is killed mid-write can never leave
+/// a torn half-JSON behind in place of a committed `BENCH_*.json`
+/// artifact — the old file survives intact until the new one is fully
+/// on disk.
 pub fn write_bench_json(file_name: &str, rows: &[String]) -> std::io::Result<std::path::PathBuf> {
     let dir = std::env::var("FINECC_BENCH_JSON_DIR").unwrap_or_else(|_| {
         // The workspace root as recorded at compile time; a relocated
@@ -145,8 +151,16 @@ pub fn write_bench_json(file_name: &str, rows: &[String]) -> std::io::Result<std
         body.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
     body.push_str("]\n");
-    std::fs::write(&path, body)?;
-    Ok(path)
+    // Same-directory temp file so the rename cannot cross filesystems.
+    let tmp = std::path::Path::new(&dir).join(format!(".{file_name}.{}.tmp", std::process::id()));
+    std::fs::write(&tmp, body)?;
+    match std::fs::rename(&tmp, &path) {
+        Ok(()) => Ok(path),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
 }
 
 /// A self-call chain of configurable depth: `m0` calls `m1` calls …
@@ -253,6 +267,28 @@ mod tests {
             "{\"scheme\": \"mvcc\", \"threads\": 16, \"txns_per_sec\": 1234.57, \
              \"label\": \"a \\\"quoted\\\"\\nname\"}"
         );
+    }
+
+    #[test]
+    fn write_bench_json_is_atomic_and_leaves_no_temp() {
+        let dir = std::env::temp_dir().join(format!("finecc-bench-json-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // The env-var override is per-test-process global; restrict the
+        // write to an isolated dir via a direct path check instead.
+        std::env::set_var("FINECC_BENCH_JSON_DIR", &dir);
+        let path = write_bench_json("BENCH_test.json", &["{\"a\": 1}".to_string()]).unwrap();
+        assert!(path.ends_with("BENCH_test.json"));
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.starts_with("[\n") && body.ends_with("]\n"));
+        // Rewriting replaces the file atomically; no temp file remains.
+        write_bench_json("BENCH_test.json", &["{\"a\": 2}".to_string()]).unwrap();
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, ["BENCH_test.json"], "no temp residue: {names:?}");
+        std::env::remove_var("FINECC_BENCH_JSON_DIR");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -85,10 +85,12 @@ use crate::ssi::{SsiTracker, SsiVerdict};
 use crate::stats::MvccStats;
 use crate::watermark::Watermark;
 use crate::{IsolationLevel, SsiConflict, Ts, TS_PENDING};
-use finecc_model::{FieldId, Oid, TxnId, Value};
-use finecc_store::{Database, StoreError};
+use finecc_model::{ClassId, FieldId, Oid, TxnId, Value};
+use finecc_store::{Database, FieldImage, StoreError};
+use finecc_wal::{CheckpointData, DurabilityLevel, InstanceImage, RecoveryInfo, Wal, WalConfig};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -444,6 +446,12 @@ pub struct MvccHeap {
     /// across a contiguous flipped prefix.
     watermark: Watermark,
     commits_since_gc: AtomicU64,
+    /// The attached write-ahead log (`None` at
+    /// [`DurabilityLevel::None`] — the pre-durability behavior, with
+    /// zero additional work anywhere). Appends happen only on the
+    /// commit path and on extent events; the snapshot read path never
+    /// touches it.
+    wal: Option<Arc<Wal>>,
     /// `Some` iff the heap runs [`CommitPath::CoarseBaseline`].
     coarse_commit: Option<Mutex<()>>,
     /// The rw-antidependency tracker; `Some` iff the heap runs at
@@ -473,6 +481,64 @@ impl MvccHeap {
         isolation: IsolationLevel,
         commit_path: CommitPath,
     ) -> MvccHeap {
+        MvccHeap::build(base, isolation, commit_path, None, 0)
+    }
+
+    /// Creates a heap with an attached write-ahead log: every writer
+    /// commit appends its *Write*-projection after-images **before**
+    /// its timestamp is published (durable before visible; at
+    /// [`DurabilityLevel::WalSync`] the commit also waits for the group
+    /// fsync). If the log directory holds no checkpoint yet, a genesis
+    /// checkpoint of the base store is written so the directory is
+    /// recoverable from the first commit on. The timestamp clock starts
+    /// above the highest timestamp already in the log, so attaching to
+    /// a directory with history never reuses a timestamp — though the
+    /// usual way to resume a directory is [`MvccHeap::recover`].
+    pub fn with_wal(
+        base: Arc<Database>,
+        isolation: IsolationLevel,
+        commit_path: CommitPath,
+        wal: Arc<Wal>,
+    ) -> std::io::Result<MvccHeap> {
+        let base_ts = wal.max_logged_ts();
+        let heap = MvccHeap::build(base, isolation, commit_path, Some(wal), base_ts);
+        if !heap.wal.as_ref().expect("just attached").has_checkpoint()? {
+            heap.checkpoint()?;
+        }
+        Ok(heap)
+    }
+
+    /// Rebuilds a heap from a log directory: newest checkpoint + replay
+    /// of the log's intact prefix in commit-timestamp order (see
+    /// `finecc_wal::recover_database`). The recovered heap resumes with
+    /// the schema, extents, base store, OID allocator **and the
+    /// timestamp clock/watermark** of the previous incarnation —
+    /// including the holes left by SSI-refused commits (skip records),
+    /// so post-recovery commits continue with no timestamp reuse and no
+    /// watermark gap. The reopened log is attached at the same
+    /// directory; a torn final record (crash mid-append) is truncated
+    /// so new appends stay readable.
+    pub fn recover(
+        dir: impl AsRef<Path>,
+        isolation: IsolationLevel,
+        commit_path: CommitPath,
+        config: WalConfig,
+    ) -> std::io::Result<(MvccHeap, RecoveryInfo)> {
+        let dir = dir.as_ref();
+        let (db, info) = finecc_wal::recover_database(dir)?;
+        let wal = Arc::new(Wal::open(dir, config)?);
+        wal.stats().set_recovery_replayed(info.replayed);
+        let heap = MvccHeap::build(Arc::new(db), isolation, commit_path, Some(wal), info.max_ts);
+        Ok((heap, info))
+    }
+
+    fn build(
+        base: Arc<Database>,
+        isolation: IsolationLevel,
+        commit_path: CommitPath,
+        wal: Option<Arc<Wal>>,
+        base_ts: Ts,
+    ) -> MvccHeap {
         let shards = (0..SHARD_COUNT)
             .map(|_| ChainShard::new())
             .collect::<Vec<_>>()
@@ -487,9 +553,10 @@ impl MvccHeap {
             rcu: Rcu::new(),
             txns,
             epochs: EpochTable::new(),
-            clock: AtomicU64::new(0),
-            watermark: Watermark::new(),
+            clock: AtomicU64::new(base_ts),
+            watermark: Watermark::with_base(base_ts),
             commits_since_gc: AtomicU64::new(0),
+            wal,
             coarse_commit: match commit_path {
                 CommitPath::Sharded => None,
                 CommitPath::CoarseBaseline => Some(Mutex::new(())),
@@ -523,6 +590,100 @@ impl MvccHeap {
         } else {
             CommitPath::Sharded
         }
+    }
+
+    /// The heap's durability level ([`DurabilityLevel::None`] when no
+    /// write-ahead log is attached).
+    pub fn durability(&self) -> DurabilityLevel {
+        self.wal
+            .as_ref()
+            .map_or(DurabilityLevel::None, |w| w.level())
+    }
+
+    /// The attached write-ahead log, if any (statistics, checkpoints).
+    pub fn wal(&self) -> Option<&Arc<Wal>> {
+        self.wal.as_ref()
+    }
+
+    /// Creates a default-initialized instance of `class` through the
+    /// heap, logging the extent event when a write-ahead log is
+    /// attached — the durable counterpart of [`Database::create`].
+    /// (Creation still bypasses the version chains — see the ROADMAP's
+    /// versioned-extents item; objects created directly on the base
+    /// store become durable at the *next checkpoint* rather than
+    /// immediately.)
+    pub fn create(&self, class: ClassId) -> Oid {
+        let oid = self.base.create(class);
+        if let Some(wal) = &self.wal {
+            wal.append_create(self.current_ts(), oid, class)
+                .expect("write-ahead log append failed; durability cannot be guaranteed");
+        }
+        oid
+    }
+
+    /// Deletes an instance through the heap, logging the extent event
+    /// when a write-ahead log is attached — the durable counterpart of
+    /// [`Database::delete`].
+    pub fn delete(&self, oid: Oid) -> Result<(), StoreError> {
+        self.base.delete(oid)?;
+        if let Some(wal) = &self.wal {
+            wal.append_delete(self.current_ts(), oid)
+                .expect("write-ahead log append failed; durability cannot be guaranteed");
+        }
+        Ok(())
+    }
+
+    /// Writes a **fuzzy checkpoint**: a consistent image of schema +
+    /// base store + live chains at a watermark-consistent timestamp,
+    /// produced without stopping writers — the checkpoint pins a
+    /// snapshot (like any reader) and streams every live object's
+    /// fields through the latch-free multi-version read path, so
+    /// concurrent commits keep flowing and the image still reflects
+    /// exactly the state at the pinned timestamp. Objects deleted under
+    /// the scan are skipped (their log records replay idempotently).
+    /// The file is written atomically (temp + rename); recovery replays
+    /// the log only above the returned timestamp. Requires an attached
+    /// write-ahead log.
+    pub fn checkpoint(&self) -> std::io::Result<Ts> {
+        let wal = self
+            .wal
+            .as_ref()
+            .expect("checkpoint requires an attached write-ahead log");
+        let epoch = self.epochs.register(&self.watermark);
+        let ckpt_ts = epoch.ts;
+        let schema = self.base.schema();
+        let mut instances = Vec::new();
+        for ci in schema.classes() {
+            for oid in self.base.extent(ci.id) {
+                let mut values = Vec::with_capacity(ci.all_fields.len());
+                let mut live = true;
+                for &f in &ci.all_fields {
+                    match self.read_as(ckpt_ts, None, oid, f) {
+                        Ok(v) => values.push(v),
+                        Err(_) => {
+                            live = false; // deleted under the scan
+                            break;
+                        }
+                    }
+                }
+                if live {
+                    instances.push(InstanceImage {
+                        oid,
+                        class: ci.id,
+                        values,
+                    });
+                }
+            }
+        }
+        let result = wal.write_checkpoint(&CheckpointData {
+            ckpt_ts,
+            replay_from: ckpt_ts + 1,
+            next_oid: self.base.next_oid_hint(),
+            schema,
+            instances,
+        });
+        self.epochs.unregister(epoch);
+        result.map(|_| ckpt_ts)
     }
 
     #[inline]
@@ -987,7 +1148,15 @@ impl MvccHeap {
                 // as a skip — or the contiguous prefix would stall
                 // forever. Nothing was flipped at `commit_ts`, so a
                 // snapshot there observes exactly the state at
-                // `commit_ts - 1`.
+                // `commit_ts - 1`. The skip is logged before it is
+                // published so recovery restores the hole, but the
+                // append never waits for a sync: a lost skip is
+                // harmless (any later durable commit covers the frame;
+                // a reused trailing skip timestamp flipped nothing).
+                if let Some(wal) = &self.wal {
+                    wal.append_skip(commit_ts)
+                        .expect("write-ahead log append failed; durability cannot be guaranteed");
+                }
                 if self.watermark.publish(commit_ts) {
                     self.stats.bump_watermark_waits();
                 }
@@ -1001,15 +1170,20 @@ impl MvccHeap {
                 return Err(c);
             }
         }
-        // Flip this transaction's pending records to the commit
-        // timestamp — an atomic store per record through the published
-        // chain snapshots, no latch. (Sorted iteration is determinism,
-        // not a lock-ordering requirement: there is nothing to order.)
+        // Locate this transaction's pending records once — the redo
+        // images (write-ahead log) and the commit flips both walk them.
+        // Record identity is stable across concurrent snapshot swaps
+        // (snapshots share records by `Arc`) and nobody but the owner
+        // merges or removes a pending record, so the collected handles
+        // stay valid after the pin is dropped. (Sorted iteration is
+        // determinism, not a lock-ordering requirement: there is
+        // nothing to order.)
         let mut oids: Vec<Oid> = state.write_set.iter().copied().collect();
         oids.sort_unstable();
+        let mut own_records: Vec<Arc<VersionRecord>> = Vec::with_capacity(oids.len());
         {
             let pin = self.pin();
-            for oid in oids {
+            for &oid in &oids {
                 let map = self.shard(oid).map_for(oid).load(&pin);
                 let cell = map.get(&oid).expect("written chain exists");
                 let chain = cell.records.load(&pin);
@@ -1018,8 +1192,35 @@ impl MvccHeap {
                     .iter()
                     .find(|r| r.ts() == TS_PENDING && r.writer == txn)
                     .expect("pending record owned by committer");
-                own.commit_ts.store(commit_ts, Ordering::SeqCst);
+                own_records.push(Arc::clone(own));
             }
+        }
+        // Durable before visible: the record hits the log — and, at
+        // WalSync, the disk (group-commit ack) — strictly before any
+        // record flips and strictly before the watermark publishes the
+        // timestamp. No latch is held across the wait; concurrent
+        // committers keep drawing, appending and sharing fsyncs, and
+        // the ordered watermark serializes visibility afterwards
+        // exactly as without a log.
+        if let Some(wal) = &self.wal {
+            let mut writes = Vec::new();
+            for (rec, &oid) in own_records.iter().zip(&oids) {
+                for w in &rec.writes {
+                    writes.push(FieldImage {
+                        oid,
+                        field: w.field,
+                        value: w.after.clone(),
+                    });
+                }
+            }
+            wal.append_commit(commit_ts, txn, &writes)
+                .expect("write-ahead log append failed; durability cannot be guaranteed");
+        }
+        // Flip this transaction's pending records to the commit
+        // timestamp — an atomic store per record through the published
+        // chain snapshots, no latch.
+        for rec in &own_records {
+            rec.commit_ts.store(commit_ts, Ordering::SeqCst);
         }
         if self.watermark.publish(commit_ts) {
             self.stats.bump_watermark_waits();

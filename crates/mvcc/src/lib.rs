@@ -60,6 +60,9 @@ pub use heap::{CommitPath, MvccConflict, MvccHeap, MvccWriteError, WriteOutcome}
 pub use snapshot::Snapshot;
 pub use ssi::{IsolationLevel, SsiConflict};
 pub use stats::{MvccStats, MvccStatsSnapshot};
+// Durability is a scheme parameter like the isolation level; re-export
+// the knobs so heap consumers configure both from one place.
+pub use finecc_wal::{DurabilityLevel, RecoveryInfo, Wal, WalConfig, WalStats, WalStatsSnapshot};
 
 /// Commit timestamps. `0` is the genesis timestamp (before any commit);
 /// pending versions carry [`TS_PENDING`].

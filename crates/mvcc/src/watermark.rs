@@ -73,6 +73,18 @@ impl Watermark {
         Watermark::with_capacity(WATERMARK_CAPACITY)
     }
 
+    /// A watermark whose published prefix starts at `base` instead of
+    /// 0 — the recovery path: every timestamp at or below the restored
+    /// clock was committed (or skip-filled) by the previous
+    /// incarnation, so the prefix resumes dense at `base` and the first
+    /// post-recovery commit publishes `base + 1` with no hole to wait
+    /// on.
+    pub(crate) fn with_base(base: Ts) -> Watermark {
+        let w = Watermark::new();
+        w.published.store(base, SeqCst);
+        w
+    }
+
     /// A watermark with a custom ring capacity — tests use tiny rings
     /// to exercise wraparound and the overflow fallback.
     pub(crate) fn with_capacity(capacity: usize) -> Watermark {
@@ -188,6 +200,17 @@ mod tests {
         w.publish(4);
         assert_eq!(w.get(), 4);
         assert!(w.slots.iter().all(|s| s.load(SeqCst) == EMPTY));
+        assert_eq!(w.waits(), 0);
+    }
+
+    #[test]
+    fn with_base_resumes_the_prefix() {
+        let w = Watermark::with_base(41);
+        assert_eq!(w.get(), 41);
+        w.publish(43);
+        assert_eq!(w.get(), 41, "43 waits for 42");
+        w.publish(42);
+        assert_eq!(w.get(), 43, "prefix resumes dense above the base");
         assert_eq!(w.waits(), 0);
     }
 

@@ -2,10 +2,12 @@
 //! bodies and builtins, bundled for cheap cloning into schemes and
 //! worker threads.
 
+use crate::txn::Txn;
 use finecc_core::CompiledSchema;
 use finecc_lang::{Builtins, ExecError, MethodBodies};
 use finecc_model::{Oid, Schema, Value};
 use finecc_store::{Database, StoreError};
+use finecc_wal::{CheckpointData, InstanceImage, Wal};
 use std::sync::Arc;
 
 /// Everything a concurrency-control scheme needs to execute methods.
@@ -34,6 +36,13 @@ pub struct Env {
     /// serialization order for conflicting transactions (used by the
     /// serializability checker in `tests/`).
     pub commit_seq: Arc<std::sync::atomic::AtomicU64>,
+    /// The attached write-ahead log (`None` at
+    /// `DurabilityLevel::None`). The lock schemes append their
+    /// undo-projection redo images here at commit while still holding
+    /// their 2PL locks; the mvcc schemes share the same handle with
+    /// their heap so statistics surface uniformly through
+    /// [`crate::CcScheme::wal_stats`].
+    pub wal: Option<Arc<Wal>>,
 }
 
 impl Env {
@@ -51,6 +60,7 @@ impl Env {
             max_fuel: 1_000_000,
             lock_timeout: std::time::Duration::from_secs(10),
             commit_seq: Arc::new(std::sync::atomic::AtomicU64::new(0)),
+            wal: None,
         }
     }
 
@@ -64,6 +74,98 @@ impl Env {
     pub fn with_lock_timeout(mut self, d: std::time::Duration) -> Env {
         self.lock_timeout = d;
         self
+    }
+
+    /// Attaches a **fresh** write-ahead log for the lock schemes'
+    /// undo-path durability, writing a quiescent genesis checkpoint of
+    /// the base store — the recovery base every later commit record
+    /// replays onto. Call before any transaction runs; lock schemes
+    /// have no version chains to time-travel through, so their
+    /// checkpoints are only consistent at quiescent points (the mvcc
+    /// schemes checkpoint fuzzily through their heap instead).
+    ///
+    /// A directory with prior history is **rejected**: this
+    /// environment's store was not built from that history, so
+    /// appending to it would interleave two unrelated incarnations
+    /// (colliding OIDs, a checkpoint that contradicts the live state).
+    /// To resume a directory, rebuild the store from it first
+    /// (`finecc_wal::recover_database`), install it as [`Env::db`],
+    /// and call [`Env::resume_wal`].
+    pub fn attach_wal(&mut self, wal: Arc<Wal>) -> std::io::Result<()> {
+        if wal.max_logged_ts() > 0 || wal.has_checkpoint()? {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "log directory has prior history; recover it into the environment \
+                 (finecc_wal::recover_database + Env::resume_wal) or use a fresh directory",
+            ));
+        }
+        self.wal = Some(wal);
+        self.write_quiescent_checkpoint()?;
+        Ok(())
+    }
+
+    /// Attaches a write-ahead log whose directory's history this
+    /// environment's store was **recovered from**: resumes the
+    /// commit-sequence clock above everything logged or checkpointed
+    /// (so recovered and new commits never share a sequence number)
+    /// and leaves the existing checkpoints in place. The caller is
+    /// responsible for [`Env::db`] actually holding the recovered
+    /// state — see [`Env::attach_wal`] for why attaching a mismatched
+    /// store is rejected there.
+    pub fn resume_wal(&mut self, wal: Arc<Wal>) -> std::io::Result<()> {
+        let floor = finecc_wal::recovery_floor(wal.dir())?;
+        self.commit_seq
+            .fetch_max(floor, std::sync::atomic::Ordering::Relaxed);
+        self.wal = Some(wal);
+        Ok(())
+    }
+
+    /// Writes a point-in-time checkpoint of the base store to the
+    /// attached log (quiescent-only: grabs the store's shard locks for
+    /// a consistent copy — see [`Env::attach_wal`]). Returns the
+    /// commit-sequence floor the checkpoint replays from.
+    pub fn write_quiescent_checkpoint(&self) -> std::io::Result<u64> {
+        let wal = self
+            .wal
+            .as_ref()
+            .expect("checkpoint requires an attached write-ahead log");
+        let seq = self.commit_seq.load(std::sync::atomic::Ordering::Relaxed);
+        let instances = self
+            .db
+            .snapshot()
+            .into_iter()
+            .map(|(oid, inst)| InstanceImage {
+                oid,
+                class: inst.class,
+                values: inst.values,
+            })
+            .collect();
+        wal.write_checkpoint(&CheckpointData {
+            ckpt_ts: seq,
+            replay_from: seq,
+            next_oid: self.db.next_oid_hint(),
+            schema: &self.schema,
+            instances,
+        })?;
+        Ok(seq)
+    }
+
+    /// Appends the transaction's redo images — the current values of
+    /// every field its undo log projected, read while the 2PL locks
+    /// are still held — to the attached log under commit sequence
+    /// `seq`, then discards the undo log. A no-op (beyond the discard)
+    /// without an attached log or for read-only transactions. Panics
+    /// if the log cannot accept the record: a commit that cannot be
+    /// made durable must not be acked.
+    pub fn log_commit_redo(&self, txn: &mut Txn, seq: u64) {
+        if let Some(wal) = &self.wal {
+            if !txn.undo.is_empty() {
+                let writes = txn.undo.redo_projection(&self.db);
+                wal.append_commit(seq, txn.id, &writes)
+                    .expect("write-ahead log append failed; durability cannot be guaranteed");
+            }
+        }
+        txn.undo.clear();
     }
 
     /// Parses `source`, compiles it, and builds the environment.
@@ -111,6 +213,39 @@ mod tests {
         assert_eq!(env.schema.class_count(), 3);
         assert_eq!(env.compiled.total_modes(), 8);
         assert!(env.db.is_empty());
+    }
+
+    #[test]
+    fn attach_wal_rejects_foreign_history_resume_accepts_it() {
+        let dir = std::env::temp_dir().join(format!("finecc-env-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut env = Env::from_source(FIGURE1_SOURCE).unwrap();
+        let wal = Arc::new(finecc_wal::Wal::open(&dir, finecc_wal::WalConfig::default()).unwrap());
+        let c2 = env.schema.class_by_name("c2").unwrap();
+        let f4 = env.schema.resolve_field(c2, "f4").unwrap();
+        let o = env.db.create(c2);
+        env.attach_wal(Arc::clone(&wal)).unwrap();
+        assert!(wal.has_checkpoint().unwrap(), "genesis checkpoint written");
+        let mut txn = crate::txn::Txn::new(finecc_model::TxnId(1));
+        txn.undo.record(o, f4, Value::Int(0));
+        env.db.write(o, f4, Value::Int(9)).unwrap();
+        let seq = env.next_commit_seq();
+        env.log_commit_redo(&mut txn, seq);
+        drop(env);
+        drop(wal);
+        // A second, unrelated environment must NOT attach to the
+        // directory's history — its store was not recovered from it.
+        let mut env2 = Env::from_source(FIGURE1_SOURCE).unwrap();
+        let wal2 = Arc::new(finecc_wal::Wal::open(&dir, finecc_wal::WalConfig::default()).unwrap());
+        assert!(env2.attach_wal(Arc::clone(&wal2)).is_err());
+        // The resume path accepts it (caller vouches for the store)
+        // and bumps the commit sequence past the logged history.
+        env2.resume_wal(wal2).unwrap();
+        assert!(
+            env2.next_commit_seq() > seq,
+            "sequence resumed above the history"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub mod txn;
 
 pub use env::Env;
 pub use finecc_mvcc::IsolationLevel;
+pub use finecc_wal::{DurabilityLevel, WalConfig, WalStatsSnapshot};
 pub use scheme::{CcScheme, SchemeKind};
 pub use schemes::fieldlock::FieldLockScheme;
 pub use schemes::mvcc::MvccScheme;

@@ -6,6 +6,9 @@ use finecc_lang::ExecError;
 use finecc_lock::StatsSnapshot;
 use finecc_model::{ClassId, Oid, Value};
 use finecc_mvcc::{IsolationLevel, MvccStatsSnapshot};
+use finecc_wal::{DurabilityLevel, Wal, WalConfig, WalStatsSnapshot};
+use std::path::Path;
+use std::sync::Arc;
 
 /// A complete concurrency-control scheme: transaction lifecycle plus the
 /// four §5.2 access patterns.
@@ -101,6 +104,24 @@ pub trait CcScheme: Send + Sync {
     fn mvcc_stats(&self) -> Option<MvccStatsSnapshot> {
         None
     }
+
+    /// Write-ahead-log statistics, when durability is attached (`None`
+    /// at [`DurabilityLevel::None`]). Every scheme logs through the
+    /// environment's shared handle — the mvcc schemes via their heap's
+    /// commit path, the lock schemes via their undo-projection redo
+    /// images — so this default covers all six.
+    fn wal_stats(&self) -> Option<WalStatsSnapshot> {
+        self.env().wal.as_ref().map(|w| w.stats().snapshot())
+    }
+
+    /// The scheme's durability level — a scheme parameter like the
+    /// isolation level.
+    fn durability(&self) -> DurabilityLevel {
+        self.env()
+            .wal
+            .as_ref()
+            .map_or(DurabilityLevel::None, |w| w.level())
+    }
 }
 
 /// The six schemes, for configuration surfaces (CLI flags, workload
@@ -148,6 +169,53 @@ impl SchemeKind {
                     env,
                     self.isolation().expect("mvcc kinds have a level"),
                 ))
+            }
+        }
+    }
+
+    /// Constructs the scheme over an environment with write-ahead
+    /// durability at `level`, logging into `dir`
+    /// ([`DurabilityLevel::None`] simply builds the plain scheme). The
+    /// mvcc kinds wire the log into their heap's commit path (durable
+    /// before visible, fuzzy checkpoints); the lock kinds log their
+    /// undo-projection redo images at commit while still holding their
+    /// 2PL locks, with a quiescent genesis checkpoint written at
+    /// attach. Either way a fresh directory becomes recoverable
+    /// (`finecc_wal::recover_database` / `MvccHeap::recover`) from the
+    /// first commit on. For the lock kinds the directory must be
+    /// fresh — a directory with history belongs to a previous
+    /// incarnation of the store and is rejected (recover it into the
+    /// environment and use [`Env::resume_wal`] instead); the mvcc
+    /// kinds resume through [`finecc_mvcc::MvccHeap::recover`].
+    pub fn build_durable(
+        self,
+        env: Env,
+        level: DurabilityLevel,
+        dir: impl AsRef<Path>,
+    ) -> std::io::Result<Box<dyn CcScheme>> {
+        if level == DurabilityLevel::None {
+            return Ok(self.build(env));
+        }
+        match self {
+            SchemeKind::Mvcc | SchemeKind::MvccSsi => {
+                Ok(Box::new(crate::schemes::mvcc::MvccScheme::with_durability(
+                    env,
+                    self.isolation().expect("mvcc kinds have a level"),
+                    level,
+                    dir,
+                )?))
+            }
+            _ => {
+                let wal = Arc::new(Wal::open(
+                    dir,
+                    WalConfig {
+                        level,
+                        ..WalConfig::default()
+                    },
+                )?);
+                let mut env = env;
+                env.attach_wal(wal)?;
+                Ok(self.build(env))
             }
         }
     }

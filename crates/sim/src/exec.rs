@@ -41,6 +41,9 @@ pub struct ExecReport {
     /// Version-heap statistics accumulated during the run (`None` for
     /// the pure locking schemes).
     pub mvcc: Option<finecc_mvcc::MvccStatsSnapshot>,
+    /// Write-ahead-log statistics accumulated during the run (`None`
+    /// at `DurabilityLevel::None`).
+    pub wal: Option<finecc_wal::WalStatsSnapshot>,
 }
 
 impl ExecReport {
@@ -65,6 +68,43 @@ impl ExecReport {
     pub fn ssi_aborts(&self) -> u64 {
         self.mvcc.map_or(0, |m| m.ssi_aborts)
     }
+
+    /// Latch-free-read miss-revalidation retries during the run (0 for
+    /// lock schemes) — one of the mvcc read path's contention
+    /// counters, surfaced here so bench output can track it.
+    pub fn read_retries(&self) -> u64 {
+        self.mvcc.map_or(0, |m| m.read_retries)
+    }
+
+    /// Commit publications that hit the watermark ring's overflow
+    /// fallback during the run (0 for lock schemes).
+    pub fn watermark_waits(&self) -> u64 {
+        self.mvcc.map_or(0, |m| m.watermark_waits)
+    }
+
+    /// Retired copy-on-write snapshots freed during the run (0 for
+    /// lock schemes).
+    pub fn cow_reclaimed(&self) -> u64 {
+        self.mvcc.map_or(0, |m| m.cow_reclaimed)
+    }
+
+    /// Bytes appended to the write-ahead log during the run (0 without
+    /// durability).
+    pub fn log_bytes(&self) -> u64 {
+        self.wal.map_or(0, |w| w.log_bytes)
+    }
+
+    /// `fsync` calls the log's flusher issued during the run (0
+    /// without durability).
+    pub fn log_fsyncs(&self) -> u64 {
+        self.wal.map_or(0, |w| w.log_fsyncs)
+    }
+
+    /// Mean records per group-commit round during the run (0 without
+    /// durability).
+    pub fn group_commit_mean(&self) -> f64 {
+        self.wal.map_or(0.0, |w| w.mean_group_commit())
+    }
 }
 
 /// Runs the workload across `cfg.threads` workers (ops are dealt
@@ -73,6 +113,7 @@ impl ExecReport {
 pub fn run_concurrent(scheme: &dyn CcScheme, ops: &[TxnOp], cfg: ExecConfig) -> ExecReport {
     let before = scheme.stats();
     let mvcc_before = scheme.mvcc_stats();
+    let wal_before = scheme.wal_stats();
     let committed = AtomicU64::new(0);
     let exhausted = AtomicU64::new(0);
     let failed = AtomicU64::new(0);
@@ -115,6 +156,9 @@ pub fn run_concurrent(scheme: &dyn CcScheme, ops: &[TxnOp], cfg: ExecConfig) -> 
         mvcc: scheme
             .mvcc_stats()
             .map(|after| after.since(&mvcc_before.unwrap_or_default())),
+        wal: scheme
+            .wal_stats()
+            .map(|after| after.since(&wal_before.unwrap_or_default())),
     }
 }
 

@@ -78,6 +78,42 @@ impl Database {
         Ok(oid)
     }
 
+    /// Inserts an instance under a caller-chosen OID — the recovery
+    /// path's constructor (checkpoint load / log replay), where OIDs
+    /// come from the previous incarnation of the database and must be
+    /// preserved exactly. Returns `false` (and changes nothing) if the
+    /// OID is already live. Keeps `next_oid` above every inserted OID
+    /// so post-recovery [`Database::create`] never reuses one.
+    pub fn insert_instance(&self, oid: Oid, class: ClassId, values: Vec<Value>) -> bool {
+        debug_assert_eq!(
+            values.len(),
+            self.schema.class(class).field_count(),
+            "instance value vector must match the class layout"
+        );
+        let mut shard = self.shard(oid).write();
+        if shard.contains_key(&oid) {
+            return false;
+        }
+        shard.insert(oid, Instance { class, values });
+        drop(shard);
+        self.extents[class.index()].write().insert(oid);
+        self.next_oid.fetch_max(oid.raw() + 1, Ordering::Relaxed);
+        true
+    }
+
+    /// Raises the OID allocator to at least `next` (recovery restores
+    /// the allocator recorded in a checkpoint even when the tail of the
+    /// OID space holds no live instance).
+    pub fn set_next_oid(&self, next: u64) {
+        self.next_oid.fetch_max(next, Ordering::Relaxed);
+    }
+
+    /// The next OID [`Database::create`] would allocate (checkpoints
+    /// persist it so recovery never reuses an OID).
+    pub fn next_oid_hint(&self) -> u64 {
+        self.next_oid.load(Ordering::Relaxed)
+    }
+
     /// The proper class of an instance.
     pub fn class_of(&self, oid: Oid) -> Result<ClassId, StoreError> {
         self.shard(oid)

@@ -15,4 +15,4 @@ pub mod undo;
 pub use db::Database;
 pub use error::StoreError;
 pub use integrity::{check as check_integrity, repair_dangling, Violation};
-pub use undo::UndoLog;
+pub use undo::{FieldImage, UndoLog};

@@ -1,20 +1,40 @@
-//! Per-transaction undo logging.
+//! Per-transaction undo logging and the shared field-image projection.
 //!
 //! Follows the paper's recovery remark: before-images are projections of
 //! instances through the *Write* part of access vectors, recorded once per
 //! `(instance, field)` per transaction. Strict two-phase locking (writes
 //! are exclusive until commit) makes reverse-order restore sufficient to
 //! undo an aborted transaction without touching other transactions' work.
+//!
+//! The same projection yields the *redo* side of durability: at commit,
+//! [`UndoLog::redo_projection`] re-reads the recorded `(instance, field)`
+//! pairs — still exclusive under 2PL — producing the after-images the
+//! write-ahead log persists. Undo images and log payloads are both
+//! [`FieldImage`] lists built from one projection path, so the log-record
+//! granularity is exactly the access-vector *Write* granularity.
 
 use crate::db::Database;
 use crate::error::StoreError;
 use finecc_model::{FieldId, Oid, Value};
 use std::collections::HashSet;
 
+/// One projected field image: the value of `(oid, field)` at a given
+/// moment. The undo log stores *before*-images; the write-ahead log
+/// stores *after*-images — same shape, same projection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FieldImage {
+    /// The instance.
+    pub oid: Oid,
+    /// The projected field.
+    pub field: FieldId,
+    /// The field's value at projection time.
+    pub value: Value,
+}
+
 /// One transaction's undo log.
 #[derive(Debug, Default)]
 pub struct UndoLog {
-    records: Vec<(Oid, FieldId, Value)>,
+    records: Vec<FieldImage>,
     seen: HashSet<(Oid, FieldId)>,
 }
 
@@ -29,7 +49,11 @@ impl UndoLog {
     /// Returns `true` if the image was recorded.
     pub fn record(&mut self, oid: Oid, field: FieldId, before: Value) -> bool {
         if self.seen.insert((oid, field)) {
-            self.records.push((oid, field, before));
+            self.records.push(FieldImage {
+                oid,
+                field,
+                value: before,
+            });
             true
         } else {
             false
@@ -63,6 +87,31 @@ impl UndoLog {
         Ok(n)
     }
 
+    /// The recorded before-images, in record order.
+    pub fn images(&self) -> &[FieldImage] {
+        &self.records
+    }
+
+    /// The *redo* projection: the current (after) value of every
+    /// `(oid, field)` pair this log holds a before-image for. Under
+    /// strict 2PL the transaction still holds exclusive locks on these
+    /// fields at commit, so the values read here are exactly what it
+    /// wrote — the payload the write-ahead log persists. Fields of
+    /// since-deleted instances are skipped (mirroring
+    /// [`UndoLog::rollback`]).
+    pub fn redo_projection(&self, db: &Database) -> Vec<FieldImage> {
+        self.records
+            .iter()
+            .filter_map(|img| {
+                db.read(img.oid, img.field).ok().map(|value| FieldImage {
+                    oid: img.oid,
+                    field: img.field,
+                    value,
+                })
+            })
+            .collect()
+    }
+
     /// Number of recorded images.
     pub fn len(&self) -> usize {
         self.records.len()
@@ -78,8 +127,8 @@ impl UndoLog {
     /// instances are skipped.
     pub fn rollback(&mut self, db: &Database) -> usize {
         let mut n = 0;
-        for (oid, field, value) in self.records.drain(..).rev() {
-            if db.write_unchecked(oid, field, value).is_ok() {
+        for img in self.records.drain(..).rev() {
+            if db.write_unchecked(img.oid, img.field, img.value).is_ok() {
                 n += 1;
             }
         }
@@ -185,5 +234,34 @@ mod tests {
         log.record(o, x, Value::Int(0));
         db.delete(o).unwrap();
         assert_eq!(log.rollback(&db), 0);
+    }
+
+    #[test]
+    fn redo_projection_reads_after_images() {
+        let (s, db) = setup();
+        let a = s.class_by_name("a").unwrap();
+        let x = s.resolve_field(a, "x").unwrap();
+        let y = s.resolve_field(a, "y").unwrap();
+        let o = db.create(a);
+        let mut log = UndoLog::new();
+        log.record_projection(&db, o, [x, y]).unwrap();
+        db.write(o, x, Value::Int(42)).unwrap();
+        db.write(o, y, Value::str("after")).unwrap();
+        let redo = log.redo_projection(&db);
+        assert_eq!(redo.len(), 2);
+        assert!(redo.contains(&FieldImage {
+            oid: o,
+            field: x,
+            value: Value::Int(42)
+        }));
+        assert!(redo.contains(&FieldImage {
+            oid: o,
+            field: y,
+            value: Value::str("after")
+        }));
+        // Before-images are untouched: rollback still restores.
+        assert_eq!(log.images().len(), 2);
+        assert_eq!(log.rollback(&db), 2);
+        assert_eq!(db.read(o, x), Ok(Value::Int(0)));
     }
 }

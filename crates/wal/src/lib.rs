@@ -1,0 +1,45 @@
+//! # finecc-wal — field-granular write-ahead logging
+//!
+//! The durability subsystem under the schemes: a binary **redo log**
+//! whose record body is the access-vector *Write* projection per field
+//! (the paper's recovery remark — before-images are projections through
+//! access vectors — applied to the redo side: log records carry exactly
+//! the `(oid, field, after-image)` triples a transaction's write
+//! projection touched, shared with `finecc_store::UndoLog` through the
+//! [`FieldImage`](finecc_store::FieldImage) type, so undo images and
+//! log payloads come from one projection path).
+//!
+//! Three pieces:
+//!
+//! * **The append pipeline** ([`Wal`]) — writers enqueue serialized
+//!   records onto a lock-free stack; a dedicated flusher batches,
+//!   writes, fsyncs once per batch, and releases commit acks (**group
+//!   commit**). The [`DurabilityLevel`] is a scheme parameter like the
+//!   isolation level: `none` (no log), `wal` (logged, async), and
+//!   `wal-sync` (commit acks only after its record is fsynced).
+//! * **Fuzzy checkpoints** ([`checkpoint`]) — a consistent cut of
+//!   schema + base store + live chains at a watermark-consistent
+//!   timestamp, produced through the MVCC read path without stopping
+//!   writers, written atomically (temp + rename).
+//! * **Recovery** ([`recover_database`]) — newest checkpoint + replay
+//!   of the log's intact prefix in commit-timestamp order, restoring
+//!   extents, field values, the OID allocator, and the clock/watermark
+//!   restore point (skip records keep SSI-refused timestamp holes from
+//!   being reused).
+//!
+//! The version heap wires this in *after* the commit timestamp is
+//! drawn and *before* watermark publication, so the existing
+//! read-your-own-commits guarantee also implies **durable before
+//! visible**: no snapshot ever observes a commit the log could lose.
+
+pub mod checkpoint;
+pub mod log;
+pub mod record;
+pub mod recover;
+pub mod stats;
+
+pub use checkpoint::{CheckpointData, CheckpointImage, InstanceImage};
+pub use log::{DurabilityLevel, Wal, WalConfig};
+pub use record::{LogReader, LogRecord};
+pub use recover::{recover_database, recover_schema, recovery_floor, RecoveryInfo};
+pub use stats::{WalStats, WalStatsSnapshot};

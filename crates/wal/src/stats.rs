@@ -1,0 +1,170 @@
+//! Write-ahead-log statistics: the durability counterpart of
+//! `MvccStats`/`LockStats` — experiments report all three side by side.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters of a [`crate::Wal`].
+#[derive(Debug, Default)]
+pub struct WalStats {
+    appends: AtomicU64,
+    log_bytes: AtomicU64,
+    log_fsyncs: AtomicU64,
+    group_commit_batches: AtomicU64,
+    group_commit_records: AtomicU64,
+    group_commit_max: AtomicU64,
+    sync_waits: AtomicU64,
+    recovery_replayed: AtomicU64,
+}
+
+impl WalStats {
+    pub(crate) fn bump_appends(&self) {
+        self.appends.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_log_bytes(&self, n: u64) {
+        self.log_bytes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_log_fsyncs(&self) {
+        self.log_fsyncs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn sample_batch(&self, records: u64) {
+        self.group_commit_batches.fetch_add(1, Ordering::Relaxed);
+        self.group_commit_records
+            .fetch_add(records, Ordering::Relaxed);
+        self.group_commit_max.fetch_max(records, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_sync_waits(&self) {
+        self.sync_waits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records how many log records the recovery that produced this
+    /// log's owner replayed (set once by `MvccHeap::recover` and the
+    /// scheme-level recovery paths).
+    pub fn set_recovery_replayed(&self, n: u64) {
+        self.recovery_replayed.store(n, Ordering::Relaxed);
+    }
+
+    /// Snapshots all counters.
+    pub fn snapshot(&self) -> WalStatsSnapshot {
+        WalStatsSnapshot {
+            appends: self.appends.load(Ordering::Relaxed),
+            log_bytes: self.log_bytes.load(Ordering::Relaxed),
+            log_fsyncs: self.log_fsyncs.load(Ordering::Relaxed),
+            group_commit_batches: self.group_commit_batches.load(Ordering::Relaxed),
+            group_commit_records: self.group_commit_records.load(Ordering::Relaxed),
+            group_commit_max: self.group_commit_max.load(Ordering::Relaxed),
+            sync_waits: self.sync_waits.load(Ordering::Relaxed),
+            recovery_replayed: self.recovery_replayed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        self.appends.store(0, Ordering::Relaxed);
+        self.log_bytes.store(0, Ordering::Relaxed);
+        self.log_fsyncs.store(0, Ordering::Relaxed);
+        self.group_commit_batches.store(0, Ordering::Relaxed);
+        self.group_commit_records.store(0, Ordering::Relaxed);
+        self.group_commit_max.store(0, Ordering::Relaxed);
+        self.sync_waits.store(0, Ordering::Relaxed);
+        self.recovery_replayed.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of [`WalStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WalStatsSnapshot {
+    /// Records enqueued (commit + skip + extent records).
+    pub appends: u64,
+    /// Bytes written to the log file (frame headers included).
+    pub log_bytes: u64,
+    /// `fsync` calls issued by the flusher.
+    pub log_fsyncs: u64,
+    /// Group-commit rounds the flusher ran (one write+optional-fsync
+    /// cycle each).
+    pub group_commit_batches: u64,
+    /// Records drained across all group-commit rounds; divided by
+    /// `group_commit_batches` this is the mean group-commit size.
+    pub group_commit_records: u64,
+    /// Largest single group-commit batch.
+    pub group_commit_max: u64,
+    /// Appends that blocked waiting for their durability ack
+    /// (`WalSync` only).
+    pub sync_waits: u64,
+    /// Log records replayed by the recovery that produced this log's
+    /// heap (0 on a fresh database).
+    pub recovery_replayed: u64,
+}
+
+impl WalStatsSnapshot {
+    /// Mean records per group-commit round.
+    pub fn mean_group_commit(&self) -> f64 {
+        if self.group_commit_batches == 0 {
+            0.0
+        } else {
+            self.group_commit_records as f64 / self.group_commit_batches as f64
+        }
+    }
+
+    /// The difference `self - earlier`, counter-wise (saturating;
+    /// `recovery_replayed` and `group_commit_max` are kept, not
+    /// differenced — one is a recovery fact, the other a maximum).
+    pub fn since(&self, earlier: &WalStatsSnapshot) -> WalStatsSnapshot {
+        WalStatsSnapshot {
+            appends: self.appends.saturating_sub(earlier.appends),
+            log_bytes: self.log_bytes.saturating_sub(earlier.log_bytes),
+            log_fsyncs: self.log_fsyncs.saturating_sub(earlier.log_fsyncs),
+            group_commit_batches: self
+                .group_commit_batches
+                .saturating_sub(earlier.group_commit_batches),
+            group_commit_records: self
+                .group_commit_records
+                .saturating_sub(earlier.group_commit_records),
+            group_commit_max: self.group_commit_max,
+            sync_waits: self.sync_waits.saturating_sub(earlier.sync_waits),
+            recovery_replayed: self.recovery_replayed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_mean_and_reset() {
+        let s = WalStats::default();
+        s.bump_appends();
+        s.sample_batch(3);
+        s.sample_batch(5);
+        let snap = s.snapshot();
+        assert_eq!(snap.appends, 1);
+        assert_eq!(snap.mean_group_commit(), 4.0);
+        assert_eq!(snap.group_commit_max, 5);
+        s.reset();
+        assert_eq!(s.snapshot(), WalStatsSnapshot::default());
+        assert_eq!(s.snapshot().mean_group_commit(), 0.0);
+    }
+
+    #[test]
+    fn since_diffs() {
+        let a = WalStatsSnapshot {
+            appends: 2,
+            log_bytes: 100,
+            ..Default::default()
+        };
+        let b = WalStatsSnapshot {
+            appends: 5,
+            log_bytes: 350,
+            group_commit_max: 9,
+            ..Default::default()
+        };
+        let d = b.since(&a);
+        assert_eq!(d.appends, 3);
+        assert_eq!(d.log_bytes, 250);
+        assert_eq!(d.group_commit_max, 9);
+    }
+}

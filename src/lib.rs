@@ -58,6 +58,12 @@ pub mod mvcc {
     pub use finecc_mvcc::*;
 }
 
+/// The durability subsystem (field-granular redo log, group commit,
+/// checkpoints, crash recovery).
+pub mod wal {
+    pub use finecc_wal::*;
+}
+
 /// Executable concurrency-control schemes (TAV, RW, relational, field
 /// locks, MVCC).
 pub mod runtime {
