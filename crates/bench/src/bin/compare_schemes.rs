@@ -31,18 +31,73 @@
 //! default the working directory) so the scheme matrix's perf
 //! trajectory is tracked as a machine-readable artifact across PRs.
 
-use finecc_bench::{json_object, txns_per_cell, write_bench_json, JsonVal};
+use finecc_bench::{
+    export_trace, json_object, latency_pairs, mvcc_counter_pairs, obs_from_env, txns_per_cell,
+    write_bench_json, JsonVal,
+};
+use finecc_obs::ContentionKind;
 use finecc_runtime::{DurabilityLevel, SchemeKind};
 use finecc_sim::workload::{
     generate_env, generate_workload, populate_random, SchemaGenConfig, WorkloadConfig,
 };
-use finecc_sim::{render_table, run_concurrent, ExecConfig, Metrics};
+use finecc_sim::{render_table, run_concurrent, ExecConfig, ExecReport, Metrics};
+
+/// Top-K rows for the hottest-objects table (and their JSON twins).
+fn hot_rows(
+    label: &str,
+    kind: SchemeKind,
+    report: &ExecReport,
+    rows: &mut Vec<Vec<String>>,
+    json: &mut Vec<String>,
+) {
+    for (rank, hot) in report.obs.hottest().enumerate() {
+        if rank < 3 {
+            rows.push(vec![
+                label.to_string(),
+                kind.name().to_string(),
+                (rank + 1).to_string(),
+                hot.key.to_string(),
+                hot.count(ContentionKind::LockBlock).to_string(),
+                hot.count(ContentionKind::WwConflict).to_string(),
+                hot.count(ContentionKind::SsiAbort).to_string(),
+                hot.count(ContentionKind::ReadRetry).to_string(),
+                hot.total().to_string(),
+            ]);
+        }
+        json.push(json_object(&[
+            ("experiment", JsonVal::from("hot_objects")),
+            ("contention", JsonVal::from(label)),
+            ("scheme", JsonVal::from(kind.name())),
+            ("rank", JsonVal::from(rank + 1)),
+            ("object", JsonVal::from(hot.key.to_string())),
+            (
+                "lock_blocks",
+                JsonVal::from(hot.count(ContentionKind::LockBlock)),
+            ),
+            (
+                "ww_conflicts",
+                JsonVal::from(hot.count(ContentionKind::WwConflict)),
+            ),
+            (
+                "ssi_aborts",
+                JsonVal::from(hot.count(ContentionKind::SsiAbort)),
+            ),
+            (
+                "read_retries",
+                JsonVal::from(hot.count(ContentionKind::ReadRetry)),
+            ),
+            ("total", JsonVal::from(hot.total())),
+        ]));
+    }
+}
 
 fn main() {
     let txns = txns_per_cell(600);
+    let obs = obs_from_env();
     println!("mixed workload, 4 threads, {txns} txns, 10-class schema, by hot-spot skew\n");
     let mut rows = Vec::new();
     let mut mvcc_rows = Vec::new();
+    let mut hot_table = Vec::new();
     let mut json = Vec::new();
     for (label, hot_frac, hot_set) in [
         ("low contention", 0.05, 16usize),
@@ -58,6 +113,7 @@ fn main() {
                 ..SchemaGenConfig::default()
             });
             populate_random(&env, 4);
+            let env = env.with_obs(std::sync::Arc::clone(&obs));
             let wl = generate_workload(
                 &env,
                 &WorkloadConfig {
@@ -83,7 +139,7 @@ fn main() {
             }
             let m = Metrics::from_report(format!("{label} / {kind}"), &report);
             rows.push(m.row());
-            json.push(json_object(&[
+            let mut pairs = vec![
                 ("experiment", JsonVal::from("compare_schemes")),
                 ("contention", JsonVal::from(label)),
                 ("scheme", JsonVal::from(kind.name())),
@@ -105,10 +161,15 @@ fn main() {
                 ("ww_conflicts", JsonVal::from(report.ww_conflicts())),
                 ("ssi_aborts", JsonVal::from(report.ssi_aborts())),
                 ("read_retries", JsonVal::from(report.read_retries())),
-                ("watermark_waits", JsonVal::from(report.watermark_waits())),
-                ("cow_reclaimed", JsonVal::from(report.cow_reclaimed())),
-                ("txns_per_sec", JsonVal::from(report.throughput())),
-            ]));
+            ];
+            pairs.extend(mvcc_counter_pairs(&report));
+            pairs.extend(latency_pairs(report.txn_latency()));
+            pairs.push(("txns_per_sec", JsonVal::from(report.throughput())));
+            json.push(json_object(&pairs));
+            hot_rows(label, kind, &report, &mut hot_table, &mut json);
+            // One registry window per cell: the hottest-objects table
+            // attributes to this scheme at this contention level only.
+            obs.reset();
             if let Some(v) = report.mvcc {
                 mvcc_rows.push(vec![
                     label.to_string(),
@@ -158,6 +219,27 @@ fn main() {
             &mvcc_rows
         )
     );
+    println!(
+        "hottest objects (top 3 per cell; per-object contention attribution:\n\
+         lock blocks for the 2PL schemes, ww/ssi/read-retry events for mvcc)\n"
+    );
+    println!(
+        "{}",
+        render_table(
+            &[
+                "contention",
+                "scheme",
+                "rank",
+                "object",
+                "lock blocks",
+                "ww",
+                "ssi",
+                "read retries",
+                "total",
+            ],
+            &hot_table
+        )
+    );
     // Durability tax: the same medium-contention cell with the
     // write-ahead log attached, at each level. `wal` logs without a
     // commit-time fsync (group-committed asynchronously); `wal-sync`
@@ -178,6 +260,7 @@ fn main() {
                 ..SchemaGenConfig::default()
             });
             populate_random(&env, 4);
+            let env = env.with_obs(std::sync::Arc::clone(&obs));
             let wl = generate_workload(
                 &env,
                 &WorkloadConfig {
@@ -221,7 +304,7 @@ fn main() {
                 report.log_fsyncs().to_string(),
                 format!("{:.2}", report.group_commit_mean()),
             ]);
-            json.push(json_object(&[
+            let mut pairs = vec![
                 ("experiment", JsonVal::from("durability_tax")),
                 ("scheme", JsonVal::from(kind.name())),
                 ("durability", JsonVal::from(level.name())),
@@ -235,7 +318,11 @@ fn main() {
                     "group_commit_mean",
                     JsonVal::from(report.group_commit_mean()),
                 ),
-            ]));
+            ];
+            pairs.extend(mvcc_counter_pairs(&report));
+            pairs.extend(latency_pairs(report.txn_latency()));
+            json.push(json_object(&pairs));
+            obs.reset();
             drop(scheme);
             let _ = std::fs::remove_dir_all(&dir);
         }
@@ -269,4 +356,5 @@ fn main() {
         Ok(path) => println!("\nmachine-readable results: {}", path.display()),
         Err(e) => eprintln!("\nfailed to write BENCH_schemes.json: {e}"),
     }
+    export_trace(&obs);
 }

@@ -40,7 +40,10 @@
 //! `BENCH_parallelism.json` (into `FINECC_BENCH_JSON_DIR`, default the
 //! working directory) so the perf trajectory is tracked across PRs.
 
-use finecc_bench::{bench_threads, json_object, txns_per_cell, write_bench_json, JsonVal};
+use finecc_bench::{
+    bench_threads, json_object, latency_pairs, mvcc_counter_pairs, obs_from_env, txns_per_cell,
+    write_bench_json, JsonVal,
+};
 use finecc_mvcc::{CommitPath, IsolationLevel};
 use finecc_runtime::{MvccScheme, SchemeKind};
 use finecc_sim::workload::{
@@ -179,7 +182,10 @@ fn commit_scaling_sweep(json: &mut Vec<String>) {
                 write_prob: 0.9,
                 self_call_prob: 0.2,
                 ..SchemaGenConfig::default()
-            });
+            })
+            // One fresh observability window per cell: histograms and
+            // counters cover exactly this (threads, variant) point.
+            .with_obs(obs_from_env());
             populate_random(&env, 6);
             let wl = generate_workload(
                 &env,
@@ -211,7 +217,7 @@ fn commit_scaling_sweep(json: &mut Vec<String>) {
                 report.ssi_aborts().to_string(),
                 format!("{throughput:.0}"),
             ]);
-            json.push(json_object(&[
+            let mut pairs = vec![
                 ("experiment", JsonVal::from("commit_scaling")),
                 ("scheme", JsonVal::from(label)),
                 (
@@ -234,7 +240,10 @@ fn commit_scaling_sweep(json: &mut Vec<String>) {
                     "elapsed_ms",
                     JsonVal::from(report.elapsed.as_secs_f64() * 1e3),
                 ),
-            ]));
+            ];
+            pairs.extend(mvcc_counter_pairs(&report));
+            pairs.extend(latency_pairs(report.txn_latency()));
+            json.push(json_object(&pairs));
         }
     }
     println!(
@@ -270,7 +279,8 @@ fn serializability_tax_sweep(json: &mut Vec<String>) {
             write_prob: 0.5,
             self_call_prob: 0.3,
             ..SchemaGenConfig::default()
-        });
+        })
+        .with_obs(obs_from_env());
         populate_random(&env, 4);
         let wl = generate_workload(
             &env,
@@ -307,7 +317,7 @@ fn serializability_tax_sweep(json: &mut Vec<String>) {
             report.ssi_aborts().to_string(),
             format!("{:.0}", report.throughput()),
         ]);
-        json.push(json_object(&[
+        let mut pairs = vec![
             ("experiment", JsonVal::from("serializability_tax")),
             ("scheme", JsonVal::from(kind.name())),
             ("isolation", JsonVal::from(isolation)),
@@ -320,7 +330,10 @@ fn serializability_tax_sweep(json: &mut Vec<String>) {
             ("ww_conflicts", JsonVal::from(report.ww_conflicts())),
             ("ssi_aborts", JsonVal::from(report.ssi_aborts())),
             ("txns_per_sec", JsonVal::from(report.throughput())),
-        ]));
+        ];
+        pairs.extend(mvcc_counter_pairs(&report));
+        pairs.extend(latency_pairs(report.txn_latency()));
+        json.push(json_object(&pairs));
     }
     println!(
         "{}",

@@ -23,6 +23,11 @@
 //! — the embedded acceptance check that what the sweep wrote is what a
 //! crash would get back.
 //!
+//! Each cell carries a fresh enabled [`Obs`]: the commit-path and
+//! group-commit ack-wait columns are histogram quantiles (p50/p99 in
+//! microseconds), not means — at `wal-sync` the ack-wait tail is where
+//! batching shows up, and a mean would hide it.
+//!
 //! `FINECC_BENCH_TXNS` overrides the per-thread commit count (CI smoke
 //! sets it low). Emits `BENCH_wal.json` (into
 //! `FINECC_BENCH_JSON_DIR`, default the workspace root) like the other
@@ -31,6 +36,7 @@
 use finecc_bench::{bench_threads, json_object, txns_per_cell, write_bench_json, JsonVal};
 use finecc_model::{FieldId, FieldType, Oid, SchemaBuilder, TxnId, Value};
 use finecc_mvcc::{CommitPath, DurabilityLevel, IsolationLevel, MvccHeap, Wal, WalConfig};
+use finecc_obs::{LatencySummary, Obs, ObsConfig, Phase};
 use finecc_sim::render_table;
 use finecc_store::Database;
 use std::path::PathBuf;
@@ -47,6 +53,10 @@ struct Fixture {
     fields: Vec<FieldId>,
     next_txn: AtomicU64,
     dir: PathBuf,
+    /// Per-cell observability window: each fixture gets a fresh
+    /// enabled [`Obs`] so commit-phase and ack-wait histograms cover
+    /// exactly one sweep cell with no reset bookkeeping.
+    obs: Arc<Obs>,
 }
 
 fn fixture(threads: usize, level: DurabilityLevel, max_batch: usize, tag: &str) -> Fixture {
@@ -66,10 +76,15 @@ fn fixture(threads: usize, level: DurabilityLevel, max_batch: usize, tag: &str) 
     let oids: Vec<Oid> = (0..HOT_OBJECTS).map(|_| db.create(class)).collect();
     let dir = std::env::temp_dir().join(format!("finecc-wal-bench-{}-{tag}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    let wal = Arc::new(Wal::open(&dir, WalConfig { level, max_batch }).expect("wal opens"));
+    let obs = Arc::new(Obs::new(ObsConfig::enabled()));
+    let wal = Arc::new(
+        Wal::open_with_obs(&dir, WalConfig { level, max_batch }, Arc::clone(&obs))
+            .expect("wal opens"),
+    );
     let heap = Arc::new(
         MvccHeap::with_wal(db, IsolationLevel::Snapshot, CommitPath::Sharded, wal)
-            .expect("genesis checkpoint writes"),
+            .expect("genesis checkpoint writes")
+            .with_obs(Arc::clone(&obs)),
     );
     Fixture {
         heap,
@@ -77,6 +92,7 @@ fn fixture(threads: usize, level: DurabilityLevel, max_batch: usize, tag: &str) 
         fields,
         next_txn: AtomicU64::new(1),
         dir,
+        obs,
     }
 }
 
@@ -135,6 +151,15 @@ fn main() {
                 assert_eq!(mvcc.commits, commits);
                 assert_eq!(mvcc.write_conflicts, 0, "fields are per-thread");
                 let per_sec = commits as f64 / elapsed.max(1e-9);
+                // Histogram summaries for the cell: commit-path total
+                // and group-commit ack wait (the latter is zero at the
+                // async level — commits never wait for the fsync).
+                let commit_lat = fx.obs.phase_summary(Phase::CommitTotal);
+                let ack_lat = fx.obs.phase_summary(Phase::GroupCommitAck);
+                assert_eq!(
+                    commit_lat.count, commits,
+                    "every commit recorded a commit-path latency sample"
+                );
                 rows.push(vec![
                     level.name().to_string(),
                     max_batch.to_string(),
@@ -145,6 +170,10 @@ fn main() {
                     stats.log_fsyncs.to_string(),
                     format!("{:.2}", stats.mean_group_commit()),
                     stats.group_commit_max.to_string(),
+                    format!("{:.0}", LatencySummary::us(commit_lat.p50)),
+                    format!("{:.0}", LatencySummary::us(commit_lat.p99)),
+                    format!("{:.0}", LatencySummary::us(ack_lat.p50)),
+                    format!("{:.0}", LatencySummary::us(ack_lat.p99)),
                 ]);
                 json.push(json_object(&[
                     ("experiment", JsonVal::from("wal_bench")),
@@ -161,6 +190,21 @@ fn main() {
                     ),
                     ("group_commit_max", JsonVal::from(stats.group_commit_max)),
                     ("sync_waits", JsonVal::from(stats.sync_waits)),
+                    (
+                        "commit_p50_us",
+                        JsonVal::from(LatencySummary::us(commit_lat.p50)),
+                    ),
+                    (
+                        "commit_p99_us",
+                        JsonVal::from(LatencySummary::us(commit_lat.p99)),
+                    ),
+                    ("ack_p50_us", JsonVal::from(LatencySummary::us(ack_lat.p50))),
+                    ("ack_p99_us", JsonVal::from(LatencySummary::us(ack_lat.p99))),
+                    ("ack_waits", JsonVal::from(ack_lat.count)),
+                    ("ts_skips", JsonVal::from(mvcc.ts_skips)),
+                    ("watermark_waits", JsonVal::from(mvcc.watermark_waits)),
+                    ("read_pin_retries", JsonVal::from(mvcc.read_pin_retries)),
+                    ("cow_reclaimed", JsonVal::from(mvcc.cow_reclaimed)),
                 ]));
                 // Embedded acceptance check, once: recover the smallest
                 // wal-sync cell's directory and compare every field.
@@ -217,6 +261,10 @@ fn main() {
                 "fsyncs",
                 "mean batch",
                 "max batch",
+                "commit p50 µs",
+                "commit p99 µs",
+                "ack p50 µs",
+                "ack p99 µs",
             ],
             &rows
         )

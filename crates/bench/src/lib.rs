@@ -4,8 +4,11 @@
 //! EXPERIMENTS.md) and criterion micro-benchmarks (`benches/`). This
 //! library holds the synthetic schemas the experiments share.
 
+use finecc_obs::{LatencySummary, Obs, ObsConfig};
 use finecc_runtime::Env;
+use finecc_sim::ExecReport;
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// Transaction count for an experiment cell: `FINECC_BENCH_TXNS`
 /// overrides `default` (the CI bench-smoke job sets it low so the
@@ -37,6 +40,51 @@ pub fn bench_threads(default: &[usize]) -> Vec<usize> {
     } else {
         parsed
     }
+}
+
+/// The observability handle an experiment binary installs on its
+/// environments (`Env::with_obs`): histograms + contention attribution
+/// on by default, a Chrome trace when `FINECC_TRACE=<path>` is set
+/// (sampled by `FINECC_TRACE_SAMPLE`), everything off — every probe a
+/// single branch — under `FINECC_OBS=off`.
+pub fn obs_from_env() -> Arc<Obs> {
+    Arc::new(Obs::new(ObsConfig::from_env()))
+}
+
+/// Exports the process-wide trace if one was configured, reporting the
+/// path on stdout (experiments call this once, at exit).
+pub fn export_trace(obs: &Obs) {
+    match obs.export_trace() {
+        Ok(Some((path, n))) => println!("\nchrome trace ({n} events): {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("\ntrace export failed: {e}"),
+    }
+}
+
+/// The uniform multi-version counter block every committed
+/// `BENCH_*.json` row carries, so the four artifacts stay comparable:
+/// refused-timestamp skips, watermark overflow waits, epoch-pin
+/// retries, and reclaimed copy-on-write snapshots (all zero for the
+/// lock schemes).
+pub fn mvcc_counter_pairs(r: &ExecReport) -> [(&'static str, JsonVal); 4] {
+    [
+        ("ts_skips", JsonVal::from(r.ts_skips())),
+        ("watermark_waits", JsonVal::from(r.watermark_waits())),
+        ("read_pin_retries", JsonVal::from(r.read_pin_retries())),
+        ("cow_reclaimed", JsonVal::from(r.cow_reclaimed())),
+    ]
+}
+
+/// End-to-end transaction latency quantiles as JSON pairs
+/// (microseconds; all zero when observability is disabled).
+pub fn latency_pairs(lat: LatencySummary) -> [(&'static str, JsonVal); 5] {
+    [
+        ("lat_p50_us", JsonVal::from(LatencySummary::us(lat.p50))),
+        ("lat_p90_us", JsonVal::from(LatencySummary::us(lat.p90))),
+        ("lat_p99_us", JsonVal::from(LatencySummary::us(lat.p99))),
+        ("lat_max_us", JsonVal::from(LatencySummary::us(lat.max))),
+        ("lat_mean_us", JsonVal::from(LatencySummary::us(lat.mean))),
+    ]
 }
 
 /// A scalar in the machine-readable bench artifacts. The experiments

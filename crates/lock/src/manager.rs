@@ -7,10 +7,25 @@ use crate::modes::{LockMode, ModeSource};
 use crate::resource::ResourceId;
 use crate::stats::LockStats;
 use finecc_model::TxnId;
+use finecc_obs::{ContentionKind, EventKind, ObjKey, Obs, Phase};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The observability key a lockable resource's contention is
+/// attributed to: instances and tuples by OID (a tuple *is* the
+/// projection of one instance, so both granularities heat the same
+/// object), fields by `(oid, field)`, class-level resources by class.
+fn obj_key(res: &ResourceId) -> ObjKey {
+    match res {
+        ResourceId::Instance(o, _) => ObjKey::Instance(o.0),
+        ResourceId::Tuple(_, o) => ObjKey::Instance(o.0),
+        ResourceId::Field(o, f) => ObjKey::Field(o.0, f.0),
+        ResourceId::Class(c) | ResourceId::Relation(c) => ObjKey::Class(c.0),
+    }
+}
 
 /// Why a blocking acquisition failed. Both cases mean the transaction
 /// should abort (release everything, undo, optionally retry).
@@ -70,6 +85,7 @@ pub struct LockManager<S> {
     pub stats: LockStats,
     victim_policy: VictimPolicy,
     wait_timeout: Duration,
+    obs: Arc<Obs>,
 }
 
 impl<S: ModeSource> LockManager<S> {
@@ -84,6 +100,7 @@ impl<S: ModeSource> LockManager<S> {
             stats: LockStats::default(),
             victim_policy: VictimPolicy::Requester,
             wait_timeout: Duration::from_secs(10),
+            obs: Arc::new(Obs::disabled()),
         }
     }
 
@@ -97,6 +114,33 @@ impl<S: ModeSource> LockManager<S> {
     pub fn with_timeout(mut self, d: Duration) -> Self {
         self.wait_timeout = d;
         self
+    }
+
+    /// Attaches an observability handle: blocked requests are timed
+    /// into [`Phase::LockWait`] and attributed to the blocking
+    /// resource's object. Disabled handles cost one branch per block.
+    pub fn with_obs(mut self, obs: Arc<Obs>) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Records a *granted* blocked wait: the wait histogram, plus a
+    /// trace `block` span when the transaction is sampled.
+    fn note_granted_wait(&self, txn: TxnId, res: &ResourceId, started: Option<Instant>) {
+        let Some(t0) = started else { return };
+        let ns = t0.elapsed().as_nanos() as u64;
+        self.obs.record_phase_ns(Phase::LockWait, ns);
+        if self.obs.trace_sampled(txn.0) {
+            let oid = match res {
+                ResourceId::Instance(o, _) | ResourceId::Tuple(_, o) | ResourceId::Field(o, _) => {
+                    o.0
+                }
+                _ => 0,
+            };
+            let now = self.obs.now_ns();
+            self.obs
+                .emit(EventKind::Block, now.saturating_sub(ns), ns, txn.0, oid);
+        }
     }
 
     /// The mode source.
@@ -140,6 +184,11 @@ impl<S: ModeSource> LockManager<S> {
             }
             entry.enqueue(txn, mode);
         }
+        // Attribute exactly one contention event per bump of
+        // `stats.blocks`, so the registry's lock_blocks total equals
+        // the scheme-level blocks counter.
+        self.obs.contend(obj_key(&res), ContentionKind::LockBlock);
+        let wait_start = self.obs.is_enabled().then(Instant::now);
 
         loop {
             // Deadlock check: this request may have closed a cycle.
@@ -175,6 +224,7 @@ impl<S: ModeSource> LockManager<S> {
                 entry.dequeue(txn, mode);
                 entry.grant(txn, mode);
                 st.held.entry(txn).or_default().insert(res);
+                self.note_granted_wait(txn, &res, wait_start);
                 // Compatible waiters behind us may now also be grantable.
                 self.cv.notify_all();
                 return Ok(());

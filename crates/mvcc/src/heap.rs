@@ -73,6 +73,26 @@
 //! *heap*, and holds unconditionally at
 //! [`IsolationLevel::Snapshot`].)
 //!
+//! ## Observability probes
+//!
+//! With an attached `finecc_obs::Obs` handle the commit path times
+//! four consecutive segments into latency histograms — *ts draw* (the
+//! clock `fetch_add` plus SSI validation), *WAL ack* (redo assembly,
+//! append, and at `WalSync` the group-commit ack), *chain flip* (the
+//! atomic `commit_ts` stores), and *publish* (watermark publish plus
+//! the in-order visibility wait) — plus the commit total. Every lap
+//! sits **between** the latch-free steps it times: the probes take no
+//! lock, run outside the txn-stripe and chain-shard latches, and the
+//! only latch alive across them is the benchmark-only coarse-baseline
+//! mutex. Contention attribution fires only where the matching counter
+//! already bumps (ww conflicts under the shard writer latch, read
+//! retries and SSI aborts outside every latch); the registry stripe it
+//! takes is a leaf lock nested inside nothing. The latch-free **read
+//! path records nothing** — no histogram, no registry touch on a
+//! clean read; its only probe is the trace sampler's single branch,
+//! false whenever tracing is off (the `read_scaling` bench asserts
+//! the disabled path stays regression-free).
+//!
 //! The seed's coarse behavior is retained behind
 //! [`CommitPath::CoarseBaseline`] purely so experiments can measure
 //! the win: it serializes the whole commit window behind one mutex
@@ -86,6 +106,7 @@ use crate::stats::MvccStats;
 use crate::watermark::Watermark;
 use crate::{IsolationLevel, SsiConflict, Ts, TS_PENDING};
 use finecc_model::{ClassId, FieldId, Oid, TxnId, Value};
+use finecc_obs::{ContentionKind, EventKind, ObjKey, Obs, Phase};
 use finecc_store::{Database, FieldImage, StoreError};
 use finecc_wal::{CheckpointData, DurabilityLevel, InstanceImage, RecoveryInfo, Wal, WalConfig};
 use parking_lot::Mutex;
@@ -457,6 +478,11 @@ pub struct MvccHeap {
     /// The rw-antidependency tracker; `Some` iff the heap runs at
     /// [`IsolationLevel::Serializable`].
     ssi: Option<SsiTracker>,
+    /// Observability: commit-phase histograms, per-object contention
+    /// attribution, sampled tracing. Disabled by default (one branch
+    /// per probe; the latch-free read path records nothing per read
+    /// either way — see the module docs).
+    obs: Arc<Obs>,
     /// Live counters.
     pub stats: MvccStats,
 }
@@ -565,8 +591,22 @@ impl MvccHeap {
                 IsolationLevel::Snapshot => None,
                 IsolationLevel::Serializable => Some(SsiTracker::new()),
             },
+            obs: Arc::new(Obs::disabled()),
             stats: MvccStats::default(),
         }
+    }
+
+    /// Attaches an observability handle (see the module docs for which
+    /// phases are timed and where the probes sit relative to the latch
+    /// order). Apply before sharing the heap.
+    pub fn with_obs(mut self, obs: Arc<Obs>) -> MvccHeap {
+        self.obs = obs;
+        self
+    }
+
+    /// The attached observability handle.
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
     }
 
     /// The base store (authoritative for the newest values).
@@ -838,6 +878,11 @@ impl MvccHeap {
                 break v;
             }
             self.stats.bump_read_retries();
+            // One attribution per bump of `read_retries`, so the
+            // registry's total equals the scheme-level counter. Only
+            // the (rare) retry path pays it — never a clean read.
+            self.obs
+                .contend(ObjKey::Instance(oid.0), ContentionKind::ReadRetry);
         };
         #[cfg(debug_assertions)]
         if self.coarse_commit.is_none() {
@@ -853,6 +898,15 @@ impl MvccHeap {
             }
         }
         self.stats.bump_snapshot_reads();
+        // Lifecycle trace: one sampled instant per read. The sampler is
+        // a single branch, false whenever tracing is off — the only
+        // thing the latch-free read path ever asks of observability.
+        if let Some(txn) = as_txn {
+            if self.obs.trace_sampled(txn.0) {
+                self.obs
+                    .emit(EventKind::Read, self.obs.now_ns(), 0, txn.0, oid.0);
+            }
+        }
         Ok(value)
     }
 
@@ -982,6 +1036,7 @@ impl MvccHeap {
             let cts = rec.ts();
             if cts == TS_PENDING {
                 self.stats.bump_write_conflicts();
+                self.note_ww_conflict(txn, oid, field);
                 return Err(MvccWriteError::Conflict(MvccConflict {
                     oid,
                     field,
@@ -990,6 +1045,7 @@ impl MvccHeap {
             }
             if cts > snapshot_ts {
                 self.stats.bump_write_conflicts();
+                self.note_ww_conflict(txn, oid, field);
                 return Err(MvccWriteError::Conflict(MvccConflict {
                     oid,
                     field,
@@ -1081,7 +1137,46 @@ impl MvccHeap {
                 self.stats.add_ssi_edges(edges);
             }
         }
+        if self.obs.trace_sampled(txn.0) {
+            self.obs
+                .emit(EventKind::Write, self.obs.now_ns(), 0, txn.0, oid.0);
+        }
         Ok(outcome)
+    }
+
+    /// Attributes a first-updater-wins refusal to the contended field
+    /// (and emits a `conflict` trace instant when sampled). Called
+    /// under the shard writer latch; the registry stripe is a leaf
+    /// lock, so no ordering issue arises.
+    fn note_ww_conflict(&self, txn: TxnId, oid: Oid, field: FieldId) {
+        self.obs
+            .contend(ObjKey::Field(oid.0, field.0), ContentionKind::WwConflict);
+        if self.obs.trace_sampled(txn.0) {
+            self.obs
+                .emit(EventKind::Conflict, self.obs.now_ns(), 0, txn.0, oid.0);
+        }
+    }
+
+    /// Attributes an SSI dangerous-structure abort: to the smallest
+    /// OID in the pivot's write set (deterministic, and exactly one
+    /// attribution per abort so registry totals match `ssi_aborts`),
+    /// or unattributed for a read-only victim.
+    fn note_ssi_abort(&self, txn: TxnId, state: &TxnState) {
+        let key = state
+            .write_set
+            .iter()
+            .min()
+            .map_or(ObjKey::Unattributed, |o| ObjKey::Instance(o.0));
+        self.obs.contend(key, ContentionKind::SsiAbort);
+        if self.obs.trace_sampled(txn.0) {
+            self.obs.emit(
+                EventKind::Conflict,
+                self.obs.now_ns(),
+                0,
+                txn.0,
+                key.oid().unwrap_or(0),
+            );
+        }
     }
 
     /// Commits `txn`: draws the next commit timestamp from the atomic
@@ -1123,6 +1218,7 @@ impl MvccHeap {
             // (the SI read-only anomaly, Fekete et al. 2004).
             if let Some(ssi) = &self.ssi {
                 if let SsiVerdict::Abort(c) = ssi.validate_and_commit(txn, state.epoch.ts) {
+                    self.note_ssi_abort(txn, &state);
                     self.epochs.unregister(state.epoch);
                     self.stats.bump_ssi_aborts();
                     self.stats.bump_aborts();
@@ -1138,6 +1234,12 @@ impl MvccHeap {
         // window behind one mutex, reproducing the seed's commit lock.
         let coarse = self.coarse_commit.as_ref().map(|m| m.lock());
 
+        // Commit-phase probes (no-ops on a disabled handle — not even
+        // a clock read). Laps sit strictly *between* the latch-free
+        // steps they time, never inside a latch: the timer itself
+        // takes nothing, and the only latch alive across laps is the
+        // benchmark-only coarse-baseline mutex.
+        let mut phases = self.obs.phase_timer();
         let commit_ts = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
         if let Some(ssi) = &self.ssi {
             // Validation and commit publication are one atomic step per
@@ -1162,6 +1264,7 @@ impl MvccHeap {
                 }
                 self.stats.bump_ts_skips();
                 drop(coarse);
+                self.note_ssi_abort(txn, &state);
                 let rolled_back = self.rollback_writes(txn, &state);
                 self.stats.add_versions_reclaimed(rolled_back as u64);
                 self.epochs.unregister(state.epoch);
@@ -1170,6 +1273,7 @@ impl MvccHeap {
                 return Err(c);
             }
         }
+        phases.lap(Phase::CommitTsDraw);
         // Locate this transaction's pending records once — the redo
         // images (write-ahead log) and the commit flips both walk them.
         // Record identity is stable across concurrent snapshot swaps
@@ -1216,12 +1320,14 @@ impl MvccHeap {
             wal.append_commit(commit_ts, txn, &writes)
                 .expect("write-ahead log append failed; durability cannot be guaranteed");
         }
+        phases.lap(Phase::CommitWalAck);
         // Flip this transaction's pending records to the commit
         // timestamp — an atomic store per record through the published
         // chain snapshots, no latch.
         for rec in &own_records {
             rec.commit_ts.store(commit_ts, Ordering::SeqCst);
         }
+        phases.lap(Phase::CommitFlip);
         if self.watermark.publish(commit_ts) {
             self.stats.bump_watermark_waits();
         }
@@ -1239,6 +1345,14 @@ impl MvccHeap {
         // needs a per-session visibility floor, which needs a session
         // abstraction the heap does not have (see the ROADMAP).
         self.watermark.wait_published(commit_ts);
+        phases.lap(Phase::CommitPublish);
+        if self.obs.trace_sampled(txn.0) {
+            let dur = phases.elapsed_ns().unwrap_or(0);
+            let now = self.obs.now_ns();
+            self.obs
+                .emit(EventKind::Commit, now.saturating_sub(dur), dur, txn.0, 0);
+        }
+        phases.finish(Phase::CommitTotal);
 
         self.epochs.unregister(state.epoch);
         self.stats.bump_commits();

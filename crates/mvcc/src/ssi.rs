@@ -61,6 +61,19 @@
 //! edge-list-based follow-up). The tracker never blocks readers — it
 //! only records, which is why the mvcc scheme's lock statistics stay
 //! identically zero under either isolation level.
+//!
+//! # Observability probes
+//!
+//! The tracker itself carries no probes — its stripe mutexes stay
+//! exactly as analyzed above. Validation time is charged to the
+//! heap's `commit_ts_draw` histogram segment (the pivot check gates
+//! the draw's visibility, so the two are timed as one), and each
+//! [`SsiConflict`] is attributed in the contention registry by the
+//! heap *after* `validate_and_commit` returns — never from inside a
+//! flag stripe or SIREAD shard, so the probe cannot add an edge to the
+//! lock-order argument. The abort is keyed to the transaction's first
+//! written object when it has one, or recorded unattributed for a
+//! read-only pivot.
 
 use crate::Ts;
 use finecc_model::{FieldId, Oid, TxnId};

@@ -1,0 +1,357 @@
+//! Bounded per-thread event rings and the Chrome trace exporter.
+//!
+//! Each recording thread owns one single-producer/single-consumer
+//! [`EventRing`]: the owning thread pushes lifecycle events with two
+//! relaxed-ish atomic ops and one slot write; the exporter (the single
+//! consumer) drains all rings after the run. A full ring **drops** the
+//! new event and counts the drop — tracing is bounded by construction
+//! and can never stall the transaction path.
+//!
+//! The exporter writes the Chrome `trace_event` JSON array format
+//! (duration events as `"ph":"X"`, instants as `"ph":"i"`), loadable
+//! directly in `chrome://tracing` or <https://ui.perfetto.dev>.
+
+use std::cell::{RefCell, UnsafeCell};
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Transaction lifecycle event classes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// Transaction attempt started.
+    Begin,
+    /// A (sampled) read.
+    Read,
+    /// A (sampled) write.
+    Write,
+    /// A lock request blocked (duration = wait).
+    Block,
+    /// A conflict was detected (ww, SSI, read retry).
+    Conflict,
+    /// Commit finished (duration = commit path).
+    Commit,
+    /// The attempt aborted.
+    Abort,
+    /// The WAL flusher issued an `fsync` (duration = sync).
+    Fsync,
+}
+
+impl EventKind {
+    /// Stable name used in the trace output.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Begin => "begin",
+            EventKind::Read => "read",
+            EventKind::Write => "write",
+            EventKind::Block => "block",
+            EventKind::Conflict => "conflict",
+            EventKind::Commit => "commit",
+            EventKind::Abort => "abort",
+            EventKind::Fsync => "fsync",
+        }
+    }
+}
+
+/// One recorded event. Plain `Copy` data so ring slots need no drops.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// Event class.
+    pub kind: EventKind,
+    /// Start time, nanoseconds since the collector's epoch.
+    pub t_ns: u64,
+    /// Duration in nanoseconds (0 for instants).
+    pub dur_ns: u64,
+    /// Transaction id (0 when not transaction-scoped, e.g. fsync).
+    pub txn: u64,
+    /// Object id involved (0 when none).
+    pub oid: u64,
+}
+
+/// A bounded single-producer/single-consumer event ring. The producer
+/// is the owning thread; the consumer is the exporter, which runs
+/// after the producer quiesces (the `Release` store on `head` makes
+/// the slot writes visible to the consumer's `Acquire` load).
+pub struct EventRing {
+    slots: Box<[UnsafeCell<Event>]>,
+    /// Next write position (producer-owned).
+    head: AtomicUsize,
+    /// Next read position (consumer-owned).
+    tail: AtomicUsize,
+    dropped: AtomicU64,
+    /// Trace thread id of the owning thread.
+    tid: u64,
+}
+
+// SAFETY: slot `i` is written only by the single producer while
+// `i - tail < capacity` and `i < head`; the consumer reads slot `i`
+// only after observing `head > i` with `Acquire`, which synchronizes
+// with the producer's `Release` store. Head and tail partition the
+// slots between the two sides at all times.
+unsafe impl Sync for EventRing {}
+unsafe impl Send for EventRing {}
+
+impl EventRing {
+    fn new(capacity: usize, tid: u64) -> EventRing {
+        let capacity = capacity.next_power_of_two().max(8);
+        let filler = Event {
+            kind: EventKind::Begin,
+            t_ns: 0,
+            dur_ns: 0,
+            txn: 0,
+            oid: 0,
+        };
+        EventRing {
+            slots: (0..capacity).map(|_| UnsafeCell::new(filler)).collect(),
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+            tid,
+        }
+    }
+
+    /// Producer-side push; drops (and counts) when full.
+    fn push(&self, ev: Event) {
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Acquire);
+        if head.wrapping_sub(tail) >= self.slots.len() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let mask = self.slots.len() - 1;
+        // SAFETY: this slot is outside the consumer-visible window
+        // until the Release store below (see the Sync impl note).
+        unsafe { *self.slots[head & mask].get() = ev };
+        self.head.store(head.wrapping_add(1), Ordering::Release);
+    }
+
+    /// Consumer-side drain of everything currently published.
+    fn drain(&self) -> Vec<Event> {
+        let head = self.head.load(Ordering::Acquire);
+        let mut tail = self.tail.load(Ordering::Relaxed);
+        let mask = self.slots.len() - 1;
+        let mut out = Vec::with_capacity(head.wrapping_sub(tail));
+        while tail != head {
+            // SAFETY: `tail < head` ⇒ published by the producer's
+            // Release store, synchronized by the Acquire load above.
+            out.push(unsafe { *self.slots[tail & mask].get() });
+            tail = tail.wrapping_add(1);
+        }
+        self.tail.store(tail, Ordering::Release);
+        out
+    }
+}
+
+thread_local! {
+    /// This thread's rings, keyed by collector id (threads outlive
+    /// collectors in tests; a bounded scan keeps lookup trivial).
+    static LOCAL_RINGS: RefCell<Vec<(u64, Arc<EventRing>)>> = const { RefCell::new(Vec::new()) };
+}
+
+static NEXT_COLLECTOR_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Gathers every thread's ring for one observability instance and
+/// exports the merged, time-sorted trace.
+pub struct TraceCollector {
+    id: u64,
+    capacity: usize,
+    sample: u64,
+    rings: Mutex<Vec<Arc<EventRing>>>,
+    next_tid: AtomicU64,
+}
+
+impl TraceCollector {
+    /// A collector whose per-thread rings hold `capacity` events and
+    /// which samples one in `sample` transactions.
+    pub fn new(capacity: usize, sample: u64) -> TraceCollector {
+        TraceCollector {
+            id: NEXT_COLLECTOR_ID.fetch_add(1, Ordering::Relaxed),
+            capacity,
+            sample: sample.max(1),
+            rings: Mutex::new(Vec::new()),
+            next_tid: AtomicU64::new(1),
+        }
+    }
+
+    /// `true` when transaction `txn` is in the sampled subset.
+    #[inline]
+    pub fn sampled(&self, txn: u64) -> bool {
+        txn.is_multiple_of(self.sample)
+    }
+
+    /// Records `ev` into the calling thread's ring (creating and
+    /// registering the ring on first use).
+    pub fn emit(&self, ev: Event) {
+        LOCAL_RINGS.with(|cell| {
+            let mut local = cell.borrow_mut();
+            if let Some((_, ring)) = local.iter().find(|(id, _)| *id == self.id) {
+                ring.push(ev);
+                return;
+            }
+            // Bound the per-thread registry across many collectors
+            // (long test runs): dropping stale entries only orphans
+            // rings the owning collectors still hold.
+            if local.len() >= 32 {
+                local.clear();
+            }
+            let tid = self.next_tid.fetch_add(1, Ordering::Relaxed);
+            let ring = Arc::new(EventRing::new(self.capacity, tid));
+            ring.push(ev);
+            self.rings
+                .lock()
+                .expect("trace ring registry poisoned")
+                .push(Arc::clone(&ring));
+            local.push((self.id, ring));
+        });
+    }
+
+    /// Drains every ring: time-sorted `(tid, event)` pairs plus the
+    /// total number of events dropped to ring bounds.
+    pub fn drain(&self) -> (Vec<(u64, Event)>, u64) {
+        let rings = self.rings.lock().expect("trace ring registry poisoned");
+        let mut events: Vec<(u64, Event)> = Vec::new();
+        let mut dropped = 0;
+        for ring in rings.iter() {
+            dropped += ring.dropped.load(Ordering::Relaxed);
+            events.extend(ring.drain().into_iter().map(|e| (ring.tid, e)));
+        }
+        events.sort_by_key(|(_, e)| e.t_ns);
+        (events, dropped)
+    }
+
+    /// Writes the drained events to `path` in Chrome `trace_event`
+    /// JSON array format. Returns the number of events written.
+    pub fn export_chrome_trace(&self, path: &Path) -> std::io::Result<usize> {
+        let (events, dropped) = self.drain();
+        let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+        out.write_all(b"[\n")?;
+        for (i, (tid, e)) in events.iter().enumerate() {
+            let sep = if i + 1 < events.len() { ",\n" } else { "\n" };
+            let ts = e.t_ns as f64 / 1_000.0;
+            if e.dur_ns > 0 {
+                write!(
+                    out,
+                    "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\
+                     \"pid\":1,\"tid\":{},\"args\":{{\"txn\":{},\"oid\":{}}}}}{}",
+                    e.kind.name(),
+                    ts,
+                    e.dur_ns as f64 / 1_000.0,
+                    tid,
+                    e.txn,
+                    e.oid,
+                    sep
+                )?;
+            } else {
+                write!(
+                    out,
+                    "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{:.3},\
+                     \"pid\":1,\"tid\":{},\"args\":{{\"txn\":{},\"oid\":{}}}}}{}",
+                    e.kind.name(),
+                    ts,
+                    tid,
+                    e.txn,
+                    e.oid,
+                    sep
+                )?;
+            }
+        }
+        out.write_all(b"]\n")?;
+        out.flush()?;
+        if dropped > 0 {
+            eprintln!("finecc-obs: trace ring dropped {dropped} events (bounded rings)");
+        }
+        Ok(events.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: EventKind, t_ns: u64) -> Event {
+        Event {
+            kind,
+            t_ns,
+            dur_ns: 0,
+            txn: 1,
+            oid: 2,
+        }
+    }
+
+    #[test]
+    fn ring_push_drain_roundtrip() {
+        let r = EventRing::new(8, 1);
+        for t in 0..5 {
+            r.push(ev(EventKind::Begin, t));
+        }
+        let drained = r.drain();
+        assert_eq!(drained.len(), 5);
+        assert_eq!(drained[4].t_ns, 4);
+        // Drained slots are reusable.
+        r.push(ev(EventKind::Commit, 99));
+        assert_eq!(r.drain().len(), 1);
+    }
+
+    #[test]
+    fn full_ring_drops_and_counts() {
+        let r = EventRing::new(8, 1);
+        for t in 0..20 {
+            r.push(ev(EventKind::Read, t));
+        }
+        assert_eq!(r.drain().len(), 8);
+        assert_eq!(r.dropped.load(Ordering::Relaxed), 12);
+    }
+
+    #[test]
+    fn collector_merges_threads_sorted() {
+        let c = Arc::new(TraceCollector::new(64, 1));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for i in 0..10u64 {
+                        c.emit(ev(EventKind::Write, t * 100 + i));
+                    }
+                });
+            }
+        });
+        let (events, dropped) = c.drain();
+        assert_eq!(events.len(), 40);
+        assert_eq!(dropped, 0);
+        assert!(events.windows(2).all(|w| w[0].1.t_ns <= w[1].1.t_ns));
+        let tids: std::collections::HashSet<u64> = events.iter().map(|(t, _)| *t).collect();
+        assert_eq!(tids.len(), 4, "one ring per thread");
+    }
+
+    #[test]
+    fn sampling_gates_by_txn() {
+        let c = TraceCollector::new(8, 4);
+        assert!(c.sampled(0));
+        assert!(!c.sampled(1));
+        assert!(c.sampled(8));
+    }
+
+    #[test]
+    fn chrome_export_is_wellformed() {
+        let c = TraceCollector::new(64, 1);
+        c.emit(ev(EventKind::Begin, 1_000));
+        c.emit(Event {
+            kind: EventKind::Commit,
+            t_ns: 2_000,
+            dur_ns: 500,
+            txn: 1,
+            oid: 0,
+        });
+        let path =
+            std::env::temp_dir().join(format!("finecc-obs-trace-{}.json", std::process::id()));
+        let n = c.export_chrome_trace(&path).unwrap();
+        assert_eq!(n, 2);
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.starts_with("[\n") && body.ends_with("]\n"));
+        assert!(body.contains("\"ph\":\"X\""));
+        assert!(body.contains("\"ph\":\"i\""));
+        assert!(body.contains("\"dur\":0.500"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

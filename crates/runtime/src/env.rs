@@ -6,6 +6,7 @@ use crate::txn::Txn;
 use finecc_core::CompiledSchema;
 use finecc_lang::{Builtins, ExecError, MethodBodies};
 use finecc_model::{Oid, Schema, Value};
+use finecc_obs::Obs;
 use finecc_store::{Database, StoreError};
 use finecc_wal::{CheckpointData, InstanceImage, Wal};
 use std::sync::Arc;
@@ -43,6 +44,14 @@ pub struct Env {
     /// their heap so statistics surface uniformly through
     /// [`crate::CcScheme::wal_stats`].
     pub wal: Option<Arc<Wal>>,
+    /// The observability sink every scheme built over this environment
+    /// records into: latency histograms, per-object contention, and
+    /// (optionally) a sampled event trace. Disabled by default — each
+    /// probe is then a single branch; install an enabled handle with
+    /// [`Env::with_obs`] **before** building schemes or opening a log,
+    /// because the lock managers, the mvcc heap and the WAL flusher all
+    /// clone it at construction.
+    pub obs: Arc<Obs>,
 }
 
 impl Env {
@@ -61,6 +70,7 @@ impl Env {
             lock_timeout: std::time::Duration::from_secs(10),
             commit_seq: Arc::new(std::sync::atomic::AtomicU64::new(0)),
             wal: None,
+            obs: Arc::new(Obs::disabled()),
         }
     }
 
@@ -73,6 +83,14 @@ impl Env {
     /// Returns the environment with a different lock-wait timeout.
     pub fn with_lock_timeout(mut self, d: std::time::Duration) -> Env {
         self.lock_timeout = d;
+        self
+    }
+
+    /// Returns the environment with an observability sink. Must be set
+    /// before schemes are built (they clone the handle at
+    /// construction).
+    pub fn with_obs(mut self, obs: Arc<Obs>) -> Env {
+        self.obs = obs;
         self
     }
 

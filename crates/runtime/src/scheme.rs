@@ -6,6 +6,7 @@ use finecc_lang::ExecError;
 use finecc_lock::StatsSnapshot;
 use finecc_model::{ClassId, Oid, Value};
 use finecc_mvcc::{IsolationLevel, MvccStatsSnapshot};
+use finecc_obs::Obs;
 use finecc_wal::{DurabilityLevel, Wal, WalConfig, WalStatsSnapshot};
 use std::path::Path;
 use std::sync::Arc;
@@ -114,6 +115,14 @@ pub trait CcScheme: Send + Sync {
         self.env().wal.as_ref().map(|w| w.stats().snapshot())
     }
 
+    /// The observability sink this scheme records into — the
+    /// environment's handle, which the lock managers / mvcc heap / WAL
+    /// cloned at construction. Disabled (every probe one branch)
+    /// unless [`Env::with_obs`] installed an enabled one.
+    fn obs(&self) -> &Arc<Obs> {
+        &self.env().obs
+    }
+
     /// The scheme's durability level — a scheme parameter like the
     /// isolation level.
     fn durability(&self) -> DurabilityLevel {
@@ -206,12 +215,13 @@ impl SchemeKind {
                 )?))
             }
             _ => {
-                let wal = Arc::new(Wal::open(
+                let wal = Arc::new(Wal::open_with_obs(
                     dir,
                     WalConfig {
                         level,
                         ..WalConfig::default()
                     },
+                    Arc::clone(&env.obs),
                 )?);
                 let mut env = env;
                 env.attach_wal(wal)?;

@@ -28,7 +28,9 @@ impl FieldLockScheme {
     /// Builds the scheme.
     pub fn new(env: Env) -> FieldLockScheme {
         FieldLockScheme {
-            lm: LockManager::new(RwSource).with_timeout(env.lock_timeout),
+            lm: LockManager::new(RwSource)
+                .with_timeout(env.lock_timeout)
+                .with_obs(std::sync::Arc::clone(&env.obs)),
             env,
         }
     }

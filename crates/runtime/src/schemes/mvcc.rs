@@ -99,11 +99,10 @@ impl MvccScheme {
         commit_path: CommitPath,
     ) -> MvccScheme {
         MvccScheme {
-            heap: Arc::new(MvccHeap::with_commit_path(
-                Arc::clone(&env.db),
-                isolation,
-                commit_path,
-            )),
+            heap: Arc::new(
+                MvccHeap::with_commit_path(Arc::clone(&env.db), isolation, commit_path)
+                    .with_obs(Arc::clone(&env.obs)),
+            ),
             env,
             next_txn: AtomicU64::new(1),
             lock_stats: LockStats::default(),
@@ -128,19 +127,23 @@ impl MvccScheme {
         if level == DurabilityLevel::None {
             return Ok(MvccScheme::with_isolation(env, isolation));
         }
-        let wal = Arc::new(Wal::open(
+        let wal = Arc::new(Wal::open_with_obs(
             dir,
             WalConfig {
                 level,
                 ..WalConfig::default()
             },
+            Arc::clone(&env.obs),
         )?);
-        let heap = Arc::new(MvccHeap::with_wal(
-            Arc::clone(&env.db),
-            isolation,
-            CommitPath::Sharded,
-            Arc::clone(&wal),
-        )?);
+        let heap = Arc::new(
+            MvccHeap::with_wal(
+                Arc::clone(&env.db),
+                isolation,
+                CommitPath::Sharded,
+                Arc::clone(&wal),
+            )?
+            .with_obs(Arc::clone(&env.obs)),
+        );
         let mut env = env;
         // Shared handle: `CcScheme::wal_stats`/`durability` read it
         // from the environment uniformly across all six schemes.

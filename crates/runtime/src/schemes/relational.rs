@@ -53,7 +53,9 @@ impl RelationalScheme {
             keys.push(env.schema.class(root).own_fields.first().copied());
         }
         RelationalScheme {
-            lm: LockManager::new(RwSource).with_timeout(env.lock_timeout),
+            lm: LockManager::new(RwSource)
+                .with_timeout(env.lock_timeout)
+                .with_obs(std::sync::Arc::clone(&env.obs)),
             env,
             roots,
             keys,

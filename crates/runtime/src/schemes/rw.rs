@@ -31,7 +31,9 @@ impl RwScheme {
     /// Builds the scheme.
     pub fn new(env: Env) -> RwScheme {
         RwScheme {
-            lm: LockManager::new(RwSource).with_timeout(env.lock_timeout),
+            lm: LockManager::new(RwSource)
+                .with_timeout(env.lock_timeout)
+                .with_obs(std::sync::Arc::clone(&env.obs)),
             env,
         }
     }

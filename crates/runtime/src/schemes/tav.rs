@@ -34,7 +34,8 @@ impl TavScheme {
     /// `env.compiled`, produced at schema-compile time).
     pub fn new(env: Env) -> TavScheme {
         let lm = LockManager::new(CommutSource::new(Arc::clone(&env.compiled)))
-            .with_timeout(env.lock_timeout);
+            .with_timeout(env.lock_timeout)
+            .with_obs(Arc::clone(&env.obs));
         TavScheme { env, lm }
     }
 

@@ -3,6 +3,7 @@
 use crate::scheme::CcScheme;
 use finecc_lang::ExecError;
 use finecc_model::TxnId;
+use finecc_obs::{EventKind, Obs, Phase};
 use finecc_store::UndoLog;
 
 /// One transaction: identifier plus its undo log. Created by
@@ -87,34 +88,61 @@ pub fn run_txn<T>(
     max_retries: u32,
     mut body: impl FnMut(&mut Txn) -> Result<T, ExecError>,
 ) -> TxnOutcome<T> {
+    let obs = scheme.obs();
+    // End-to-end latency spans the whole loop: first begin to final
+    // outcome, retries included — the user-visible latency, not the
+    // per-attempt one.
+    let txn_start = obs.clock();
     let mut retries = 0;
-    loop {
+    let outcome = loop {
         let mut txn = scheme.begin();
+        let id = txn.id;
+        emit_instant(obs, EventKind::Begin, id);
         let retryable = match body(&mut txn) {
             Ok(value) => match scheme.commit(txn) {
-                Ok(_) => return TxnOutcome::Committed { value, retries },
+                Ok(_) => {
+                    emit_instant(obs, EventKind::Commit, id);
+                    break TxnOutcome::Committed { value, retries };
+                }
                 // Failed commit == the scheme aborted the transaction
                 // itself; no abort() call — the Txn is consumed.
-                Err(e) if e.is_deadlock() => true,
-                Err(e) => return TxnOutcome::Failed(e),
+                Err(e) if e.is_deadlock() => {
+                    emit_instant(obs, EventKind::Abort, id);
+                    true
+                }
+                Err(e) => {
+                    emit_instant(obs, EventKind::Abort, id);
+                    break TxnOutcome::Failed(e);
+                }
             },
             Err(e) if e.is_deadlock() => {
                 scheme.abort(txn);
+                emit_instant(obs, EventKind::Abort, id);
                 true
             }
             Err(e) => {
                 scheme.abort(txn);
-                return TxnOutcome::Failed(e);
+                emit_instant(obs, EventKind::Abort, id);
+                break TxnOutcome::Failed(e);
             }
         };
         debug_assert!(retryable);
         retries += 1;
         if retries > max_retries {
-            return TxnOutcome::Exhausted { retries };
+            break TxnOutcome::Exhausted { retries };
         }
         // Brief backoff proportional to the retry count keeps rival
         // victims from re-colliding in lockstep.
         std::thread::yield_now();
+    };
+    obs.record_since(Phase::TxnLatency, txn_start);
+    outcome
+}
+
+/// Emits a sampled lifecycle instant (one branch when tracing is off).
+fn emit_instant(obs: &Obs, kind: EventKind, id: TxnId) {
+    if obs.trace_sampled(id.0) {
+        obs.emit(kind, obs.now_ns(), 0, id.0, 0);
     }
 }
 

@@ -44,6 +44,11 @@ pub struct ExecReport {
     /// Write-ahead-log statistics accumulated during the run (`None`
     /// at `DurabilityLevel::None`).
     pub wal: Option<finecc_wal::WalStatsSnapshot>,
+    /// Observability report for the run: latency histograms by phase,
+    /// hottest objects, and contention-class totals. All zero (and
+    /// `enabled == false`) unless the scheme's environment carries an
+    /// enabled `finecc_obs::Obs`.
+    pub obs: finecc_obs::ObsReport,
 }
 
 impl ExecReport {
@@ -76,6 +81,18 @@ impl ExecReport {
         self.mvcc.map_or(0, |m| m.read_retries)
     }
 
+    /// Epoch-pin acquisition retries on the mvcc read path during the
+    /// run (0 for lock schemes).
+    pub fn read_pin_retries(&self) -> u64 {
+        self.mvcc.map_or(0, |m| m.read_pin_retries)
+    }
+
+    /// Commit timestamps drawn but refused (published as skips) during
+    /// the run — nonzero only under `mvcc-ssi`.
+    pub fn ts_skips(&self) -> u64 {
+        self.mvcc.map_or(0, |m| m.ts_skips)
+    }
+
     /// Commit publications that hit the watermark ring's overflow
     /// fallback during the run (0 for lock schemes).
     pub fn watermark_waits(&self) -> u64 {
@@ -105,6 +122,12 @@ impl ExecReport {
     pub fn group_commit_mean(&self) -> f64 {
         self.wal.map_or(0.0, |w| w.mean_group_commit())
     }
+
+    /// End-to-end transaction latency summary for the run (all zero
+    /// when observability is disabled).
+    pub fn txn_latency(&self) -> finecc_obs::LatencySummary {
+        self.obs.phase(finecc_obs::Phase::TxnLatency)
+    }
 }
 
 /// Runs the workload across `cfg.threads` workers (ops are dealt
@@ -114,6 +137,7 @@ pub fn run_concurrent(scheme: &dyn CcScheme, ops: &[TxnOp], cfg: ExecConfig) -> 
     let before = scheme.stats();
     let mvcc_before = scheme.mvcc_stats();
     let wal_before = scheme.wal_stats();
+    let obs_before = scheme.obs().snapshot();
     let committed = AtomicU64::new(0);
     let exhausted = AtomicU64::new(0);
     let failed = AtomicU64::new(0);
@@ -159,6 +183,7 @@ pub fn run_concurrent(scheme: &dyn CcScheme, ops: &[TxnOp], cfg: ExecConfig) -> 
         wal: scheme
             .wal_stats()
             .map(|after| after.since(&wal_before.unwrap_or_default())),
+        obs: scheme.obs().report_since(&obs_before),
     }
 }
 

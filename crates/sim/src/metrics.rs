@@ -26,11 +26,19 @@ pub struct Metrics {
     pub upgrades: u64,
     /// Committed transactions per second.
     pub throughput: f64,
+    /// End-to-end transaction latency quantiles, microseconds (all
+    /// zero when observability is disabled).
+    pub lat_p50_us: f64,
+    /// 90th-percentile transaction latency, microseconds.
+    pub lat_p90_us: f64,
+    /// 99th-percentile transaction latency, microseconds.
+    pub lat_p99_us: f64,
 }
 
 impl Metrics {
     /// Builds a row from an execution report.
     pub fn from_report(label: impl Into<String>, r: &ExecReport) -> Metrics {
+        let lat = r.txn_latency();
         Metrics {
             label: label.into(),
             committed: r.committed,
@@ -42,6 +50,9 @@ impl Metrics {
             deadlocks: r.lock.deadlocks,
             upgrades: r.lock.upgrades,
             throughput: r.throughput(),
+            lat_p50_us: finecc_obs::LatencySummary::us(lat.p50),
+            lat_p90_us: finecc_obs::LatencySummary::us(lat.p90),
+            lat_p99_us: finecc_obs::LatencySummary::us(lat.p99),
         }
     }
 
@@ -56,6 +67,9 @@ impl Metrics {
             "blocks",
             "upgrades",
             "txn/s",
+            "p50 µs",
+            "p90 µs",
+            "p99 µs",
         ]
     }
 
@@ -70,6 +84,9 @@ impl Metrics {
             self.blocks.to_string(),
             self.upgrades.to_string(),
             format!("{:.0}", self.throughput),
+            format!("{:.0}", self.lat_p50_us),
+            format!("{:.0}", self.lat_p90_us),
+            format!("{:.0}", self.lat_p99_us),
         ]
     }
 }

@@ -26,6 +26,7 @@ use crate::checkpoint::{self, CheckpointData};
 use crate::record::{encode_frame, LogRecord, LOG_MAGIC};
 use crate::stats::WalStats;
 use finecc_model::{ClassId, Oid, TxnId};
+use finecc_obs::{EventKind, Obs, Phase};
 use finecc_store::FieldImage;
 use parking_lot::{Condvar, Mutex};
 use std::fs::{File, OpenOptions};
@@ -191,6 +192,9 @@ pub struct Wal {
     level: DurabilityLevel,
     /// Highest commit/skip timestamp found in the log at open time.
     max_logged_ts: u64,
+    /// Observability sink: group-commit ack waits go into
+    /// [`Phase::GroupCommitAck`]; disabled by default.
+    obs: Arc<Obs>,
     flusher: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -220,6 +224,18 @@ impl Wal {
 
     /// Opens (or creates) the log under `dir` and starts the flusher.
     pub fn open(dir: impl AsRef<Path>, config: WalConfig) -> io::Result<Wal> {
+        Wal::open_with_obs(dir, config, Arc::new(Obs::disabled()))
+    }
+
+    /// [`Wal::open`] with an observability sink: ack waits are recorded
+    /// into [`Phase::GroupCommitAck`] and the flusher emits `fsync`
+    /// trace spans. The handle must be supplied at open time because
+    /// the flusher thread captures it.
+    pub fn open_with_obs(
+        dir: impl AsRef<Path>,
+        config: WalConfig,
+        obs: Arc<Obs>,
+    ) -> io::Result<Wal> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
         let path = Wal::log_path(&dir);
@@ -267,17 +283,19 @@ impl Wal {
         });
         let flusher = {
             let shared = Arc::clone(&shared);
+            let obs = Arc::clone(&obs);
             let sync_all = config.level == DurabilityLevel::WalSync;
             let max_batch = config.max_batch.max(1);
             std::thread::Builder::new()
                 .name("finecc-wal-flusher".into())
-                .spawn(move || flusher_loop(shared, file, sync_all, max_batch))?
+                .spawn(move || flusher_loop(shared, file, sync_all, max_batch, obs))?
         };
         Ok(Wal {
             shared,
             dir,
             level: config.level,
             max_logged_ts,
+            obs,
             flusher: Some(flusher),
         })
     }
@@ -313,7 +331,9 @@ impl Wal {
         self.shared.stats.bump_appends();
         if wait_ack && self.level == DurabilityLevel::WalSync {
             self.shared.stats.bump_sync_waits();
+            let wait_start = self.obs.clock();
             self.wait_ack(&node, STATE_SYNCED)?;
+            self.obs.record_since(Phase::GroupCommitAck, wait_start);
         }
         Ok(())
     }
@@ -416,7 +436,13 @@ impl Drop for Wal {
     }
 }
 
-fn flusher_loop(shared: Arc<Shared>, mut file: File, sync_all: bool, max_batch: usize) {
+fn flusher_loop(
+    shared: Arc<Shared>,
+    mut file: File,
+    sync_all: bool,
+    max_batch: usize,
+    obs: Arc<Obs>,
+) {
     loop {
         let batch = shared.drain();
         if batch.is_empty() {
@@ -465,9 +491,19 @@ fn flusher_loop(shared: Arc<Shared>, mut file: File, sync_all: bool, max_batch: 
                 records += 1;
             }
             if result.is_ok() && (sync_all || force_sync) {
+                let sync_start = obs.now_ns();
                 result = file.sync_data();
                 if result.is_ok() {
                     shared.stats.bump_log_fsyncs();
+                }
+                // Fsync spans are emitted unconditionally when tracing
+                // is on (`txn 0` always passes the sampler): there is
+                // one flusher, and the fsync cadence is exactly what a
+                // group-commit trace is read for. The `oid` slot
+                // carries the batch's record count.
+                if obs.trace_sampled(0) {
+                    let dur = obs.now_ns().saturating_sub(sync_start);
+                    obs.emit(EventKind::Fsync, sync_start, dur, 0, records);
                 }
             }
             match result {

@@ -48,6 +48,11 @@ pub mod store {
     pub use finecc_store::*;
 }
 
+/// Observability: latency histograms, contention heat maps, tracing.
+pub mod obs {
+    pub use finecc_obs::*;
+}
+
 /// The generic lock manager (mode tables, 2PL, deadlock detection).
 pub mod lock {
     pub use finecc_lock::*;
