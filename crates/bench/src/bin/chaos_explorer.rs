@@ -1,0 +1,176 @@
+//! Seeded chaos exploration across the scheme × durability matrix.
+//!
+//! Default mode sweeps a fixed batch of seeds over all six schemes at
+//! every durability level under the virtual-time scheduler, checking
+//! the invariants (lost own writes, torn pairs, watermark regressions,
+//! recovery = committed prefix) on every run. Any anomaly is
+//! minimized and written out as a `finecc-chaos-repro v1` artifact,
+//! and the process exits nonzero — this is the CI `chaos-smoke` job.
+//!
+//! `CHAOS_DEMO=1` instead demonstrates the full find → minimize →
+//! replay loop on a *known* bug: it disables the mvcc commit barrier
+//! (`wait_published`) through the fault plane, explores until the
+//! resulting lost-own-write anomaly surfaces, shrinks the schedule,
+//! replays the repro file, and asserts the anomaly reproduces.
+//!
+//! Environment:
+//! * `CHAOS_SEEDS`       — seeds per cell (default 10)
+//! * `CHAOS_SEED_START`  — first seed (default 1)
+//! * `CHAOS_WORKERS`     — workers per scenario (default 3)
+//! * `CHAOS_OPS`         — ops per worker (default 6)
+//! * `CHAOS_OUT`         — repro artifact directory (default
+//!   `target/chaos-repros`)
+//! * `CHAOS_DEMO`        — run the known-bug demo instead of the sweep
+
+use finecc_chaos::{FaultKind, FaultPlan, FaultSpec, Site};
+use finecc_runtime::{DurabilityLevel, SchemeKind};
+use finecc_sim::chaos::{
+    explore, minimize, pinned, replay_repro, run_chaos, write_repro, Anomaly, ChaosScenario,
+};
+use std::path::PathBuf;
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn out_dir() -> PathBuf {
+    std::env::var("CHAOS_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("target/chaos-repros"))
+}
+
+fn main() {
+    if std::env::var("CHAOS_DEMO").is_ok_and(|v| v != "0") {
+        demo_known_bug();
+        return;
+    }
+    sweep();
+}
+
+/// The CI smoke sweep: fixed seed batch, all schemes, all durability
+/// levels, zero anomalies expected.
+fn sweep() {
+    let start = env_u64("CHAOS_SEED_START", 1);
+    let count = env_u64("CHAOS_SEEDS", 10);
+    let workers = env_u64("CHAOS_WORKERS", 3) as usize;
+    let ops = env_u64("CHAOS_OPS", 6) as usize;
+    let levels = [
+        DurabilityLevel::None,
+        DurabilityLevel::Wal,
+        DurabilityLevel::WalSync,
+    ];
+    let mut runs = 0u64;
+    let mut commits = 0u64;
+    let mut retries = 0u64;
+    let mut ticks = 0u64;
+    let mut failures = 0u32;
+    println!(
+        "chaos sweep: seeds {start}..{} x 6 schemes x 3 durability levels",
+        start + count
+    );
+    for kind in SchemeKind::ALL {
+        for level in levels {
+            for seed in start..start + count {
+                let mut sc = ChaosScenario::new(kind, seed).durable(level);
+                sc.workers = workers;
+                sc.ops_per_worker = ops;
+                let report = match run_chaos(&sc) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("FAIL {kind}/{} seed {seed}: io error {e}", level.name());
+                        failures += 1;
+                        continue;
+                    }
+                };
+                runs += 1;
+                commits += report.commits;
+                retries += report.retries;
+                ticks += report.outcome.ticks;
+                if !report.anomalies.is_empty() {
+                    failures += 1;
+                    let minimized = minimize(&sc, &report.outcome.decisions, 200);
+                    let path = out_dir().join(format!(
+                        "anomaly-{}-{}-seed{seed}.repro",
+                        kind.name(),
+                        level.name()
+                    ));
+                    let pin = pinned(&sc, &minimized);
+                    if let Err(e) = write_repro(&path, &pin, &minimized) {
+                        eprintln!("  (could not write repro: {e})");
+                    }
+                    eprintln!(
+                        "FAIL {kind}/{} seed {seed}: {} anomalies, repro at {}",
+                        level.name(),
+                        report.anomalies.len(),
+                        path.display()
+                    );
+                    for a in &report.anomalies {
+                        eprintln!("  - {a}");
+                    }
+                }
+            }
+        }
+    }
+    println!(
+        "{runs} runs, {commits} commits, {retries} retries, {ticks} virtual ticks, {failures} failures"
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// The known-bug regression demo: disable the commit barrier, find the
+/// lost-own-write anomaly, minimize, write a repro, replay it.
+fn demo_known_bug() {
+    let faults = FaultPlan::of([FaultSpec::always(
+        Site::CommitPublishWait,
+        FaultKind::Disable,
+    )]);
+    let base = ChaosScenario::new(SchemeKind::Mvcc, 0).with_faults(faults);
+    println!("exploring with the wait_published commit barrier disabled…");
+    let finding = explore(&base, 1..201, 400)
+        .expect("exploration runs")
+        .expect("a disabled commit barrier must eventually lose an own write");
+    assert!(
+        finding
+            .report
+            .anomalies
+            .iter()
+            .any(|a| matches!(a, Anomaly::LostOwnWrite { .. })),
+        "expected a lost own write, got {:?}",
+        finding.report.anomalies
+    );
+    println!(
+        "seed {} fails: {} (schedule {} decisions, minimized to {})",
+        finding.seed,
+        finding.report.anomalies[0],
+        finding.report.outcome.decisions.len(),
+        finding.minimized.len()
+    );
+    let sc = pinned(
+        &ChaosScenario {
+            seed: finding.seed,
+            ..base
+        },
+        &finding.minimized,
+    );
+    let path = out_dir().join("lost-own-write.repro");
+    write_repro(&path, &sc, &finding.minimized).expect("repro written");
+    let replayed = replay_repro(&path).expect("repro replays");
+    assert!(
+        !replayed.anomalies.is_empty(),
+        "replaying the minimized repro must reproduce the anomaly"
+    );
+    // And the direct (non-file) replay must agree byte-for-byte.
+    let direct = run_chaos(&sc).expect("direct replay runs");
+    assert_eq!(direct, replayed, "file round trip changes nothing");
+    println!(
+        "replayed {} → {} (deterministic, {} virtual ticks)",
+        path.display(),
+        replayed.anomalies[0],
+        replayed.outcome.ticks
+    );
+}

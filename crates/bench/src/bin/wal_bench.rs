@@ -78,8 +78,16 @@ fn fixture(threads: usize, level: DurabilityLevel, max_batch: usize, tag: &str) 
     let _ = std::fs::remove_dir_all(&dir);
     let obs = Arc::new(Obs::new(ObsConfig::enabled()));
     let wal = Arc::new(
-        Wal::open_with_obs(&dir, WalConfig { level, max_batch }, Arc::clone(&obs))
-            .expect("wal opens"),
+        Wal::open_with_obs(
+            &dir,
+            WalConfig {
+                level,
+                max_batch,
+                ..WalConfig::default()
+            },
+            Arc::clone(&obs),
+        )
+        .expect("wal opens"),
     );
     let heap = Arc::new(
         MvccHeap::with_wal(db, IsolationLevel::Snapshot, CommitPath::Sharded, wal)

@@ -1,0 +1,130 @@
+//! Named yield-point and fault-injection sites.
+
+/// A named point in the engine where the deterministic scheduler may
+/// preempt the running thread ([`crate::yield_point`]) or the fault
+/// plane may fire ([`crate::fault_at`] / [`crate::disabled_at`]).
+///
+/// Sites are the harness's vocabulary: schedules are sequences of
+/// decisions taken *at* sites, fault specs name the site they arm, and
+/// trace events record which site each decision was taken at. The
+/// latch-free mvcc **read path deliberately has no site** — reads must
+/// stay probe-free even with the harness compiled in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Site {
+    /// Executor: before a worker starts its next transaction.
+    TxnStart = 0,
+    /// Retry loop: one unit of deterministic backoff after an abort.
+    TxnBackoff = 1,
+    /// Lock manager: entry to `acquire` (latch-acquisition stalls).
+    LockAcquire = 2,
+    /// Lock manager: one pass of the blocked-waiter loop.
+    LockWait = 3,
+    /// Mvcc heap: before installing a pending version (write path,
+    /// ahead of every latch).
+    WriteInstall = 4,
+    /// Mvcc commit: before the commit timestamp is drawn.
+    CommitTsDraw = 5,
+    /// Mvcc commit: after the draw, before the write-ahead-log append.
+    CommitWalAppend = 6,
+    /// Mvcc commit: before each per-record commit-timestamp flip.
+    CommitFlipStep = 7,
+    /// Mvcc commit: before the watermark publication.
+    CommitPublish = 8,
+    /// Mvcc commit: the read-your-own-commits publication barrier
+    /// (`FaultKind::Disable` here skips the barrier — the known-bug
+    /// regression lever).
+    CommitPublishWait = 9,
+    /// Watermark: one spin of `wait_published`.
+    WatermarkWait = 10,
+    /// Watermark: one spin of the publication ring's overflow wait.
+    WatermarkPublish = 11,
+    /// Mvcc heap: before a GC pass retires copy-on-write snapshots.
+    CowReclaim = 12,
+    /// WAL: before an inline-mode append claims the file.
+    WalAppend = 13,
+    /// WAL: before an inline-mode fsync.
+    WalFsync = 14,
+    /// WAL: group-commit flusher, before writing a batch.
+    WalFlushWrite = 15,
+    /// WAL: group-commit flusher, before syncing a batch.
+    WalFlushFsync = 16,
+}
+
+/// Number of distinct sites (sizes the per-site hit counters).
+pub const SITE_COUNT: usize = 17;
+
+impl Site {
+    /// Every site, indexable by discriminant.
+    pub const ALL: [Site; SITE_COUNT] = [
+        Site::TxnStart,
+        Site::TxnBackoff,
+        Site::LockAcquire,
+        Site::LockWait,
+        Site::WriteInstall,
+        Site::CommitTsDraw,
+        Site::CommitWalAppend,
+        Site::CommitFlipStep,
+        Site::CommitPublish,
+        Site::CommitPublishWait,
+        Site::WatermarkWait,
+        Site::WatermarkPublish,
+        Site::CowReclaim,
+        Site::WalAppend,
+        Site::WalFsync,
+        Site::WalFlushWrite,
+        Site::WalFlushFsync,
+    ];
+
+    /// Stable name, used by repro files and traces.
+    pub fn name(self) -> &'static str {
+        match self {
+            Site::TxnStart => "txn_start",
+            Site::TxnBackoff => "txn_backoff",
+            Site::LockAcquire => "lock_acquire",
+            Site::LockWait => "lock_wait",
+            Site::WriteInstall => "write_install",
+            Site::CommitTsDraw => "commit_ts_draw",
+            Site::CommitWalAppend => "commit_wal_append",
+            Site::CommitFlipStep => "commit_flip_step",
+            Site::CommitPublish => "commit_publish",
+            Site::CommitPublishWait => "commit_publish_wait",
+            Site::WatermarkWait => "watermark_wait",
+            Site::WatermarkPublish => "watermark_publish",
+            Site::CowReclaim => "cow_reclaim",
+            Site::WalAppend => "wal_append",
+            Site::WalFsync => "wal_fsync",
+            Site::WalFlushWrite => "wal_flush_write",
+            Site::WalFlushFsync => "wal_flush_fsync",
+        }
+    }
+
+    /// Parses a [`Site::name`] back (repro-file loading).
+    pub fn from_name(name: &str) -> Option<Site> {
+        Site::ALL.into_iter().find(|s| s.name() == name)
+    }
+
+    pub(crate) fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl std::fmt::Display for Site {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_and_indices_are_dense() {
+        for (i, site) in Site::ALL.into_iter().enumerate() {
+            assert_eq!(site.index(), i);
+            assert_eq!(Site::from_name(site.name()), Some(site));
+        }
+        assert_eq!(Site::from_name("nope"), None);
+    }
+}

@@ -68,6 +68,11 @@ pub enum ExecError {
     /// concurrency-control layer. `deadlock` distinguishes deadlock-victim
     /// aborts (retryable) from other aborts.
     ConcurrencyAbort { deadlock: bool, msg: String },
+    /// The write-ahead log could not make the commit durable (append
+    /// or fsync failure). The transaction has been rolled back and
+    /// nothing became visible; the failure may be transient (the log
+    /// degrades batch-by-batch), so the error is retryable.
+    LogIo(String),
 }
 
 impl ExecError {
@@ -75,6 +80,14 @@ impl ExecError {
     /// typically retry.
     pub fn is_deadlock(&self) -> bool {
         matches!(self, ExecError::ConcurrencyAbort { deadlock: true, .. })
+    }
+
+    /// `true` when the standard response is to re-run the transaction:
+    /// deadlock-victim aborts and (possibly transient) log I/O
+    /// failures. In both cases the scheme has fully rolled the
+    /// transaction back before returning.
+    pub fn is_retryable(&self) -> bool {
+        self.is_deadlock() || matches!(self, ExecError::LogIo(_))
     }
 }
 
@@ -115,6 +128,7 @@ impl fmt::Display for ExecError {
                     write!(f, "transaction aborted: {msg}")
                 }
             }
+            ExecError::LogIo(m) => write!(f, "write-ahead log failure: {m}"),
         }
     }
 }
@@ -134,6 +148,24 @@ mod tests {
         assert!(e.is_deadlock());
         assert!(!ExecError::FuelExhausted.is_deadlock());
         assert!(e.to_string().contains("deadlock"));
+    }
+
+    #[test]
+    fn retryable_classification() {
+        let log = ExecError::LogIo("fsync failed".into());
+        assert!(log.is_retryable());
+        assert!(!log.is_deadlock());
+        let victim = ExecError::ConcurrencyAbort {
+            deadlock: true,
+            msg: "cycle".into(),
+        };
+        assert!(victim.is_retryable());
+        let refused = ExecError::ConcurrencyAbort {
+            deadlock: false,
+            msg: "timeout".into(),
+        };
+        assert!(!refused.is_retryable());
+        assert!(!ExecError::FuelExhausted.is_retryable());
     }
 
     #[test]

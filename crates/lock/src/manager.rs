@@ -157,6 +157,9 @@ impl<S: ModeSource> LockManager<S> {
     /// Blocking acquisition under strict 2PL. Returns when granted, the
     /// transaction is chosen as a deadlock victim, or the wait times out.
     pub fn acquire(&self, txn: TxnId, res: ResourceId, mode: LockMode) -> Result<(), AcquireError> {
+        // Chaos scheduling decision strictly before the table lock (a
+        // parked holder of `state` would deadlock the token scheduler).
+        finecc_chaos::yield_point(finecc_chaos::Site::LockAcquire);
         LockStats::bump(&self.stats.requests);
         let mut st = self.state.lock();
         if st.victims.remove(&txn) {
@@ -190,6 +193,13 @@ impl<S: ModeSource> LockManager<S> {
         self.obs.contend(obj_key(&res), ContentionKind::LockBlock);
         let wait_start = self.obs.is_enabled().then(Instant::now);
 
+        // Under a chaos scheduled session the condvar wait is replaced
+        // by a cooperative drop-yield-relock cycle (no other worker can
+        // run while this one sleeps on a condvar), and this budget of
+        // cycles plays the wall-clock timeout's role in virtual time.
+        const CHAOS_WAIT_BUDGET: u32 = 1_000;
+        let mut chaos_waits = 0u32;
+
         loop {
             // Deadlock check: this request may have closed a cycle.
             let wf = self.build_waits_for(&st);
@@ -210,7 +220,15 @@ impl<S: ModeSource> LockManager<S> {
                 self.cv.notify_all();
             }
 
-            let timed_out = self.cv.wait_for(&mut st, self.wait_timeout).timed_out();
+            let timed_out = if finecc_chaos::scheduled_session() {
+                drop(st);
+                finecc_chaos::yield_point(finecc_chaos::Site::LockWait);
+                st = self.state.lock();
+                chaos_waits += 1;
+                chaos_waits >= CHAOS_WAIT_BUDGET
+            } else {
+                self.cv.wait_for(&mut st, self.wait_timeout).timed_out()
+            };
 
             if st.victims.remove(&txn) {
                 if let Some(e) = st.entries.get_mut(&res) {

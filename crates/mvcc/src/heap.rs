@@ -997,6 +997,9 @@ impl MvccHeap {
         field: FieldId,
         value: Value,
     ) -> Result<WriteOutcome, MvccWriteError> {
+        // Chaos scheduling decision strictly before the writer latch:
+        // a parked latch holder would deadlock the token scheduler.
+        finecc_chaos::yield_point(finecc_chaos::Site::WriteInstall);
         // Type/domain validation runs before any latch is taken.
         self.base.check_write(field, &value)?;
         let shard = self.shard(oid);
@@ -1206,7 +1209,7 @@ impl MvccHeap {
     /// timestamp is published as a *skip* (keeping the watermark prefix
     /// contiguous), and the [`SsiConflict`] is returned — the caller
     /// retries on a fresh snapshot, like a first-updater-wins victim.
-    pub fn commit(&self, txn: TxnId) -> Result<Ts, SsiConflict> {
+    pub fn commit(&self, txn: TxnId) -> Result<Ts, CommitError> {
         let state =
             self.txn_stripe(txn).lock().remove(&txn).unwrap_or_else(|| {
                 panic!("transaction {txn} is not registered with the mvcc heap")
@@ -1222,7 +1225,7 @@ impl MvccHeap {
                     self.epochs.unregister(state.epoch);
                     self.stats.bump_ssi_aborts();
                     self.stats.bump_aborts();
-                    return Err(c);
+                    return Err(c.into());
                 }
             }
             self.epochs.unregister(state.epoch);
@@ -1232,6 +1235,10 @@ impl MvccHeap {
 
         // Benchmark baseline only: serialize the whole draw→flip→publish
         // window behind one mutex, reproducing the seed's commit lock.
+        // Chaos yield points inside the window are skipped under the
+        // baseline (`coarse.is_some()`): a scheduled worker parked
+        // while holding this mutex would deadlock the token scheduler.
+        finecc_chaos::yield_point(finecc_chaos::Site::CommitTsDraw);
         let coarse = self.coarse_commit.as_ref().map(|m| m.lock());
 
         // Commit-phase probes (no-ops on a disabled handle — not even
@@ -1256,8 +1263,10 @@ impl MvccHeap {
                 // harmless (any later durable commit covers the frame;
                 // a reused trailing skip timestamp flipped nothing).
                 if let Some(wal) = &self.wal {
-                    wal.append_skip(commit_ts)
-                        .expect("write-ahead log append failed; durability cannot be guaranteed");
+                    // Best-effort even on a degraded log: a lost skip
+                    // is harmless (see above), so a failed append must
+                    // not escalate an SSI refusal into a panic.
+                    let _ = wal.append_skip(commit_ts);
                 }
                 if self.watermark.publish(commit_ts) {
                     self.stats.bump_watermark_waits();
@@ -1270,7 +1279,7 @@ impl MvccHeap {
                 self.epochs.unregister(state.epoch);
                 self.stats.bump_ssi_aborts();
                 self.stats.bump_aborts();
-                return Err(c);
+                return Err(c.into());
             }
         }
         phases.lap(Phase::CommitTsDraw);
@@ -1317,17 +1326,48 @@ impl MvccHeap {
                     });
                 }
             }
-            wal.append_commit(commit_ts, txn, &writes)
-                .expect("write-ahead log append failed; durability cannot be guaranteed");
+            if coarse.is_none() {
+                finecc_chaos::yield_point(finecc_chaos::Site::CommitWalAppend);
+            }
+            if let Err(e) = wal.append_commit(commit_ts, txn, &writes) {
+                // Graceful degradation: the record never reached the
+                // log, so the commit must not happen — but the drawn
+                // timestamp must still reach the watermark or the
+                // contiguous prefix stalls forever. Publish it as a
+                // skip (best-effort on the log; a lost skip is
+                // harmless, see the SSI-refusal path above) and roll
+                // the transaction back. The SSI tracker has already
+                // recorded the transaction as committed at
+                // `commit_ts`; leaving that in place is conservative —
+                // it can only produce false-positive aborts of rivals,
+                // never a missed conflict.
+                let _ = wal.append_skip(commit_ts);
+                if self.watermark.publish(commit_ts) {
+                    self.stats.bump_watermark_waits();
+                }
+                self.stats.bump_ts_skips();
+                drop(coarse);
+                let rolled_back = self.rollback_writes(txn, &state);
+                self.stats.add_versions_reclaimed(rolled_back as u64);
+                self.epochs.unregister(state.epoch);
+                self.stats.bump_aborts();
+                return Err(CommitError::LogIo(e.to_string()));
+            }
         }
         phases.lap(Phase::CommitWalAck);
         // Flip this transaction's pending records to the commit
         // timestamp — an atomic store per record through the published
         // chain snapshots, no latch.
         for rec in &own_records {
+            if coarse.is_none() {
+                finecc_chaos::yield_point(finecc_chaos::Site::CommitFlipStep);
+            }
             rec.commit_ts.store(commit_ts, Ordering::SeqCst);
         }
         phases.lap(Phase::CommitFlip);
+        if coarse.is_none() {
+            finecc_chaos::yield_point(finecc_chaos::Site::CommitPublish);
+        }
         if self.watermark.publish(commit_ts) {
             self.stats.bump_watermark_waits();
         }
@@ -1344,7 +1384,13 @@ impl MvccHeap {
         // and publication all ran latch-free above. Relaxing this
         // needs a per-session visibility floor, which needs a session
         // abstraction the heap does not have (see the ROADMAP).
-        self.watermark.wait_published(commit_ts);
+        // The chaos fault plane can switch this barrier off
+        // (`Site::CommitPublishWait` + `FaultKind::Disable`): the
+        // explorer's known-bug regression re-creates the pre-barrier
+        // engine and shows the lost-own-write anomaly it allowed.
+        if !finecc_chaos::disabled_at(finecc_chaos::Site::CommitPublishWait) {
+            self.watermark.wait_published(commit_ts);
+        }
         phases.lap(Phase::CommitPublish);
         if self.obs.trace_sampled(txn.0) {
             let dur = phases.elapsed_ns().unwrap_or(0);
@@ -1466,6 +1512,10 @@ impl MvccHeap {
     /// (`cow_reclaimed` in the statistics). Returns the number of
     /// records reclaimed.
     pub fn gc(&self) -> usize {
+        // The copy-on-write reclamation decision point — outside every
+        // latch (pins are never held across yield sites, so GC never
+        // waits on a parked thread).
+        finecc_chaos::yield_point(finecc_chaos::Site::CowReclaim);
         let horizon = self.gc_horizon();
         if let Some(ssi) = &self.ssi {
             ssi.purge(horizon);
@@ -1617,6 +1667,38 @@ impl std::fmt::Display for MvccWriteError {
 }
 
 impl std::error::Error for MvccWriteError {}
+
+/// Why [`MvccHeap::commit`] refused a transaction. On either variant
+/// the transaction is fully rolled back (as by [`MvccHeap::abort`])
+/// and its drawn timestamp is published as a *skip*, keeping the
+/// watermark prefix dense — callers retry on a fresh snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CommitError {
+    /// Serializable validation found a dangerous structure.
+    Ssi(SsiConflict),
+    /// The write-ahead log could not make the commit durable (append
+    /// or fsync failure). Nothing became visible; the failure may be
+    /// transient (the log degrades batch by batch), so the error is
+    /// retryable.
+    LogIo(String),
+}
+
+impl From<SsiConflict> for CommitError {
+    fn from(c: SsiConflict) -> CommitError {
+        CommitError::Ssi(c)
+    }
+}
+
+impl std::fmt::Display for CommitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommitError::Ssi(c) => c.fmt(f),
+            CommitError::LogIo(m) => write!(f, "write-ahead log failure: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CommitError {}
 
 #[cfg(test)]
 mod tests {

@@ -120,6 +120,10 @@ impl Watermark {
     pub(crate) fn wait_published(&self, ts: Ts) {
         let mut spins = 0u32;
         while self.get() < ts {
+            // Under a chaos scheduled session the spinner must hand
+            // the token back, or the parked owner of an earlier
+            // unpublished timestamp never runs (no-op otherwise).
+            finecc_chaos::yield_point(finecc_chaos::Site::WatermarkWait);
             spins += 1;
             if spins < 64 {
                 std::hint::spin_loop();
@@ -146,6 +150,9 @@ impl Watermark {
         while self.published.load(SeqCst) + cap < ts
             || slot.compare_exchange(EMPTY, ts, SeqCst, SeqCst).is_err()
         {
+            // Same token hand-back as `wait_published`: the overflow
+            // fallback spins on other publishers making progress.
+            finecc_chaos::yield_point(finecc_chaos::Site::WatermarkPublish);
             if !waited {
                 waited = true;
                 self.waits.fetch_add(1, SeqCst);

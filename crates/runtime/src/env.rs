@@ -172,18 +172,25 @@ impl Env {
     /// every field its undo log projected, read while the 2PL locks
     /// are still held — to the attached log under commit sequence
     /// `seq`, then discards the undo log. A no-op (beyond the discard)
-    /// without an attached log or for read-only transactions. Panics
-    /// if the log cannot accept the record: a commit that cannot be
-    /// made durable must not be acked.
-    pub fn log_commit_redo(&self, txn: &mut Txn, seq: u64) {
+    /// without an attached log or for read-only transactions.
+    ///
+    /// A commit that cannot be made durable must not be acked: when the
+    /// log refuses the record, the transaction is rolled back right
+    /// here — before any lock is released, so nothing of it was ever
+    /// visible — and a retryable [`ExecError::LogIo`] is returned (the
+    /// log degrades batch by batch; the failure may be transient).
+    pub fn log_commit_redo(&self, txn: &mut Txn, seq: u64) -> Result<(), ExecError> {
         if let Some(wal) = &self.wal {
             if !txn.undo.is_empty() {
                 let writes = txn.undo.redo_projection(&self.db);
-                wal.append_commit(seq, txn.id, &writes)
-                    .expect("write-ahead log append failed; durability cannot be guaranteed");
+                if let Err(e) = wal.append_commit(seq, txn.id, &writes) {
+                    txn.undo.rollback(&self.db);
+                    return Err(ExecError::LogIo(e.to_string()));
+                }
             }
         }
         txn.undo.clear();
+        Ok(())
     }
 
     /// Parses `source`, compiles it, and builds the environment.
@@ -248,7 +255,7 @@ mod tests {
         txn.undo.record(o, f4, Value::Int(0));
         env.db.write(o, f4, Value::Int(9)).unwrap();
         let seq = env.next_commit_seq();
-        env.log_commit_redo(&mut txn, seq);
+        env.log_commit_redo(&mut txn, seq).unwrap();
         drop(env);
         drop(wal);
         // A second, unrelated environment must NOT attach to the

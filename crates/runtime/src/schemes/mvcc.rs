@@ -56,8 +56,8 @@ use finecc_lang::{DataAccess, ExecError};
 use finecc_lock::{LockStats, StatsSnapshot};
 use finecc_model::{ClassId, FieldId, MethodId, Oid, TxnId, Value};
 use finecc_mvcc::{
-    CommitPath, DurabilityLevel, IsolationLevel, MvccHeap, MvccStatsSnapshot, MvccWriteError,
-    SsiConflict, Wal, WalConfig,
+    CommitError, CommitPath, DurabilityLevel, IsolationLevel, MvccHeap, MvccStatsSnapshot,
+    MvccWriteError, SsiConflict, Wal, WalConfig,
 };
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -316,7 +316,12 @@ impl CcScheme for MvccScheme {
         // At Serializable the heap validates here and rolls the
         // transaction back itself on a dangerous structure.
         txn.undo.clear();
-        self.heap.commit(txn.id).map_err(MvccScheme::ssi_err)
+        self.heap.commit(txn.id).map_err(|e| match e {
+            CommitError::Ssi(c) => MvccScheme::ssi_err(c),
+            // The heap already rolled the transaction back and skip-
+            // published the drawn timestamp; the failure is retryable.
+            CommitError::LogIo(m) => ExecError::LogIo(m),
+        })
     }
 
     fn abort(&self, mut txn: Txn) {

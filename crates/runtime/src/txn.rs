@@ -45,16 +45,17 @@ impl Txn {
 /// How a [`run_txn`] attempt ended.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TxnOutcome<T> {
-    /// Committed after `retries` deadlock aborts.
+    /// Committed after `retries` retryable aborts.
     Committed {
         /// The closure's result.
         value: T,
-        /// Number of deadlock retries before success.
+        /// Number of retryable aborts (deadlock victims, transient log
+        /// failures) before success.
         retries: u32,
     },
-    /// Gave up after exhausting `max_retries` deadlock aborts.
+    /// Gave up after exhausting the policy's retry budget.
     Exhausted {
-        /// Deadlock aborts performed.
+        /// Retryable aborts performed.
         retries: u32,
     },
     /// Failed with a non-retryable error (aborted, rolled back).
@@ -76,16 +77,60 @@ impl<T> TxnOutcome<T> {
     }
 }
 
-/// Runs `body` as a transaction against `scheme`, committing on success,
-/// aborting (undo + release) on error, and retrying deadlock victims up
-/// to `max_retries` times. A *commit-time* refusal (mvcc-ssi dangerous
-/// structures) counts as a retry too: the scheme has already rolled the
-/// transaction back, so the loop simply re-runs the body on a fresh
-/// snapshot. This is the standard driver used by the simulator, the
-/// examples and the stress tests.
+/// Bounds and paces the retry loop of [`run_txn_with`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retryable aborts tolerated before giving up
+    /// ([`TxnOutcome::Exhausted`]).
+    pub max_retries: u32,
+    /// Backoff units per retry: attempt `n` backs off
+    /// `min(n, 8) * backoff_unit` steps, each one cooperative yield
+    /// (and, under a chaos scheduled session, one virtual-time
+    /// scheduling decision — the backoff is deterministic there).
+    pub backoff_unit: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 64,
+            backoff_unit: 1,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The default pacing with a custom retry budget.
+    pub fn with_max_retries(max_retries: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_retries,
+            ..RetryPolicy::default()
+        }
+    }
+}
+
+/// [`run_txn_with`] under the default pacing and a custom retry budget
+/// — the standard driver used by the simulator, the examples and the
+/// stress tests.
 pub fn run_txn<T>(
     scheme: &dyn CcScheme,
     max_retries: u32,
+    body: impl FnMut(&mut Txn) -> Result<T, ExecError>,
+) -> TxnOutcome<T> {
+    run_txn_with(scheme, RetryPolicy::with_max_retries(max_retries), body)
+}
+
+/// Runs `body` as a transaction against `scheme`, committing on
+/// success, aborting (undo + release) on error, and retrying
+/// *retryable* failures — deadlock victims and transient write-ahead
+/// log refusals ([`ExecError::is_retryable`]) — within the policy's
+/// budget. A *commit-time* refusal (mvcc-ssi dangerous structures, a
+/// failed redo append) counts as a retry too: the scheme has already
+/// rolled the transaction back, so the loop simply re-runs the body on
+/// a fresh snapshot.
+pub fn run_txn_with<T>(
+    scheme: &dyn CcScheme,
+    policy: RetryPolicy,
     mut body: impl FnMut(&mut Txn) -> Result<T, ExecError>,
 ) -> TxnOutcome<T> {
     let obs = scheme.obs();
@@ -95,6 +140,7 @@ pub fn run_txn<T>(
     let txn_start = obs.clock();
     let mut retries = 0;
     let outcome = loop {
+        finecc_chaos::yield_point(finecc_chaos::Site::TxnStart);
         let mut txn = scheme.begin();
         let id = txn.id;
         emit_instant(obs, EventKind::Begin, id);
@@ -106,7 +152,7 @@ pub fn run_txn<T>(
                 }
                 // Failed commit == the scheme aborted the transaction
                 // itself; no abort() call — the Txn is consumed.
-                Err(e) if e.is_deadlock() => {
+                Err(e) if e.is_retryable() => {
                     emit_instant(obs, EventKind::Abort, id);
                     true
                 }
@@ -115,7 +161,7 @@ pub fn run_txn<T>(
                     break TxnOutcome::Failed(e);
                 }
             },
-            Err(e) if e.is_deadlock() => {
+            Err(e) if e.is_retryable() => {
                 scheme.abort(txn);
                 emit_instant(obs, EventKind::Abort, id);
                 true
@@ -128,12 +174,15 @@ pub fn run_txn<T>(
         };
         debug_assert!(retryable);
         retries += 1;
-        if retries > max_retries {
+        if retries > policy.max_retries {
             break TxnOutcome::Exhausted { retries };
         }
-        // Brief backoff proportional to the retry count keeps rival
+        // Bounded backoff proportional to the retry count keeps rival
         // victims from re-colliding in lockstep.
-        std::thread::yield_now();
+        for _ in 0..retries.min(8).saturating_mul(policy.backoff_unit) {
+            finecc_chaos::yield_point(finecc_chaos::Site::TxnBackoff);
+            std::thread::yield_now();
+        }
     };
     obs.record_since(Phase::TxnLatency, txn_start);
     outcome

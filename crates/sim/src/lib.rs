@@ -17,7 +17,13 @@
 //! * [`stepper`] — a deterministic round-robin driver for reproducible
 //!   schedules.
 //! * [`metrics`] — experiment result aggregation and table rendering.
+//! * [`chaos`] — deterministic fault-injection scenarios over the
+//!   `finecc-chaos` harness: seeded schedule exploration across all six
+//!   schemes, invariant checking (lost own writes, torn pairs,
+//!   watermark regressions, recovery = committed prefix), greedy
+//!   schedule minimization, and replayable repro files.
 
+pub mod chaos;
 pub mod exec;
 pub mod figure1;
 pub mod metrics;
@@ -25,6 +31,10 @@ pub mod scenarios;
 pub mod stepper;
 pub mod workload;
 
+pub use chaos::{
+    explore, minimize, read_repro, replay_repro, run_chaos, write_repro, Anomaly, ChaosOp,
+    ChaosReport, ChaosScenario, Finding,
+};
 pub use exec::{run_concurrent, run_sequential, ExecConfig, ExecReport};
 pub use metrics::{render_table, Metrics};
 pub use scenarios::{scenario_outcomes, ScenarioOutcome, TxnKind};

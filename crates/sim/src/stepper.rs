@@ -52,13 +52,13 @@ pub fn run_stepped(scheme: &dyn CcScheme, ops: &[TxnOp], max_rounds_per_txn: u32
             // separately.
             Ok(()) => match scheme.commit(txn) {
                 Ok(_) => true,
-                Err(finecc_lang::ExecError::ConcurrencyAbort { .. }) => {
+                Err(e) if e.is_retryable() => {
                     report.commit_refusals += 1;
                     false
                 }
                 Err(e) => panic!("stepper commit failed non-retryably: {e}"),
             },
-            Err(finecc_lang::ExecError::ConcurrencyAbort { .. }) => {
+            Err(e) if e.is_retryable() => {
                 scheme.abort(txn);
                 false
             }

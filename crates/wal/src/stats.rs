@@ -13,6 +13,7 @@ pub struct WalStats {
     group_commit_records: AtomicU64,
     group_commit_max: AtomicU64,
     sync_waits: AtomicU64,
+    append_failures: AtomicU64,
     recovery_replayed: AtomicU64,
 }
 
@@ -40,6 +41,10 @@ impl WalStats {
         self.sync_waits.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn add_append_failures(&self, n: u64) {
+        self.append_failures.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Records how many log records the recovery that produced this
     /// log's owner replayed (set once by `MvccHeap::recover` and the
     /// scheme-level recovery paths).
@@ -57,6 +62,7 @@ impl WalStats {
             group_commit_records: self.group_commit_records.load(Ordering::Relaxed),
             group_commit_max: self.group_commit_max.load(Ordering::Relaxed),
             sync_waits: self.sync_waits.load(Ordering::Relaxed),
+            append_failures: self.append_failures.load(Ordering::Relaxed),
             recovery_replayed: self.recovery_replayed.load(Ordering::Relaxed),
         }
     }
@@ -70,6 +76,7 @@ impl WalStats {
         self.group_commit_records.store(0, Ordering::Relaxed);
         self.group_commit_max.store(0, Ordering::Relaxed);
         self.sync_waits.store(0, Ordering::Relaxed);
+        self.append_failures.store(0, Ordering::Relaxed);
         self.recovery_replayed.store(0, Ordering::Relaxed);
     }
 }
@@ -94,6 +101,11 @@ pub struct WalStatsSnapshot {
     /// Appends that blocked waiting for their durability ack
     /// (`WalSync` only).
     pub sync_waits: u64,
+    /// Records whose append or fsync failed (real I/O errors and
+    /// injected faults). The waiters saw a retryable error; the log
+    /// rewound the failed batch and kept going unless the rewind
+    /// itself failed (permanent poison).
+    pub append_failures: u64,
     /// Log records replayed by the recovery that produced this log's
     /// heap (0 on a fresh database).
     pub recovery_replayed: u64,
@@ -125,6 +137,7 @@ impl WalStatsSnapshot {
                 .saturating_sub(earlier.group_commit_records),
             group_commit_max: self.group_commit_max,
             sync_waits: self.sync_waits.saturating_sub(earlier.sync_waits),
+            append_failures: self.append_failures.saturating_sub(earlier.append_failures),
             recovery_replayed: self.recovery_replayed,
         }
     }

@@ -80,6 +80,13 @@ pub mod sim {
     pub use finecc_sim::*;
 }
 
+/// The deterministic fault-injection harness (virtual-time scheduler,
+/// fault plane, schedule minimization). Scenario-level machinery —
+/// explorer, invariants, repro files — lives in [`sim::chaos`].
+pub mod chaos {
+    pub use finecc_chaos::*;
+}
+
 /// The most commonly used items, in one import.
 pub mod prelude {
     pub use finecc_core::{compile, AccessMode, AccessVector, ClassTable, CompiledSchema};
