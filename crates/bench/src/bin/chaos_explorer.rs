@@ -7,6 +7,14 @@
 //! minimized and written out as a `finecc-chaos-repro v1` artifact,
 //! and the process exits nonzero — this is the CI `chaos-smoke` job.
 //!
+//! `CHAOS_RECOVERY=1` sweeps the *durability pipeline* instead: every
+//! checkpoint fault site × {io-error, crash} × hit is injected into
+//! mid-run checkpoints of the mvcc schemes at `WalSync`, and every run
+//! additionally verifies restartable recovery (crash the recovery at
+//! each probe site, recover again, demand the identical state). Zero
+//! anomalies expected — this is the recovery half of the CI
+//! `recovery-smoke` job.
+//!
 //! `CHAOS_DEMO=1` instead demonstrates the full find → minimize →
 //! replay loop on a *known* bug: it disables the mvcc commit barrier
 //! (`wait_published`) through the fault plane, explores until the
@@ -14,12 +22,17 @@
 //! replays the repro file, and asserts the anomaly reproduces.
 //!
 //! Environment:
-//! * `CHAOS_SEEDS`       — seeds per cell (default 10)
+//! * `CHAOS_SEEDS`       — seeds per cell (default 10; 2 in the
+//!   recovery sweep)
 //! * `CHAOS_SEED_START`  — first seed (default 1)
 //! * `CHAOS_WORKERS`     — workers per scenario (default 3)
-//! * `CHAOS_OPS`         — ops per worker (default 6)
+//! * `CHAOS_OPS`         — ops per worker (default 6; 8 in the
+//!   recovery sweep so checkpoints land mid-run)
+//! * `CHAOS_HITS`        — fault hits swept per site in the recovery
+//!   sweep (default 2: the genesis checkpoint and the first online one)
 //! * `CHAOS_OUT`         — repro artifact directory (default
 //!   `target/chaos-repros`)
+//! * `CHAOS_RECOVERY`    — run the checkpoint/recovery fault sweep
 //! * `CHAOS_DEMO`        — run the known-bug demo instead of the sweep
 
 use finecc_chaos::{FaultKind, FaultPlan, FaultSpec, Site};
@@ -45,6 +58,10 @@ fn out_dir() -> PathBuf {
 fn main() {
     if std::env::var("CHAOS_DEMO").is_ok_and(|v| v != "0") {
         demo_known_bug();
+        return;
+    }
+    if std::env::var("CHAOS_RECOVERY").is_ok_and(|v| v != "0") {
+        recovery_sweep();
         return;
     }
     sweep();
@@ -116,6 +133,98 @@ fn sweep() {
     }
     println!(
         "{runs} runs, {commits} commits, {retries} retries, {ticks} virtual ticks, {failures} failures"
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// The durability-pipeline sweep: inject an io-error or crash at every
+/// checkpoint fault site × hit into mid-run checkpoints of the mvcc
+/// schemes at `WalSync` (hit 0 is the genesis checkpoint at attach),
+/// plus a fault-free baseline cell per scheme. Every run also checks
+/// recovery = acked prefix and — via `verify_restartable` — that a
+/// recovery crashed at any probe site recovers identically on restart.
+fn recovery_sweep() {
+    let start = env_u64("CHAOS_SEED_START", 1);
+    let count = env_u64("CHAOS_SEEDS", 2);
+    let workers = env_u64("CHAOS_WORKERS", 3) as usize;
+    let ops = env_u64("CHAOS_OPS", 8) as usize;
+    let hits = env_u64("CHAOS_HITS", 2);
+    let kinds = [FaultKind::IoError, FaultKind::Crash];
+    // One fault-free cell (None), then the full site × kind × hit grid.
+    let mut cells: Vec<Option<(Site, FaultKind, u64)>> = vec![None];
+    for site in Site::CHECKPOINT {
+        for kind in kinds {
+            for hit in 0..hits {
+                cells.push(Some((site, kind, hit)));
+            }
+        }
+    }
+    let mut runs = 0u64;
+    let mut commits = 0u64;
+    let mut checkpoints = 0u64;
+    let mut refused = 0u64;
+    let mut failures = 0u32;
+    println!(
+        "recovery sweep: seeds {start}..{} x 2 mvcc schemes x {} fault cells \
+         (restartable recovery verified on every run)",
+        start + count,
+        cells.len()
+    );
+    for kind in [SchemeKind::Mvcc, SchemeKind::MvccSsi] {
+        for cell in &cells {
+            for seed in start..start + count {
+                let mut sc = ChaosScenario::new(kind, seed).durable(DurabilityLevel::WalSync);
+                sc.workers = workers;
+                sc.ops_per_worker = ops;
+                sc.checkpoint_every = 2;
+                sc.verify_restartable = true;
+                let label = match cell {
+                    Some((site, fk, hit)) => {
+                        sc = sc.with_faults(FaultPlan::of([FaultSpec::once(*site, *hit, *fk)]));
+                        format!("{}@{}#{hit}", fk.name(), site.name())
+                    }
+                    None => "baseline".to_string(),
+                };
+                let report = match run_chaos(&sc) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("FAIL {kind}/{label} seed {seed}: io error {e}");
+                        failures += 1;
+                        continue;
+                    }
+                };
+                runs += 1;
+                commits += report.commits;
+                checkpoints += report.checkpoints;
+                refused += report.checkpoint_failures;
+                if !report.anomalies.is_empty() {
+                    failures += 1;
+                    let minimized = minimize(&sc, &report.outcome.decisions, 200);
+                    let path = out_dir().join(format!(
+                        "recovery-anomaly-{}-{label}-seed{seed}.repro",
+                        kind.name()
+                    ));
+                    let pin = pinned(&sc, &minimized);
+                    if let Err(e) = write_repro(&path, &pin, &minimized) {
+                        eprintln!("  (could not write repro: {e})");
+                    }
+                    eprintln!(
+                        "FAIL {kind}/{label} seed {seed}: {} anomalies, repro at {}",
+                        report.anomalies.len(),
+                        path.display()
+                    );
+                    for a in &report.anomalies {
+                        eprintln!("  - {a}");
+                    }
+                }
+            }
+        }
+    }
+    println!(
+        "{runs} runs, {commits} commits, {checkpoints} checkpoints taken, \
+         {refused} checkpoints refused by injected faults, {failures} failures"
     );
     if failures > 0 {
         std::process::exit(1);

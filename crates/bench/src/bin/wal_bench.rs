@@ -28,6 +28,13 @@
 //! microseconds), not means — at `wal-sync` the ack-wait tail is where
 //! batching shows up, and a mean would hide it.
 //!
+//! A second experiment (`wal_truncation` rows in the JSON) measures
+//! the log-maintenance pipeline: repeated checkpoint + truncation
+//! cycles, asserting the log file compacts back after every cycle
+//! (bounded growth) and checkpoint retention caps the `.ckpt` files,
+//! then recovers the directory through a deliberately tiny reorder
+//! window to show replay memory is O(window), not O(log).
+//!
 //! `FINECC_BENCH_TXNS` overrides the per-thread commit count (CI smoke
 //! sets it low). Emits `BENCH_wal.json` (into
 //! `FINECC_BENCH_JSON_DIR`, default the workspace root) like the other
@@ -35,7 +42,10 @@
 
 use finecc_bench::{bench_threads, json_object, txns_per_cell, write_bench_json, JsonVal};
 use finecc_model::{FieldId, FieldType, Oid, SchemaBuilder, TxnId, Value};
-use finecc_mvcc::{CommitPath, DurabilityLevel, IsolationLevel, MvccHeap, Wal, WalConfig};
+use finecc_mvcc::{
+    recover_database_with_window, CommitPath, DurabilityLevel, IsolationLevel, MvccHeap, Wal,
+    WalConfig,
+};
 use finecc_obs::{LatencySummary, Obs, ObsConfig, Phase};
 use finecc_sim::render_table;
 use finecc_store::Database;
@@ -125,6 +135,112 @@ fn run_cell(fx: &Fixture, threads: usize, txns_per_thread: usize) -> f64 {
         }
     });
     start.elapsed().as_secs_f64()
+}
+
+/// Experiment rows for the log-maintenance pipeline: checkpoint +
+/// truncation cycles with bounded log growth, retention, and a
+/// window-limited recovery proving replay memory is O(window).
+fn truncation_experiment(json: &mut Vec<String>) {
+    let per_cycle = txns_per_cell(2000).min(500);
+    let cycles = 3usize;
+    let fx = fixture(1, DurabilityLevel::WalSync, 64, "trunc");
+    println!("truncation sweep: {cycles} checkpoint+truncation cycles of {per_cycle} commits\n");
+    let mut rows = Vec::new();
+    let mut prev = fx.heap.wal().expect("wal attached").stats().snapshot();
+    for cycle in 0..cycles {
+        run_cell(&fx, 1, per_cycle);
+        let log_path = Wal::log_path(&fx.dir);
+        let before = std::fs::metadata(&log_path).expect("log exists").len();
+        let ckpt_ts = fx.heap.checkpoint().expect("checkpoint writes");
+        let after = std::fs::metadata(&log_path).expect("log exists").len();
+        let stats = fx.heap.wal().expect("wal attached").stats().snapshot();
+        let ckpt_files = std::fs::read_dir(&fx.dir)
+            .expect("dir listable")
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_string_lossy()
+                    .ends_with(".ckpt")
+            })
+            .count();
+        assert!(
+            after < before,
+            "cycle {cycle}: truncation must compact the log ({before} -> {after} bytes)"
+        );
+        assert!(ckpt_files <= 2, "retention caps the checkpoint files");
+        rows.push(vec![
+            cycle.to_string(),
+            per_cycle.to_string(),
+            ckpt_ts.to_string(),
+            before.to_string(),
+            after.to_string(),
+            (stats.truncated_bytes - prev.truncated_bytes).to_string(),
+            (stats.checkpoints_removed - prev.checkpoints_removed).to_string(),
+            ckpt_files.to_string(),
+        ]);
+        json.push(json_object(&[
+            ("experiment", JsonVal::from("wal_truncation")),
+            ("cycle", JsonVal::from(cycle)),
+            ("commits", JsonVal::from(per_cycle)),
+            ("checkpoint_ts", JsonVal::from(ckpt_ts)),
+            ("log_bytes_before", JsonVal::from(before)),
+            ("log_bytes_after", JsonVal::from(after)),
+            (
+                "truncated_bytes",
+                JsonVal::from(stats.truncated_bytes - prev.truncated_bytes),
+            ),
+            (
+                "checkpoints_removed",
+                JsonVal::from(stats.checkpoints_removed - prev.checkpoints_removed),
+            ),
+            ("checkpoint_files", JsonVal::from(ckpt_files)),
+        ]));
+        prev = stats;
+    }
+    // A tail past the last checkpoint, then recovery through a reorder
+    // window far smaller than the tail: peak replay memory stays at
+    // the window, not the log.
+    run_cell(&fx, 1, per_cycle);
+    let dir = fx.dir.clone();
+    drop(fx);
+    let window = 8usize;
+    let (_db, info) = recover_database_with_window(&dir, window).expect("recovery succeeds");
+    assert_eq!(info.replayed, per_cycle as u64, "the whole tail replays");
+    assert!(
+        info.peak_reorder <= window as u64 + 1,
+        "replay buffered {} frames with a window of {window}",
+        info.peak_reorder
+    );
+    json.push(json_object(&[
+        ("experiment", JsonVal::from("wal_recovery_window")),
+        ("tail_commits", JsonVal::from(per_cycle)),
+        ("reorder_window", JsonVal::from(window)),
+        ("replayed", JsonVal::from(info.replayed)),
+        ("peak_reorder", JsonVal::from(info.peak_reorder)),
+    ]));
+    let _ = std::fs::remove_dir_all(&dir);
+    println!(
+        "{}",
+        render_table(
+            &[
+                "cycle",
+                "commits",
+                "ckpt ts",
+                "log before",
+                "log after",
+                "truncated",
+                "ckpts removed",
+                "ckpt files",
+            ],
+            &rows
+        )
+    );
+    println!(
+        "recovery with reorder window {window}: {} records replayed, peak\n\
+         reorder {} frames — replay memory is the window, not the log.\n",
+        info.replayed, info.peak_reorder
+    );
 }
 
 fn main() {
@@ -280,7 +396,8 @@ fn main() {
     println!("shapes: wal-sync amortizes fsyncs across concurrent committers (mean");
     println!("batch rises with threads; batch cap 1 is the fsync-per-commit");
     println!("baseline); wal keeps commits off the fsync path entirely. Timing");
-    println!("shapes are recorded, not asserted — smoke runs are tiny.");
+    println!("shapes are recorded, not asserted — smoke runs are tiny.\n");
+    truncation_experiment(&mut json);
     match write_bench_json("BENCH_wal.json", &json) {
         Ok(path) => println!("\nmachine-readable results: {}", path.display()),
         Err(e) => eprintln!("\nfailed to write BENCH_wal.json: {e}"),

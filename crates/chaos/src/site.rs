@@ -49,10 +49,27 @@ pub enum Site {
     WalFlushWrite = 15,
     /// WAL: group-commit flusher, before syncing a batch.
     WalFlushFsync = 16,
+    /// Checkpoint writer: before the image is encoded.
+    CkptEncode = 17,
+    /// Checkpoint writer: before the temp file is written.
+    CkptTmpWrite = 18,
+    /// Checkpoint writer: before the temp file's fsync.
+    CkptFsync = 19,
+    /// Checkpoint writer: before the rename into place.
+    CkptRename = 20,
+    /// Checkpoint writer: before the directory fsync that persists the
+    /// rename (a crash here may lose the just-renamed dirent).
+    CkptDirFsync = 21,
+    /// Recovery: before a checkpoint file is read and decoded.
+    RecoverCkptDecode = 22,
+    /// Recovery: before each log frame is read during replay.
+    RecoverScan = 23,
+    /// Recovery: before each decoded record is applied to the store.
+    RecoverApply = 24,
 }
 
 /// Number of distinct sites (sizes the per-site hit counters).
-pub const SITE_COUNT: usize = 17;
+pub const SITE_COUNT: usize = 25;
 
 impl Site {
     /// Every site, indexable by discriminant.
@@ -74,6 +91,34 @@ impl Site {
         Site::WalFsync,
         Site::WalFlushWrite,
         Site::WalFlushFsync,
+        Site::CkptEncode,
+        Site::CkptTmpWrite,
+        Site::CkptFsync,
+        Site::CkptRename,
+        Site::CkptDirFsync,
+        Site::RecoverCkptDecode,
+        Site::RecoverScan,
+        Site::RecoverApply,
+    ];
+
+    /// The checkpoint-writer fault sites, in pipeline order (encode,
+    /// temp write, temp fsync, rename, directory fsync) — the sweep
+    /// vocabulary for crash-during-checkpoint exploration.
+    pub const CHECKPOINT: [Site; 5] = [
+        Site::CkptEncode,
+        Site::CkptTmpWrite,
+        Site::CkptFsync,
+        Site::CkptRename,
+        Site::CkptDirFsync,
+    ];
+
+    /// The recovery-replay fault sites, in pipeline order (checkpoint
+    /// decode, frame scan, record apply) — the sweep vocabulary for
+    /// crash-during-recovery exploration.
+    pub const RECOVERY: [Site; 3] = [
+        Site::RecoverCkptDecode,
+        Site::RecoverScan,
+        Site::RecoverApply,
     ];
 
     /// Stable name, used by repro files and traces.
@@ -96,6 +141,14 @@ impl Site {
             Site::WalFsync => "wal_fsync",
             Site::WalFlushWrite => "wal_flush_write",
             Site::WalFlushFsync => "wal_flush_fsync",
+            Site::CkptEncode => "ckpt_encode",
+            Site::CkptTmpWrite => "ckpt_tmp_write",
+            Site::CkptFsync => "ckpt_fsync",
+            Site::CkptRename => "ckpt_rename",
+            Site::CkptDirFsync => "ckpt_dir_fsync",
+            Site::RecoverCkptDecode => "recover_ckpt_decode",
+            Site::RecoverScan => "recover_scan",
+            Site::RecoverApply => "recover_apply",
         }
     }
 

@@ -73,6 +73,20 @@ pub enum ExecError {
     /// nothing became visible; the failure may be transient (the log
     /// degrades batch-by-batch), so the error is retryable.
     LogIo(String),
+    /// A recovery-pipeline operation (checkpoint write, checkpoint
+    /// decode, log replay) failed. Carries the offending file and —
+    /// where the failure has a position — the byte offset, mirrored
+    /// from `finecc_wal`'s typed recovery error (this crate cannot
+    /// depend on it, so the fields are plain). Not retryable: the
+    /// store's durability pipeline needs attention, not a re-run.
+    Recovery {
+        /// The file (or directory) the failure is about.
+        file: String,
+        /// Byte offset of the offence, when the failure has one.
+        offset: Option<u64>,
+        /// What went wrong.
+        detail: String,
+    },
 }
 
 impl ExecError {
@@ -129,6 +143,14 @@ impl fmt::Display for ExecError {
                 }
             }
             ExecError::LogIo(m) => write!(f, "write-ahead log failure: {m}"),
+            ExecError::Recovery {
+                file,
+                offset,
+                detail,
+            } => match offset {
+                Some(off) => write!(f, "recovery failure in {file} at offset {off}: {detail}"),
+                None => write!(f, "recovery failure in {file}: {detail}"),
+            },
         }
     }
 }
@@ -166,6 +188,13 @@ mod tests {
         };
         assert!(!refused.is_retryable());
         assert!(!ExecError::FuelExhausted.is_retryable());
+        let rec = ExecError::Recovery {
+            file: "wal.log".into(),
+            offset: Some(8),
+            detail: "checksum".into(),
+        };
+        assert!(!rec.is_retryable(), "recovery failures need attention");
+        assert!(rec.to_string().contains("offset 8"));
     }
 
     #[test]

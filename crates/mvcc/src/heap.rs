@@ -684,6 +684,15 @@ impl MvccHeap {
     /// The file is written atomically (temp + rename); recovery replays
     /// the log only above the returned timestamp. Requires an attached
     /// write-ahead log.
+    ///
+    /// After the checkpoint is durable (its rename directory-fsynced),
+    /// the maintenance pipeline runs: checkpoints beyond the retention
+    /// count are deleted and the log is truncated below the checkpoint
+    /// timestamp — `floor = ckpt_ts`, never higher, so extent events
+    /// that raced the fuzzy scan at `ckpt_ts` survive and commits below
+    /// it (already in the image) are dropped. Both steps are
+    /// best-effort: a failure leaves a bigger log/extra checkpoint, not
+    /// a durability hole, so the checkpoint itself still succeeds.
     pub fn checkpoint(&self) -> std::io::Result<Ts> {
         let wal = self
             .wal
@@ -723,7 +732,13 @@ impl MvccHeap {
             instances,
         });
         self.epochs.unregister(epoch);
-        result.map(|_| ckpt_ts)
+        result?;
+        // The checkpoint is durable; compaction failures past this
+        // point cost space, not safety — surface nothing. (A poisoned
+        // log *will* surface on the next append.)
+        let _ = wal.prune_checkpoints();
+        let _ = wal.truncate_below(ckpt_ts);
+        Ok(ckpt_ts)
     }
 
     #[inline]

@@ -62,7 +62,10 @@ pub use ssi::{IsolationLevel, SsiConflict};
 pub use stats::{MvccStats, MvccStatsSnapshot};
 // Durability is a scheme parameter like the isolation level; re-export
 // the knobs so heap consumers configure both from one place.
-pub use finecc_wal::{DurabilityLevel, RecoveryInfo, Wal, WalConfig, WalStats, WalStatsSnapshot};
+pub use finecc_wal::{
+    recover_database_with_window, DurabilityLevel, RecoveryInfo, Wal, WalConfig, WalStats,
+    WalStatsSnapshot, DEFAULT_REORDER_WINDOW,
+};
 
 /// Commit timestamps. `0` is the genesis timestamp (before any commit);
 /// pending versions carry [`TS_PENDING`].

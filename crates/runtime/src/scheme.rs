@@ -131,6 +131,17 @@ pub trait CcScheme: Send + Sync {
             .as_ref()
             .map_or(DurabilityLevel::None, |w| w.level())
     }
+
+    /// Takes a fuzzy checkpoint and runs the log-maintenance pipeline
+    /// (checkpoint retention, log truncation), returning the checkpoint
+    /// timestamp. `None` when the scheme has no online checkpoint
+    /// support — the default for the lock schemes, whose genesis
+    /// checkpoint is written at attach and whose stores only quiesce
+    /// between transactions. The mvcc schemes checkpoint concurrently
+    /// with live writers (the image pins a snapshot like any reader).
+    fn checkpoint(&self) -> Option<Result<u64, ExecError>> {
+        None
+    }
 }
 
 /// The six schemes, for configuration surfaces (CLI flags, workload

@@ -341,6 +341,24 @@ impl CcScheme for MvccScheme {
     fn mvcc_stats(&self) -> Option<MvccStatsSnapshot> {
         Some(self.heap.stats.snapshot())
     }
+
+    fn checkpoint(&self) -> Option<Result<u64, ExecError>> {
+        self.env.wal.as_ref()?;
+        Some(self.heap.checkpoint().map_err(|e| {
+            // The heap surfaces typed recovery errors through the
+            // io::Error bridge; recover the structure (file, offset)
+            // when it is there, fall back to the retryable log-I/O
+            // class otherwise.
+            match finecc_wal::as_recovery_error(&e) {
+                Some(rec) => ExecError::Recovery {
+                    file: rec.file().display().to_string(),
+                    offset: rec.offset(),
+                    detail: rec.to_string(),
+                },
+                None => ExecError::LogIo(e.to_string()),
+            }
+        }))
+    }
 }
 
 #[cfg(test)]
@@ -525,9 +543,40 @@ mod tests {
         let (s, _, o2) = setup();
         assert_eq!(s.durability(), DurabilityLevel::None);
         assert!(s.wal_stats().is_none());
+        assert!(s.checkpoint().is_none(), "no log, no online checkpoint");
         let mut txn = s.begin();
         s.send(&mut txn, o2, "m2", &[Value::Int(3)]).unwrap();
         s.commit(txn).unwrap();
+    }
+
+    #[test]
+    fn online_checkpoint_truncates_through_the_scheme() {
+        let dir = std::env::temp_dir().join(format!("finecc-scheme-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let env = Env::from_source(FIGURE1_SOURCE).unwrap();
+        let c2 = env.schema.class_by_name("c2").unwrap();
+        let o2 = env.db.create(c2);
+        let s = MvccScheme::with_durability(
+            env,
+            IsolationLevel::Snapshot,
+            DurabilityLevel::WalSync,
+            &dir,
+        )
+        .unwrap();
+        for i in 0..4 {
+            let mut txn = s.begin();
+            s.send(&mut txn, o2, "m1", &[Value::Int(i)]).unwrap();
+            s.commit(txn).unwrap();
+        }
+        let ts = s
+            .checkpoint()
+            .expect("durable mvcc scheme checkpoints online")
+            .expect("quiet checkpoint succeeds");
+        assert!(ts >= 4);
+        let wal = s.wal_stats().unwrap();
+        assert_eq!(wal.truncations, 2, "maintenance ran at genesis + online");
+        assert!(wal.truncated_bytes > 0, "pre-image commits were dropped");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -123,6 +123,17 @@ pub enum Anomaly {
         /// prefix).
         detail: String,
     },
+    /// A recovery crashed mid-replay (crash injected at a recovery
+    /// probe site) and the follow-up recovery did not reproduce the
+    /// undisturbed baseline — recovery is not restartable.
+    RecoveryNotRestartable {
+        /// The probe site the crash was injected at.
+        site: String,
+        /// Which hit of that site crashed.
+        hit: u64,
+        /// Human-readable diff (re-recovered vs. baseline).
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for Anomaly {
@@ -154,6 +165,12 @@ impl std::fmt::Display for Anomaly {
                 )
             }
             Anomaly::RecoveryMismatch { detail } => write!(f, "recovery mismatch: {detail}"),
+            Anomaly::RecoveryNotRestartable { site, hit, detail } => {
+                write!(
+                    f,
+                    "recovery not restartable (crash at {site}#{hit}): {detail}"
+                )
+            }
         }
     }
 }
@@ -197,6 +214,18 @@ pub struct ChaosScenario {
     /// scheduler (fully deterministic); `false` runs them free with
     /// only the fault plane armed (real threads, real WAL flusher).
     pub scheduled: bool,
+    /// Worker 0 takes an online checkpoint every this many of its ops
+    /// (0 = never). Puts checkpoint writes — and their maintenance
+    /// pipeline (retention, log truncation) — *inside* the scripted
+    /// concurrency, so `Site::CHECKPOINT` faults fire mid-run.
+    /// Schemes without online checkpoint support simply skip it.
+    pub checkpoint_every: usize,
+    /// After a durable run, crash a fresh recovery at **every**
+    /// recovery probe site × hit and re-recover cleanly each time; a
+    /// re-recovery that differs from the undisturbed baseline raises
+    /// [`Anomaly::RecoveryNotRestartable`]. Recovery is read-only on
+    /// disk by contract; this enforces the contract mechanically.
+    pub verify_restartable: bool,
 }
 
 impl ChaosScenario {
@@ -216,6 +245,8 @@ impl ChaosScenario {
             sched_seed: None,
             max_retries: 8,
             scheduled: true,
+            checkpoint_every: 0,
+            verify_restartable: false,
         }
     }
 
@@ -311,6 +342,14 @@ pub struct ChaosReport {
     /// Log batches/records refused and rolled back by the fault plane
     /// (0 without durability).
     pub log_failures: u64,
+    /// Mid-run online checkpoints taken ([`ChaosScenario`]'s
+    /// `checkpoint_every`), each followed by checkpoint retention and
+    /// log truncation.
+    pub checkpoints: u64,
+    /// Mid-run checkpoint attempts refused — by the fault plane or a
+    /// poisoned log. Never an anomaly by itself: a failed checkpoint
+    /// must leave durability intact, which the recovery check proves.
+    pub checkpoint_failures: u64,
     /// Invariant violations detected, in detection order.
     pub anomalies: Vec<Anomaly>,
 }
@@ -332,6 +371,8 @@ struct Track {
     retries: u64,
     exhausted: u64,
     failed: u64,
+    checkpoints: u64,
+    checkpoint_failures: u64,
     anomalies: Vec<Anomaly>,
 }
 
@@ -392,11 +433,22 @@ pub fn run_chaos(sc: &ChaosScenario) -> io::Result<ChaosReport> {
         .collect();
     let schema = std::sync::Arc::clone(&env.schema);
 
-    let scheme: Box<dyn CcScheme> = if sc.durability == DurabilityLevel::None {
-        sc.scheme.build(env)
+    // A fault injected into the *genesis* checkpoint (hit 0 of the
+    // checkpoint sites against a fresh directory) refuses startup: the
+    // store never opens, nothing is ever acked, and the run
+    // degenerates to the recovery check over whatever the directory
+    // holds. Real (un-injected) failures still propagate.
+    let scheme: Option<Box<dyn CcScheme>> = if sc.durability == DurabilityLevel::None {
+        Some(sc.scheme.build(env))
     } else {
-        sc.scheme
-            .build_durable(env, sc.durability, dir.as_ref().expect("durable dir"))?
+        match sc
+            .scheme
+            .build_durable(env, sc.durability, dir.as_ref().expect("durable dir"))
+        {
+            Ok(s) => Some(s),
+            Err(e) if chaos::crashed() || e.to_string().contains("injected:") => None,
+            Err(e) => return Err(e),
+        }
     };
 
     let policy = RetryPolicy::with_max_retries(sc.max_retries);
@@ -408,34 +460,55 @@ pub fn run_chaos(sc: &ChaosScenario) -> io::Result<ChaosReport> {
         retries: 0,
         exhausted: 0,
         failed: 0,
+        checkpoints: 0,
+        checkpoint_failures: 0,
         anomalies: Vec::new(),
     });
 
-    std::thread::scope(|scope| {
-        for (w, script) in scripts.iter().enumerate() {
-            let scheme = scheme.as_ref();
-            let track = &track;
-            let own = &own;
-            let pairs = &pairs;
-            scope.spawn(move || {
-                // Keeps this thread registered (and the token honest)
-                // for its whole lifetime; `None` in fault-only mode.
-                // Claiming slot `w` explicitly pins the worker ↔
-                // decision-value mapping across runs — OS thread
-                // startup order must not leak into the schedule.
-                let _worker = chaos::register_worker_as(w);
-                for &op in script {
-                    if chaos::crashed() {
-                        break; // drain: the log is poisoned, stop acking
+    if let Some(scheme) = scheme.as_deref() {
+        std::thread::scope(|scope| {
+            for (w, script) in scripts.iter().enumerate() {
+                let track = &track;
+                let own = &own;
+                let pairs = &pairs;
+                scope.spawn(move || {
+                    // Keeps this thread registered (and the token
+                    // honest) for its whole lifetime; `None` in
+                    // fault-only mode. Claiming slot `w` explicitly
+                    // pins the worker ↔ decision-value mapping across
+                    // runs — OS thread startup order must not leak
+                    // into the schedule.
+                    let _worker = chaos::register_worker_as(w);
+                    for (i, &op) in script.iter().enumerate() {
+                        if chaos::crashed() {
+                            break; // drain: the log is poisoned, stop acking
+                        }
+                        // Worker 0 doubles as the checkpointer: online
+                        // checkpoints land between its ops, concurrent
+                        // with every other worker's transactions.
+                        if w == 0
+                            && sc.checkpoint_every > 0
+                            && i > 0
+                            && i % sc.checkpoint_every == 0
+                        {
+                            if let Some(result) = scheme.checkpoint() {
+                                let mut t = track.lock().unwrap_or_else(|e| e.into_inner());
+                                match result {
+                                    Ok(_) => t.checkpoints += 1,
+                                    Err(_) => t.checkpoint_failures += 1,
+                                }
+                            }
+                        }
+                        run_op(scheme, policy, w, op, own, pairs, track);
                     }
-                    run_op(scheme, policy, w, op, own, pairs, track);
-                }
-            });
-        }
-    });
+                });
+            }
+        });
+    }
 
     let log_failures = scheme
-        .wal_stats()
+        .as_ref()
+        .and_then(|s| s.wal_stats())
         .map_or(0, |wstats| wstats.append_failures);
     // Drop the scheme (closing the log gracefully where it is not
     // poisoned) before uninstalling the harness and recovering.
@@ -446,6 +519,13 @@ pub fn run_chaos(sc: &ChaosScenario) -> io::Result<ChaosReport> {
     if let Some(dir) = dir.as_ref() {
         if let Some(a) = recovery_anomaly(dir, &schema, class, &cells, &t.acked, sc.scheduled)? {
             t.anomalies.push(a);
+        }
+        if sc.verify_restartable {
+            if let Some(a) =
+                restartability_anomaly(dir, &schema, class, &cells, sc.schedule_seed())?
+            {
+                t.anomalies.push(a);
+            }
         }
     }
     if scratch {
@@ -461,6 +541,8 @@ pub fn run_chaos(sc: &ChaosScenario) -> io::Result<ChaosReport> {
         exhausted: t.exhausted,
         failed: t.failed,
         log_failures,
+        checkpoints: t.checkpoints,
+        checkpoint_failures: t.checkpoint_failures,
         anomalies: t.anomalies,
     })
 }
@@ -622,17 +704,21 @@ fn recovery_anomaly(
     acked: &[Vec<(usize, i64)>],
     strict: bool,
 ) -> io::Result<Option<Anomaly>> {
-    let (rdb, _info) = finecc_wal::recover_database(dir)?;
-    let val = schema
-        .resolve_field(class, "val")
-        .expect("chaos schema has val");
-    let recovered: Vec<i64> = cells
-        .iter()
-        .map(|&oid| match rdb.read(oid, val) {
-            Ok(Value::Int(i)) => i,
-            other => panic!("recovered cell {oid:?} unreadable: {other:?}"),
-        })
-        .collect();
+    let recovered = match recovered_cells(dir, schema, class, cells) {
+        Ok(r) => r,
+        // No checkpoint on disk: fine iff nothing was ever acked (an
+        // injected fault refused the genesis checkpoint and the store
+        // never opened); with acked commits it is lost durability.
+        Err(e) if is_no_checkpoint(&e) => {
+            return Ok((!acked.is_empty()).then(|| Anomaly::RecoveryMismatch {
+                detail: format!(
+                    "no checkpoint on disk, yet {} commits were acknowledged",
+                    acked.len()
+                ),
+            }))
+        }
+        Err(e) => return Err(e),
+    };
     if !strict {
         for (cell, &got) in recovered.iter().enumerate() {
             let acked_here = got == 0
@@ -666,6 +752,92 @@ fn recovery_anomaly(
             acked.len()
         ),
     }))
+}
+
+/// True when the io::Error wraps [`finecc_wal::RecoveryError::NoCheckpoint`].
+fn is_no_checkpoint(e: &io::Error) -> bool {
+    matches!(
+        finecc_wal::as_recovery_error(e),
+        Some(finecc_wal::RecoveryError::NoCheckpoint { .. })
+    )
+}
+
+/// Recovers the directory and reads back every scenario cell's value.
+fn recovered_cells(
+    dir: &Path,
+    schema: &finecc_model::Schema,
+    class: finecc_model::ClassId,
+    cells: &[Oid],
+) -> io::Result<Vec<i64>> {
+    let (rdb, _info) = finecc_wal::recover_database(dir)?;
+    let val = schema
+        .resolve_field(class, "val")
+        .expect("chaos schema has val");
+    Ok(cells
+        .iter()
+        .map(|&oid| match rdb.read(oid, val) {
+            Ok(Value::Int(i)) => i,
+            other => panic!("recovered cell {oid:?} unreadable: {other:?}"),
+        })
+        .collect())
+}
+
+/// Per-site ceiling on the crash-at-every-hit recovery matrix. A
+/// recovery touches each probe site at most once per frame (plus a
+/// constant), so real scenarios exhaust their sites far below this;
+/// the cap only bounds a runaway (a site that somehow never stops
+/// firing would otherwise loop forever).
+const RESTART_MATRIX_LIMIT: u64 = 10_000;
+
+/// The recovery-of-recovery check: for every recovery probe site,
+/// crash the first, second, third … hit of a fresh recovery (each
+/// under its own fault-only harness), then recover *cleanly* and
+/// compare against the undisturbed baseline. Recovery never writes to
+/// the directory, so any divergence means a crashed recovery left
+/// state behind — the restartability contract broken.
+fn restartability_anomaly(
+    dir: &Path,
+    schema: &finecc_model::Schema,
+    class: finecc_model::ClassId,
+    cells: &[Oid],
+    seed: u64,
+) -> io::Result<Option<Anomaly>> {
+    let baseline = match recovered_cells(dir, schema, class, cells) {
+        Ok(b) => b,
+        // Nothing recoverable to restart (startup was refused).
+        Err(e) if is_no_checkpoint(&e) => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    for site in Site::RECOVERY {
+        for hit in 0..RESTART_MATRIX_LIMIT {
+            let handle = chaos::install(chaos::ChaosConfig {
+                seed,
+                threads: 0, // fault-only: recovery runs on this thread
+                faults: FaultPlan::of([FaultSpec::once(site, hit, FaultKind::Crash)]),
+                replay: Vec::new(),
+            });
+            let attempt = finecc_wal::recover_database(dir);
+            let fired = chaos::crashed();
+            let _ = handle.finish();
+            match attempt {
+                // The probe outlived the recovery: this site has no
+                // more hits to crash, move to the next one.
+                Ok(_) => break,
+                Err(e) if !fired => return Err(e.into()),
+                Err(_) => {
+                    let again = recovered_cells(dir, schema, class, cells)?;
+                    if again != baseline {
+                        return Ok(Some(Anomaly::RecoveryNotRestartable {
+                            site: site.name().to_string(),
+                            hit,
+                            detail: format!("re-recovered {again:?}, baseline {baseline:?}"),
+                        }));
+                    }
+                }
+            }
+        }
+    }
+    Ok(None)
 }
 
 /// One anomalous seed surfaced by [`explore`], with its minimized
@@ -753,6 +925,14 @@ pub fn write_repro(path: &Path, sc: &ChaosScenario, decisions: &[u32]) -> io::Re
     if let Some(s) = sc.sched_seed {
         writeln!(f, "sched_seed={s}")?;
     }
+    // Recovery-pipeline knobs, written only when armed so files from
+    // before the knobs existed stay byte-identical.
+    if sc.checkpoint_every > 0 {
+        writeln!(f, "checkpoint_every={}", sc.checkpoint_every)?;
+    }
+    if sc.verify_restartable {
+        writeln!(f, "verify_restartable=true")?;
+    }
     for spec in &sc.faults.specs {
         let kind = match spec.kind {
             FaultKind::Delay(ticks) => format!("delay@{ticks}"),
@@ -823,6 +1003,8 @@ pub fn read_repro(path: &Path) -> io::Result<ChaosScenario> {
             "pairs" => sc.pairs = num(value)? as usize,
             "max_retries" => sc.max_retries = num(value)? as u32,
             "scheduled" => sc.scheduled = value == "true",
+            "checkpoint_every" => sc.checkpoint_every = num(value)? as usize,
+            "verify_restartable" => sc.verify_restartable = value == "true",
             "fault" => {
                 let parts: Vec<&str> = value.split(':').collect();
                 let [site, kind, from_hit, count] = parts[..] else {
@@ -920,6 +1102,8 @@ mod tests {
             ops_per_worker: 4,
             pairs: 2,
             max_retries: 3,
+            checkpoint_every: 3,
+            verify_restartable: true,
             faults: FaultPlan::of([
                 FaultSpec::once(Site::WalFsync, 1, FaultKind::IoError),
                 FaultSpec::always(Site::CommitPublishWait, FaultKind::Disable),
@@ -939,8 +1123,88 @@ mod tests {
         assert_eq!(back.ops_per_worker, sc.ops_per_worker);
         assert_eq!(back.pairs, sc.pairs);
         assert_eq!(back.max_retries, sc.max_retries);
+        assert_eq!(back.checkpoint_every, 3);
+        assert!(back.verify_restartable);
         assert_eq!(back.faults, sc.faults);
         assert_eq!(back.replay, vec![0, 1, 1, 0, 2]);
+    }
+
+    #[test]
+    fn default_repro_files_omit_recovery_keys() {
+        let sc = ChaosScenario::new(SchemeKind::Mvcc, 1);
+        let path =
+            std::env::temp_dir().join(format!("finecc-repro-defaults-{}.txt", std::process::id()));
+        write_repro(&path, &sc, &[]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(!text.contains("checkpoint_every"), "{text}");
+        assert!(!text.contains("verify_restartable"), "{text}");
+    }
+
+    #[test]
+    fn mid_run_checkpoints_stay_anomaly_free() {
+        let sc = ChaosScenario {
+            durability: DurabilityLevel::WalSync,
+            checkpoint_every: 2,
+            verify_restartable: true,
+            ..ChaosScenario::new(SchemeKind::Mvcc, 41)
+        };
+        let r = run_chaos(&sc).unwrap();
+        assert!(r.anomalies.is_empty(), "{:?}", r.anomalies);
+        assert!(r.checkpoints > 0, "worker 0 checkpointed mid-run");
+        assert_eq!(r.checkpoint_failures, 0);
+        assert!(r.commits > 0);
+    }
+
+    #[test]
+    fn crash_during_checkpoint_loses_no_acked_commit() {
+        // A crash at the checkpoint fsync kills the image mid-write;
+        // the log is untouched, so recovery (from the previous
+        // checkpoint) must still equal the acked prefix — and staying
+        // restartable while it is at it.
+        let sc = ChaosScenario {
+            durability: DurabilityLevel::WalSync,
+            checkpoint_every: 2,
+            verify_restartable: true,
+            // Hit 0 is the genesis checkpoint at attach; hit 1 is the
+            // first online checkpoint, mid-run.
+            faults: FaultPlan::of([FaultSpec::once(Site::CkptFsync, 1, FaultKind::Crash)]),
+            ..ChaosScenario::new(SchemeKind::Mvcc, 17)
+        };
+        let r = run_chaos(&sc).unwrap();
+        assert!(r.anomalies.is_empty(), "{:?}", r.anomalies);
+        assert!(r.outcome.crashed, "the injected crash fired");
+        assert_eq!(r.checkpoint_failures, 1, "the checkpoint was refused");
+    }
+
+    #[test]
+    fn crash_during_genesis_checkpoint_refuses_startup_cleanly() {
+        // Hit 0 of a checkpoint site on a fresh directory is the
+        // genesis checkpoint: the store never opens, nothing is acked,
+        // and the degenerate run is still anomaly-free.
+        let sc = ChaosScenario {
+            durability: DurabilityLevel::WalSync,
+            verify_restartable: true,
+            faults: FaultPlan::of([FaultSpec::once(Site::CkptDirFsync, 0, FaultKind::Crash)]),
+            ..ChaosScenario::new(SchemeKind::Mvcc, 17)
+        };
+        let r = run_chaos(&sc).unwrap();
+        assert!(r.anomalies.is_empty(), "{:?}", r.anomalies);
+        assert!(r.outcome.crashed);
+        assert_eq!(r.commits, 0, "the store never came up");
+    }
+
+    #[test]
+    fn checkpointed_runs_reproduce_byte_for_byte() {
+        let sc = ChaosScenario {
+            durability: DurabilityLevel::WalSync,
+            checkpoint_every: 2,
+            ..ChaosScenario::new(SchemeKind::MvccSsi, 29)
+        };
+        let a = run_chaos(&sc).unwrap();
+        let b = run_chaos(&sc).unwrap();
+        assert_eq!(a, b, "checkpoint maintenance must stay deterministic");
+        assert!(a.checkpoints > 0);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! a checkpoint is either entirely present or absent — and carry a
 //! checksum; recovery uses the newest file that validates.
 
+use crate::error::RecoveryError;
 use crate::record::{checksum, put_str, put_u32, put_u64, put_value, Cursor};
 use finecc_model::{ClassId, FieldType, Oid, Schema, SchemaBuilder, Value};
 use std::io::{self, Read, Write};
@@ -254,22 +255,139 @@ pub fn file_name(ts: u64) -> String {
     format!("checkpoint-{ts:020}.ckpt")
 }
 
+/// An injected checkpoint/recovery fault, file context attached.
+fn injected(file: &Path, what: &str) -> RecoveryError {
+    RecoveryError::Io {
+        file: file.to_path_buf(),
+        source: format!("injected: {what}"),
+    }
+}
+
 /// Writes a checkpoint atomically (temp file, fsync, rename, directory
 /// fsync — the rename itself must be persisted, or a power loss could
 /// erase the checkpoint dirent after commits were acked against it).
 /// Returns the final path.
+///
+/// Every pipeline stage carries a `finecc_chaos` fault probe
+/// ([`Site::CHECKPOINT`](finecc_chaos::Site::CHECKPOINT)): an injected
+/// error or crash leaves the directory exactly as a real failure at
+/// that stage would — a half-written temp file after `ckpt_tmp_write`,
+/// a complete-but-unrenamed temp after `ckpt_fsync`/`ckpt_rename`, and
+/// a lost dirent (the renamed file removed again) after a crash at
+/// `ckpt_dir_fsync`. A failed `write` never ran retention or
+/// truncation, so the previous checkpoint and the full log are still
+/// in place and recovery is unaffected.
 pub fn write(dir: &Path, data: &CheckpointData<'_>) -> io::Result<PathBuf> {
-    let bytes = encode(data);
+    use finecc_chaos::{FaultKind, Site};
     let path = dir.join(file_name(data.ckpt_ts));
     let tmp = dir.join(format!("{}.tmp", file_name(data.ckpt_ts)));
-    {
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(&bytes)?;
-        f.sync_data()?;
+    match finecc_chaos::fault_at(Site::CkptEncode) {
+        Some(FaultKind::IoError) => return Err(injected(&path, "checkpoint encode error").into()),
+        Some(FaultKind::Crash) => {
+            finecc_chaos::note_crash();
+            return Err(injected(&path, "crash before checkpoint encode").into());
+        }
+        _ => {}
     }
-    std::fs::rename(&tmp, &path)?;
-    crate::log::fsync_dir(dir)?;
+    let bytes = encode(data);
+    {
+        let mut f = std::fs::File::create(&tmp).map_err(|e| RecoveryError::io(&tmp, e))?;
+        match finecc_chaos::fault_at(Site::CkptTmpWrite) {
+            Some(FaultKind::IoError) => {
+                // A realistic partial write: half the image reaches the
+                // temp file and stays there (the stale-tmp cleanup on
+                // the next `Wal::open` removes it).
+                let _ = f.write_all(&bytes[..bytes.len() / 2]);
+                return Err(injected(&tmp, "checkpoint temp write error").into());
+            }
+            Some(FaultKind::Crash) => {
+                let _ = f.write_all(&bytes[..bytes.len() / 2]);
+                let _ = f.sync_data();
+                finecc_chaos::note_crash();
+                return Err(injected(&tmp, "crash mid checkpoint temp write").into());
+            }
+            _ => {}
+        }
+        f.write_all(&bytes)
+            .map_err(|e| RecoveryError::io(&tmp, e))?;
+        match finecc_chaos::fault_at(Site::CkptFsync) {
+            Some(FaultKind::IoError) => return Err(injected(&tmp, "checkpoint fsync error").into()),
+            Some(FaultKind::Crash) => {
+                finecc_chaos::note_crash();
+                return Err(injected(&tmp, "crash at checkpoint fsync").into());
+            }
+            _ => {}
+        }
+        f.sync_data().map_err(|e| RecoveryError::io(&tmp, e))?;
+    }
+    match finecc_chaos::fault_at(Site::CkptRename) {
+        Some(FaultKind::IoError) => return Err(injected(&path, "checkpoint rename error").into()),
+        Some(FaultKind::Crash) => {
+            finecc_chaos::note_crash();
+            return Err(injected(&path, "crash before checkpoint rename").into());
+        }
+        _ => {}
+    }
+    std::fs::rename(&tmp, &path).map_err(|e| RecoveryError::io(&path, e))?;
+    match finecc_chaos::fault_at(Site::CkptDirFsync) {
+        Some(FaultKind::IoError) => {
+            return Err(injected(&path, "checkpoint directory fsync error").into())
+        }
+        Some(FaultKind::Crash) => {
+            // The power cut the directory fsync exists to defend
+            // against: the rename reached the page cache but not the
+            // disk, so after the "reboot" the dirent is gone.
+            let _ = std::fs::remove_file(&path);
+            finecc_chaos::note_crash();
+            return Err(injected(&path, "crash at checkpoint directory fsync").into());
+        }
+        _ => {}
+    }
+    crate::log::fsync_dir(dir).map_err(|e| RecoveryError::io(dir, e))?;
     Ok(path)
+}
+
+/// Removes all but the newest `keep` checkpoints (at least one is
+/// always kept). Returns how many files were removed. Callers sequence
+/// this strictly *after* [`write()`] returns — i.e. after the newer
+/// checkpoint's rename is directory-fsynced — so a crash anywhere in
+/// between still leaves a durable checkpoint on disk.
+pub fn retain(dir: &Path, keep: usize) -> io::Result<u64> {
+    let all = list(dir)?;
+    let keep = keep.max(1);
+    if all.len() <= keep {
+        return Ok(0);
+    }
+    let mut removed = 0;
+    for (_, path) in &all[..all.len() - keep] {
+        std::fs::remove_file(path).map_err(|e| RecoveryError::io(path, e))?;
+        removed += 1;
+    }
+    crate::log::fsync_dir(dir)?;
+    Ok(removed)
+}
+
+/// Deletes stale `checkpoint-*.ckpt.tmp` files — a crash between the
+/// temp-file create and the rename leaves one behind forever otherwise.
+/// Runs on every [`crate::Wal::open`]. Returns how many were removed.
+pub fn remove_stale_tmp(dir: &Path) -> io::Result<u64> {
+    let mut removed = 0;
+    if !dir.exists() {
+        return Ok(0);
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name.starts_with("checkpoint-") && name.ends_with(".ckpt.tmp") {
+            std::fs::remove_file(entry.path())?;
+            removed += 1;
+        }
+    }
+    if removed > 0 {
+        crate::log::fsync_dir(dir)?;
+    }
+    Ok(removed)
 }
 
 /// Lists checkpoint files in a directory, ascending by timestamp.
@@ -297,17 +415,48 @@ pub fn list(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
 
 /// Loads the newest checkpoint that validates (a torn or corrupt
 /// newest file falls back to the one before it). `None` if the
-/// directory holds no usable checkpoint.
-pub fn read_latest(dir: &Path) -> io::Result<Option<CheckpointImage>> {
-    for (_, path) in list(dir)?.into_iter().rev() {
+/// directory holds no checkpoint at all; if checkpoints exist but
+/// *none* validates, the newest one's corruption is the error.
+///
+/// Each candidate read carries a fault probe at
+/// [`Site::RecoverCkptDecode`](finecc_chaos::Site::RecoverCkptDecode),
+/// so chaos scenarios can fail or crash recovery before it has a base
+/// image.
+pub fn read_latest(dir: &Path) -> Result<Option<CheckpointImage>, RecoveryError> {
+    use finecc_chaos::{FaultKind, Site};
+    let mut first_corrupt: Option<RecoveryError> = None;
+    for (_, path) in list(dir)
+        .map_err(|e| RecoveryError::io(dir, e))?
+        .into_iter()
+        .rev()
+    {
+        match finecc_chaos::fault_at(Site::RecoverCkptDecode) {
+            Some(FaultKind::IoError) => return Err(injected(&path, "checkpoint read error")),
+            Some(FaultKind::Crash) => {
+                finecc_chaos::note_crash();
+                return Err(injected(&path, "crash during checkpoint decode"));
+            }
+            _ => {}
+        }
         let mut bytes = Vec::new();
-        std::fs::File::open(&path)?.read_to_end(&mut bytes)?;
+        std::fs::File::open(&path)
+            .and_then(|mut f| f.read_to_end(&mut bytes))
+            .map_err(|e| RecoveryError::io(&path, e))?;
         match decode(&bytes) {
             Ok(img) => return Ok(Some(img)),
-            Err(_) => continue,
+            Err(e) => {
+                first_corrupt.get_or_insert(RecoveryError::CorruptCheckpoint {
+                    file: path,
+                    what: e.to_string(),
+                });
+                continue;
+            }
         }
     }
-    Ok(None)
+    match first_corrupt {
+        Some(e) => Err(e),
+        None => Ok(None),
+    }
 }
 
 #[cfg(test)]

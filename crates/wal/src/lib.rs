@@ -20,12 +20,28 @@
 //! * **Fuzzy checkpoints** ([`checkpoint`]) — a consistent cut of
 //!   schema + base store + live chains at a watermark-consistent
 //!   timestamp, produced through the MVCC read path without stopping
-//!   writers, written atomically (temp + rename).
-//! * **Recovery** ([`recover_database`]) — newest checkpoint + replay
-//!   of the log's intact prefix in commit-timestamp order, restoring
-//!   extents, field values, the OID allocator, and the clock/watermark
-//!   restore point (skip records keep SSI-refused timestamp holes from
-//!   being reused).
+//!   writers, written atomically (temp + fsync + rename + directory
+//!   fsync), every stage covered by a `finecc_chaos` fault probe.
+//! * **Recovery** ([`recover_database`]) — newest checkpoint +
+//!   **streaming** replay of the log's intact prefix in
+//!   commit-timestamp order through a bounded reorder window (memory
+//!   is O(window), not O(log)), restoring extents, field values, the
+//!   OID allocator, and the clock/watermark restore point (skip
+//!   records keep SSI-refused timestamp holes from being reused).
+//!   Recovery is **restartable**: it never writes to the log
+//!   directory, so a crash at any of its fault probes followed by a
+//!   second recovery yields the same acked-prefix state. Failures are
+//!   typed ([`RecoveryError`]) and carry the offending file and byte
+//!   offset.
+//! * **Truncation & retention** ([`Wal::truncate_below`],
+//!   [`Wal::prune_checkpoints`]) — after a durable checkpoint at
+//!   `ckpt_ts`, frames strictly below `ckpt_ts` are atomically
+//!   rewritten out of the log and checkpoints beyond the newest
+//!   [`WalConfig::retain_checkpoints`] (plus any stale `.tmp` files)
+//!   are deleted — only ever *after* the newer checkpoint's rename is
+//!   directory-fsynced, so log size stays bounded across
+//!   checkpoint cycles without ever removing a frame at or above the
+//!   recovery floor.
 //!
 //! The version heap wires this in *after* the commit timestamp is
 //! drawn and *before* watermark publication, so the existing
@@ -33,13 +49,18 @@
 //! visible**: no snapshot ever observes a commit the log could lose.
 
 pub mod checkpoint;
+pub mod error;
 pub mod log;
 pub mod record;
 pub mod recover;
 pub mod stats;
 
 pub use checkpoint::{CheckpointData, CheckpointImage, InstanceImage};
+pub use error::{as_recovery_error, RecoveryError};
 pub use log::{DurabilityLevel, Wal, WalConfig};
-pub use record::{LogReader, LogRecord};
-pub use recover::{recover_database, recover_schema, recovery_floor, RecoveryInfo};
+pub use record::{FrameStream, LogReader, LogRecord};
+pub use recover::{
+    recover_database, recover_database_with_window, recover_schema, recovery_floor, RecoveryInfo,
+    DEFAULT_REORDER_WINDOW,
+};
 pub use stats::{WalStats, WalStatsSnapshot};

@@ -36,6 +36,20 @@
 //! [`finecc_chaos::FaultToken`] captured at open time, so injected
 //! flusher faults fire deterministically even though the flusher is a
 //! background thread.
+//!
+//! **Truncation & retention** ([`Wal::truncate_below`],
+//! [`Wal::prune_checkpoints`]): after a durable checkpoint at
+//! `ckpt_ts`, the heap truncates every log frame whose replay
+//! timestamp is strictly below `ckpt_ts` — never at or above it, so no
+//! frame a future recovery could replay is ever lost (`recovery_floor`
+//! is always ≥ `ckpt_ts + 1`) — and deletes checkpoints beyond the
+//! newest [`WalConfig::retain_checkpoints`], both strictly *after* the
+//! new checkpoint's rename is directory-fsynced. The truncation itself
+//! is atomic (rewrite the retained suffix to a temp file, fsync,
+//! rename, directory fsync): a crash anywhere leaves either the old
+//! log or the compacted one, both of which replay to the same state on
+//! top of the new checkpoint. In flusher mode the truncation rides the
+//! group-commit queue, so it serializes with in-flight batches.
 
 use crate::checkpoint::{self, CheckpointData};
 use crate::record::{encode_frame, LogRecord, LOG_MAGIC};
@@ -45,7 +59,7 @@ use finecc_obs::{EventKind, Obs, Phase};
 use finecc_store::FieldImage;
 use parking_lot::{Condvar, Mutex};
 use std::fs::{File, OpenOptions};
-use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::io::{self, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU8, Ordering};
 use std::sync::Arc;
@@ -107,6 +121,10 @@ pub struct WalConfig {
     /// forces it on regardless of this flag: injected faults then land
     /// at exact points of the explored schedule.
     pub inline: bool,
+    /// How many checkpoint files [`Wal::prune_checkpoints`] keeps (at
+    /// least 1 is always kept). Two by default: the newest plus one
+    /// fallback in case the newest is found corrupt at recovery.
+    pub retain_checkpoints: usize,
 }
 
 impl Default for WalConfig {
@@ -115,6 +133,7 @@ impl Default for WalConfig {
             level: DurabilityLevel::WalSync,
             max_batch: 1024,
             inline: false,
+            retain_checkpoints: 2,
         }
     }
 }
@@ -132,6 +151,10 @@ struct Node {
     /// Forces an fsync for the batch containing this node even at
     /// non-sync levels ([`Wal::sync`]).
     force_sync: bool,
+    /// `Some(floor)` for a truncation request riding the queue: the
+    /// flusher rewrites the log keeping only frames with
+    /// `order_ts >= floor`, serialized against batch writes.
+    truncate_below: Option<u64>,
     state: AtomicU8,
     /// Intrusive Treiber-stack link (an `Arc::into_raw` pointer owned
     /// by the list until drained).
@@ -143,6 +166,17 @@ impl Node {
         Arc::new(Node {
             bytes,
             force_sync,
+            truncate_below: None,
+            state: AtomicU8::new(STATE_QUEUED),
+            next: AtomicPtr::new(std::ptr::null_mut()),
+        })
+    }
+
+    fn truncate(floor: u64) -> Arc<Node> {
+        Arc::new(Node {
+            bytes: Vec::new(),
+            force_sync: false,
+            truncate_below: Some(floor),
             state: AtomicU8::new(STATE_QUEUED),
             next: AtomicPtr::new(std::ptr::null_mut()),
         })
@@ -213,6 +247,8 @@ pub struct Wal {
     shared: Arc<Shared>,
     dir: PathBuf,
     level: DurabilityLevel,
+    /// Checkpoints the retention policy keeps (≥ 1).
+    retain: usize,
     /// Highest commit/skip timestamp found in the log at open time.
     max_logged_ts: u64,
     /// Observability sink: group-commit ack waits go into
@@ -264,24 +300,29 @@ impl Wal {
     ) -> io::Result<Wal> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
+        // A crash between a checkpoint's temp-file create and its
+        // rename leaves a stale `.tmp` behind; open is the natural
+        // sweep point (nothing references temp files across a restart).
+        checkpoint::remove_stale_tmp(&dir)?;
+        // Ditto a truncation that crashed between temp-file create and
+        // rename: the real log is untouched, the temp is garbage.
+        let _ = std::fs::remove_file(dir.join("wal.log.tmp"));
         let path = Wal::log_path(&dir);
         let mut max_logged_ts = 0;
         let file = if path.exists() {
-            // Resume: find the last intact frame, truncate any torn
-            // tail (appending after garbage would hide every later
-            // record from replay).
-            let mut f = OpenOptions::new().read(true).write(true).open(&path)?;
-            let mut bytes = Vec::new();
-            f.read_to_end(&mut bytes)?;
-            let mut reader = crate::record::LogReader::new(&bytes).ok_or_else(|| {
-                io::Error::new(io::ErrorKind::InvalidData, "not a finecc wal file")
-            })?;
-            for (_, rec) in reader.by_ref() {
-                if let LogRecord::Commit { ts, .. } | LogRecord::Skip { ts } = rec {
-                    max_logged_ts = max_logged_ts.max(ts);
+            // Resume: stream to the last intact frame (O(1) memory),
+            // truncate any torn tail (appending after garbage would
+            // hide every later record from replay).
+            let end = {
+                let mut stream = crate::record::FrameStream::open(&path)?;
+                while let Some((_, rec)) = stream.next_record()? {
+                    if let LogRecord::Commit { ts, .. } | LogRecord::Skip { ts } = rec {
+                        max_logged_ts = max_logged_ts.max(ts);
+                    }
                 }
-            }
-            let end = reader.offset() as u64;
+                stream.offset()
+            };
+            let mut f = OpenOptions::new().read(true).write(true).open(&path)?;
             f.set_len(end)?;
             f.seek(SeekFrom::Start(end))?;
             f
@@ -318,15 +359,19 @@ impl Wal {
             let obs = Arc::clone(&obs);
             let sync_all = config.level == DurabilityLevel::WalSync;
             let max_batch = config.max_batch.max(1);
+            let flusher_dir = dir.clone();
             let handle = std::thread::Builder::new()
                 .name("finecc-wal-flusher".into())
-                .spawn(move || flusher_loop(shared, file, sync_all, max_batch, obs, token))?;
+                .spawn(move || {
+                    flusher_loop(shared, file, sync_all, max_batch, flusher_dir, obs, token)
+                })?;
             (Some(handle), None)
         };
         Ok(Wal {
             shared,
             dir,
             level: config.level,
+            retain: config.retain_checkpoints.max(1),
             max_logged_ts,
             obs,
             flusher,
@@ -558,6 +603,127 @@ impl Wal {
     pub fn has_checkpoint(&self) -> io::Result<bool> {
         Ok(!checkpoint::list(&self.dir)?.is_empty())
     }
+
+    /// How many checkpoint files the retention policy keeps.
+    pub fn retain_checkpoints(&self) -> usize {
+        self.retain
+    }
+
+    /// Applies the retention policy: deletes all but the newest
+    /// [`WalConfig::retain_checkpoints`] checkpoint files. Callers
+    /// sequence this after [`Wal::write_checkpoint`] returned — the new
+    /// checkpoint's rename is directory-fsynced by then, so a crash
+    /// mid-prune still leaves a durable checkpoint. Returns how many
+    /// files were removed.
+    pub fn prune_checkpoints(&self) -> io::Result<u64> {
+        let removed = checkpoint::retain(&self.dir, self.retain)?;
+        if removed > 0 {
+            self.shared.stats.add_checkpoints_removed(removed);
+        }
+        Ok(removed)
+    }
+
+    /// Truncates the log: atomically rewrites it keeping only frames
+    /// whose replay timestamp (`order_ts`) is **at or above** `floor`.
+    /// The heap calls this with `floor = ckpt_ts` after a durable
+    /// checkpoint: frames *at* the checkpoint timestamp survive (an
+    /// extent event racing the fuzzy scan can share it), and recovery's
+    /// replay floor is `ckpt_ts + 1`, so truncation never removes a
+    /// frame a future recovery could need — property-tested against
+    /// [`crate::recovery_floor`] over arbitrary floors.
+    ///
+    /// Atomicity: the retained suffix is rewritten to `wal.log.tmp`,
+    /// fsynced, renamed over the log, and the directory fsynced — a
+    /// crash anywhere leaves either the old log or the compacted one,
+    /// which replay identically on top of the checkpoint. A pre-rename
+    /// failure is transient (log unchanged); a post-rename failure
+    /// poisons the log (the open write handle no longer matches the
+    /// directory entry). In flusher mode the request rides the
+    /// group-commit queue and is serialized against batch writes.
+    pub fn truncate_below(&self, floor: u64) -> io::Result<()> {
+        if self.shared.failed.load(Ordering::Acquire) {
+            return Err(poisoned());
+        }
+        if let Some(file) = &self.inline {
+            let mut guard = file.lock();
+            guard.sync_data()?;
+            match rewrite_log(&self.dir, floor) {
+                Ok(removed) => match reopen_log_end(&self.dir) {
+                    Ok(f) => {
+                        *guard = f;
+                        self.shared.stats.sample_truncation(removed);
+                        Ok(())
+                    }
+                    Err(e) => {
+                        self.shared.failed.store(true, Ordering::Release);
+                        Err(e)
+                    }
+                },
+                Err((e, poison)) => {
+                    if poison {
+                        self.shared.failed.store(true, Ordering::Release);
+                    }
+                    Err(e)
+                }
+            }
+        } else {
+            let node = Node::truncate(floor);
+            self.shared.push(&node);
+            self.wait_ack(&node, STATE_SYNCED)
+        }
+    }
+}
+
+/// Atomically rewrites the log at `dir`, keeping only frames with
+/// `order_ts >= floor` (canonical encoding round-trips byte-identically,
+/// so re-encoding decoded frames preserves them exactly). Returns the
+/// bytes removed. The `bool` in the error marks the point of no
+/// return: `false` means the log file is untouched (transient failure),
+/// `true` means the rename landed but a later step failed — callers
+/// must poison, their write handle no longer matches the dirent.
+fn rewrite_log(dir: &Path, floor: u64) -> Result<u64, (io::Error, bool)> {
+    let path = Wal::log_path(dir);
+    let tmp = dir.join("wal.log.tmp");
+    let old_len = std::fs::metadata(&path).map_err(|e| (e, false))?.len();
+    let built = (|| -> io::Result<u64> {
+        let mut out = io::BufWriter::new(File::create(&tmp)?);
+        out.write_all(LOG_MAGIC)?;
+        let mut kept = 0u64;
+        let mut stream = crate::record::FrameStream::open(&path).map_err(io::Error::from)?;
+        while let Some((_, rec)) = stream.next_record().map_err(io::Error::from)? {
+            if rec.order_ts() >= floor {
+                let frame = encode_frame(&rec);
+                kept += frame.len() as u64;
+                out.write_all(&frame)?;
+            }
+        }
+        out.flush()?;
+        out.get_ref().sync_data()?;
+        Ok(kept)
+    })();
+    let kept = match built {
+        Ok(kept) => kept,
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            return Err((e, false));
+        }
+    };
+    if let Err(e) = std::fs::rename(&tmp, &path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err((e, false));
+    }
+    fsync_dir(dir).map_err(|e| (e, true))?;
+    Ok(old_len.saturating_sub(LOG_MAGIC.len() as u64 + kept))
+}
+
+/// Reopens the log for appending after a truncation swapped the file.
+fn reopen_log_end(dir: &Path) -> io::Result<File> {
+    let mut f = OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(Wal::log_path(dir))?;
+    f.seek(SeekFrom::End(0))?;
+    Ok(f)
 }
 
 impl Drop for Wal {
@@ -589,10 +755,10 @@ fn flusher_loop(
     mut file: File,
     sync_all: bool,
     max_batch: usize,
+    dir: PathBuf,
     obs: Arc<Obs>,
     token: Option<finecc_chaos::FaultToken>,
 ) {
-    use finecc_chaos::{FaultKind, Site};
     loop {
         let batch = shared.drain();
         if batch.is_empty() {
@@ -620,113 +786,182 @@ fn flusher_loop(
             shared.sleeping.store(false, Ordering::Release);
             continue;
         }
-        for chunk in batch.chunks(max_batch) {
-            if shared.failed.load(Ordering::Acquire) {
-                fail_nodes(&shared, chunk);
+        // Truncation requests split the batch: the frames queued before
+        // one are flushed first, then the log is rewritten, then the
+        // rest proceeds — FIFO order keeps the on-disk log exactly the
+        // acked prefix throughout.
+        let mut start = 0;
+        for idx in 0..=batch.len() {
+            let floor = if idx < batch.len() {
+                batch[idx].truncate_below
+            } else {
+                None
+            };
+            if idx < batch.len() && floor.is_none() {
                 continue;
             }
-            // The chunk's start offset: on failure the file is rewound
-            // here so the on-disk log stays exactly the acked prefix.
-            let start_pos = file.stream_position().unwrap_or(u64::MAX);
-            let mut records = 0u64;
-            let mut bytes_written = 0u64;
-            let mut result: io::Result<()> = Ok(());
-            let mut crash = false;
-            let mut force_sync = false;
-            match token.as_ref().and_then(|t| t.fault_at(Site::WalFlushWrite)) {
-                Some(FaultKind::IoError) => {
-                    result = Err(io::Error::other("injected: flusher write error"));
-                }
-                Some(FaultKind::Crash) => {
-                    result = Err(io::Error::other("injected: crash in flusher write"));
-                    crash = true;
-                }
-                _ => {}
+            for chunk in batch[start..idx].chunks(max_batch) {
+                flush_chunk(&shared, &mut file, chunk, sync_all, &obs, token.as_ref());
             }
-            if result.is_ok() {
-                for node in chunk {
-                    force_sync |= node.force_sync;
-                    if node.bytes.is_empty() {
-                        continue;
-                    }
-                    if let Err(e) = file.write_all(&node.bytes) {
-                        result = Err(e);
-                        break;
-                    }
-                    bytes_written += node.bytes.len() as u64;
-                    records += 1;
-                }
+            if let Some(floor) = floor {
+                run_truncation(&shared, &mut file, &dir, floor, &batch[idx]);
             }
-            if result.is_ok() && (sync_all || force_sync) {
-                match token.as_ref().and_then(|t| t.fault_at(Site::WalFlushFsync)) {
-                    Some(FaultKind::IoError) => {
-                        result = Err(io::Error::other("injected: flusher fsync error"));
-                    }
-                    Some(FaultKind::Crash) => {
-                        result = Err(io::Error::other("injected: crash at flusher fsync"));
-                        crash = true;
-                    }
-                    _ => {
-                        let sync_start = obs.now_ns();
-                        result = file.sync_data();
-                        if result.is_ok() {
-                            shared.stats.bump_log_fsyncs();
-                        }
-                        // Fsync spans are emitted unconditionally when
-                        // tracing is on (`txn 0` always passes the
-                        // sampler): there is one flusher, and the fsync
-                        // cadence is exactly what a group-commit trace
-                        // is read for. The `oid` slot carries the
-                        // batch's record count.
-                        if obs.trace_sampled(0) {
-                            let dur = obs.now_ns().saturating_sub(sync_start);
-                            obs.emit(EventKind::Fsync, sync_start, dur, 0, records);
-                        }
-                    }
-                }
+            start = idx + 1;
+        }
+    }
+}
+
+/// One group-commit round over `chunk`: write every frame, one fsync,
+/// release the acks — or fail the whole chunk and rewind.
+fn flush_chunk(
+    shared: &Shared,
+    file: &mut File,
+    chunk: &[Arc<Node>],
+    sync_all: bool,
+    obs: &Obs,
+    token: Option<&finecc_chaos::FaultToken>,
+) {
+    use finecc_chaos::{FaultKind, Site};
+    if shared.failed.load(Ordering::Acquire) {
+        fail_nodes(shared, chunk);
+        return;
+    }
+    // The chunk's start offset: on failure the file is rewound
+    // here so the on-disk log stays exactly the acked prefix.
+    let start_pos = file.stream_position().unwrap_or(u64::MAX);
+    let mut records = 0u64;
+    let mut bytes_written = 0u64;
+    let mut result: io::Result<()> = Ok(());
+    let mut crash = false;
+    let mut force_sync = false;
+    match token.as_ref().and_then(|t| t.fault_at(Site::WalFlushWrite)) {
+        Some(FaultKind::IoError) => {
+            result = Err(io::Error::other("injected: flusher write error"));
+        }
+        Some(FaultKind::Crash) => {
+            result = Err(io::Error::other("injected: crash in flusher write"));
+            crash = true;
+        }
+        _ => {}
+    }
+    if result.is_ok() {
+        for node in chunk {
+            force_sync |= node.force_sync;
+            if node.bytes.is_empty() {
+                continue;
             }
-            match result {
-                Ok(()) => {
-                    shared.stats.add_log_bytes(bytes_written);
-                    if records > 0 {
-                        shared.stats.sample_batch(records);
-                    }
-                    let state = if sync_all || force_sync {
-                        STATE_SYNCED
-                    } else {
-                        STATE_WRITTEN
-                    };
-                    for node in chunk {
-                        node.state.store(state, Ordering::Release);
-                    }
+            if let Err(e) = file.write_all(&node.bytes) {
+                result = Err(e);
+                break;
+            }
+            bytes_written += node.bytes.len() as u64;
+            records += 1;
+        }
+    }
+    if result.is_ok() && (sync_all || force_sync) {
+        match token.as_ref().and_then(|t| t.fault_at(Site::WalFlushFsync)) {
+            Some(FaultKind::IoError) => {
+                result = Err(io::Error::other("injected: flusher fsync error"));
+            }
+            Some(FaultKind::Crash) => {
+                result = Err(io::Error::other("injected: crash at flusher fsync"));
+                crash = true;
+            }
+            _ => {
+                let sync_start = obs.now_ns();
+                result = file.sync_data();
+                if result.is_ok() {
+                    shared.stats.bump_log_fsyncs();
                 }
-                Err(_) => {
-                    let failed_records =
-                        chunk.iter().filter(|n| !n.bytes.is_empty()).count() as u64;
-                    shared.stats.add_append_failures(failed_records);
-                    // Rewind the partially written batch: none of its
-                    // records was acked, so none may survive into
-                    // recovery. A clean rewind makes the failure
-                    // transient — the next batch proceeds normally; a
-                    // failed rewind (or a simulated crash) poisons the
-                    // log for good.
-                    let rolled_back = start_pos != u64::MAX
-                        && file.set_len(start_pos).is_ok()
-                        && file.seek(SeekFrom::Start(start_pos)).is_ok()
-                        && file.sync_data().is_ok();
-                    if crash || !rolled_back {
-                        shared.failed.store(true, Ordering::Release);
-                    }
-                    if crash {
-                        if let Some(t) = &token {
-                            t.note_crash();
-                        }
-                    }
-                    fail_nodes(&shared, chunk);
+                // Fsync spans are emitted unconditionally when
+                // tracing is on (`txn 0` always passes the
+                // sampler): there is one flusher, and the fsync
+                // cadence is exactly what a group-commit trace
+                // is read for. The `oid` slot carries the
+                // batch's record count.
+                if obs.trace_sampled(0) {
+                    let dur = obs.now_ns().saturating_sub(sync_start);
+                    obs.emit(EventKind::Fsync, sync_start, dur, 0, records);
                 }
             }
-            let _g = shared.gate.lock();
-            shared.acked.notify_all();
+        }
+    }
+    match result {
+        Ok(()) => {
+            shared.stats.add_log_bytes(bytes_written);
+            if records > 0 {
+                shared.stats.sample_batch(records);
+            }
+            let state = if sync_all || force_sync {
+                STATE_SYNCED
+            } else {
+                STATE_WRITTEN
+            };
+            for node in chunk {
+                node.state.store(state, Ordering::Release);
+            }
+        }
+        Err(_) => {
+            let failed_records = chunk.iter().filter(|n| !n.bytes.is_empty()).count() as u64;
+            shared.stats.add_append_failures(failed_records);
+            // Rewind the partially written batch: none of its
+            // records was acked, so none may survive into
+            // recovery. A clean rewind makes the failure
+            // transient — the next batch proceeds normally; a
+            // failed rewind (or a simulated crash) poisons the
+            // log for good.
+            let rolled_back = start_pos != u64::MAX
+                && file.set_len(start_pos).is_ok()
+                && file.seek(SeekFrom::Start(start_pos)).is_ok()
+                && file.sync_data().is_ok();
+            if crash || !rolled_back {
+                shared.failed.store(true, Ordering::Release);
+            }
+            if crash {
+                if let Some(t) = &token {
+                    t.note_crash();
+                }
+            }
+            fail_nodes(shared, chunk);
+        }
+    }
+    let _g = shared.gate.lock();
+    shared.acked.notify_all();
+}
+
+/// Executes a truncation request on the flusher: sync what is written,
+/// rewrite the log atomically, swap the write handle to the new file.
+fn run_truncation(shared: &Shared, file: &mut File, dir: &Path, floor: u64, node: &Arc<Node>) {
+    if shared.failed.load(Ordering::Acquire) {
+        fail_nodes(shared, std::slice::from_ref(node));
+        return;
+    }
+    let result = file
+        .sync_data()
+        .map_err(|e| (e, false))
+        .and_then(|()| rewrite_log(dir, floor));
+    match result {
+        Ok(removed) => match reopen_log_end(dir) {
+            Ok(f) => {
+                *file = f;
+                shared.stats.sample_truncation(removed);
+                node.state.store(STATE_SYNCED, Ordering::Release);
+                let _g = shared.gate.lock();
+                shared.acked.notify_all();
+            }
+            Err(_) => {
+                // The compacted log landed but the handle swap failed:
+                // the old handle points at the unlinked inode, so
+                // nothing written through it would survive — poison.
+                shared.failed.store(true, Ordering::Release);
+                fail_nodes(shared, std::slice::from_ref(node));
+            }
+        },
+        Err((_, poison)) => {
+            if poison {
+                shared.failed.store(true, Ordering::Release);
+            }
+            fail_nodes(shared, std::slice::from_ref(node));
         }
     }
 }
@@ -929,6 +1164,102 @@ mod tests {
         let bytes = LogReader::read_file(&Wal::log_path(&dir)).unwrap();
         let mut reader = LogReader::new(&bytes).unwrap();
         assert_eq!(reader.by_ref().count(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn read_log_timestamps(dir: &Path) -> Vec<u64> {
+        let bytes = LogReader::read_file(&Wal::log_path(dir)).unwrap();
+        LogReader::new(&bytes)
+            .unwrap()
+            .map(|(_, r)| r.order_ts())
+            .collect()
+    }
+
+    #[test]
+    fn truncate_below_compacts_flusher_and_inline_modes() {
+        for inline in [false, true] {
+            let dir = tmpdir(if inline {
+                "trunc-inline"
+            } else {
+                "trunc-flush"
+            });
+            {
+                let wal = Wal::open(
+                    &dir,
+                    WalConfig {
+                        inline,
+                        ..WalConfig::default()
+                    },
+                )
+                .unwrap();
+                for ts in 1..=10u64 {
+                    wal.append_commit(ts, TxnId(ts), &[image(1, 0, ts as i64)])
+                        .unwrap();
+                }
+                wal.truncate_below(6).unwrap();
+                // The log stays appendable after the handle swap.
+                wal.append_commit(11, TxnId(11), &[image(1, 0, 11)])
+                    .unwrap();
+                let s = wal.stats().snapshot();
+                assert_eq!(s.truncations, 1, "inline={inline}");
+                assert!(s.truncated_bytes > 0, "inline={inline}");
+            }
+            assert_eq!(
+                read_log_timestamps(&dir),
+                vec![6, 7, 8, 9, 10, 11],
+                "frames below the floor gone, floor frame kept, inline={inline}"
+            );
+            // Reopen resumes cleanly on the compacted log.
+            let wal = Wal::open(&dir, WalConfig::default()).unwrap();
+            assert_eq!(wal.max_logged_ts(), 11);
+            drop(wal);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn prune_checkpoints_keeps_newest_and_open_sweeps_stale_tmps() {
+        use finecc_model::{FieldType, SchemaBuilder};
+        let dir = tmpdir("retain");
+        let mut b = SchemaBuilder::new();
+        b.class("a").field("x", FieldType::Int);
+        let schema = b.finish().unwrap();
+        {
+            let wal = Wal::open(&dir, WalConfig::default()).unwrap();
+            for ts in [1u64, 5, 9] {
+                wal.write_checkpoint(&CheckpointData {
+                    ckpt_ts: ts,
+                    replay_from: ts + 1,
+                    next_oid: 1,
+                    schema: &schema,
+                    instances: vec![],
+                })
+                .unwrap();
+            }
+            let removed = wal.prune_checkpoints().unwrap();
+            assert_eq!(removed, 1, "3 written, retention keeps 2");
+            assert_eq!(wal.stats().snapshot().checkpoints_removed, 1);
+            let kept: Vec<u64> = checkpoint::list(&dir)
+                .unwrap()
+                .into_iter()
+                .map(|(ts, _)| ts)
+                .collect();
+            assert_eq!(kept, vec![5, 9], "the newest two survive");
+        }
+        // A crash between temp-create and rename leaves a stale tmp;
+        // the next open sweeps it (and a stale truncation tmp too).
+        let stale = dir.join(format!("{}.tmp", checkpoint::file_name(13)));
+        std::fs::write(&stale, b"half a checkpoint").unwrap();
+        std::fs::write(dir.join("wal.log.tmp"), b"half a truncation").unwrap();
+        let wal = Wal::open(&dir, WalConfig::default()).unwrap();
+        assert!(!stale.exists(), "stale checkpoint tmp swept on open");
+        assert!(!dir.join("wal.log.tmp").exists(), "stale log tmp swept");
+        assert_eq!(
+            checkpoint::list(&dir).unwrap().len(),
+            2,
+            "real checkpoints untouched"
+        );
+        drop(wal);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -28,9 +28,11 @@
 //!
 //! Values are encoded tag-prefixed; strings are length-prefixed UTF-8.
 
+use crate::error::RecoveryError;
 use finecc_model::{ClassId, FieldId, Oid, TxnId, Value};
 use finecc_store::FieldImage;
-use std::io::{self, Read};
+use std::io::{self, BufReader, Read};
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// Magic bytes opening every log file.
@@ -326,8 +328,9 @@ impl<'a> LogReader<'a> {
     }
 
     /// Reads a whole log file into memory and returns a reader-owning
-    /// buffer. (Logs in this repro are test/bench sized; streaming
-    /// replay is a follow-up alongside incremental checkpoints.)
+    /// buffer. Recovery streams frames through [`FrameStream`] instead;
+    /// this stays for tests and tools that want the raw image (the
+    /// crash-point matrix cuts it at every byte).
     pub fn read_file(path: &std::path::Path) -> io::Result<Vec<u8>> {
         let mut f = std::fs::File::open(path)?;
         let mut buf = Vec::new();
@@ -379,6 +382,119 @@ impl Iterator for LogReader<'_> {
                 None
             }
         }
+    }
+}
+
+/// Streams the intact records of a log *file*, one frame at a time —
+/// the bounded-memory counterpart of [`LogReader`]. Recovery iterates
+/// this instead of slurping the file: resident memory is one frame
+/// body plus the replay reorder window, O(window) rather than O(log).
+///
+/// Torn-tail semantics match [`LogReader`]: a short, bit-rotten, or
+/// undecodable frame ends the stream cleanly ([`FrameStream::tail_torn`]
+/// reports it); only a bad *header* (wrong magic) or a real I/O error
+/// is an error. The file length is captured at open, so a corrupt
+/// frame length can never drive an allocation past the bytes actually
+/// on disk.
+pub struct FrameStream {
+    reader: BufReader<std::fs::File>,
+    path: PathBuf,
+    /// File length at open (bounds every body allocation).
+    len: u64,
+    /// Byte offset just past the last intact frame.
+    pos: u64,
+    torn: bool,
+}
+
+impl FrameStream {
+    /// Opens a log file and validates its magic header.
+    pub fn open(path: &Path) -> Result<FrameStream, RecoveryError> {
+        let file = std::fs::File::open(path).map_err(|e| RecoveryError::io(path, e))?;
+        let len = file
+            .metadata()
+            .map_err(|e| RecoveryError::io(path, e))?
+            .len();
+        let mut reader = BufReader::new(file);
+        let mut magic = [0u8; 8];
+        let header_ok = len >= LOG_MAGIC.len() as u64
+            && match reader.read_exact(&mut magic) {
+                Ok(()) => &magic == LOG_MAGIC,
+                Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => false,
+                Err(e) => return Err(RecoveryError::io(path, e)),
+            };
+        if !header_ok {
+            return Err(RecoveryError::CorruptLog {
+                file: path.to_path_buf(),
+                offset: 0,
+                what: "bad log magic".into(),
+            });
+        }
+        Ok(FrameStream {
+            reader,
+            path: path.to_path_buf(),
+            len,
+            pos: LOG_MAGIC.len() as u64,
+            torn: false,
+        })
+    }
+
+    /// The next intact record and the offset just past its frame, or
+    /// `None` at a clean end of file *or* a torn tail (distinguish with
+    /// [`FrameStream::tail_torn`]). Errors are real I/O failures only.
+    pub fn next_record(&mut self) -> Result<Option<(u64, LogRecord)>, RecoveryError> {
+        if self.torn || self.pos >= self.len {
+            return Ok(None);
+        }
+        if self.len - self.pos < 8 {
+            self.torn = true;
+            return Ok(None);
+        }
+        let mut header = [0u8; 8];
+        self.reader
+            .read_exact(&mut header)
+            .map_err(|e| RecoveryError::io(&self.path, e))?;
+        let body_len = u64::from(u32::from_le_bytes(
+            header[0..4].try_into().expect("4 bytes"),
+        ));
+        let sum = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        if self.len - self.pos - 8 < body_len {
+            self.torn = true;
+            return Ok(None);
+        }
+        let mut body = vec![0u8; body_len as usize];
+        self.reader
+            .read_exact(&mut body)
+            .map_err(|e| RecoveryError::io(&self.path, e))?;
+        if checksum(&body) != sum {
+            self.torn = true;
+            return Ok(None);
+        }
+        match decode_body(&body) {
+            Ok(rec) => {
+                self.pos += 8 + body_len;
+                Ok(Some((self.pos, rec)))
+            }
+            Err(_) => {
+                self.torn = true;
+                Ok(None)
+            }
+        }
+    }
+
+    /// The file being streamed.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Byte offset just past the last intact frame returned so far.
+    pub fn offset(&self) -> u64 {
+        self.pos
+    }
+
+    /// `true` if the stream ended on a torn/corrupt frame rather than a
+    /// clean end of file.
+    pub fn tail_torn(&self) -> bool {
+        self.torn
     }
 }
 
@@ -480,5 +596,38 @@ mod tests {
     fn bad_magic_is_rejected() {
         assert!(LogReader::new(b"NOTALOG\0rest").is_none());
         assert!(LogReader::new(b"").is_none());
+    }
+
+    #[test]
+    fn frame_stream_matches_log_reader_at_every_cut() {
+        let records = sample_records();
+        let bytes = log_bytes(&records);
+        let dir = std::env::temp_dir().join(format!("finecc-stream-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal.log");
+        for cut in LOG_MAGIC.len()..=bytes.len() {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            let mut reader = LogReader::new(&bytes[..cut]).unwrap();
+            let want: Vec<(usize, LogRecord)> = reader.by_ref().collect();
+            let mut stream = FrameStream::open(&path).unwrap();
+            let mut got = Vec::new();
+            while let Some((off, rec)) = stream.next_record().unwrap() {
+                got.push((off as usize, rec));
+            }
+            assert_eq!(got, want, "cut at {cut}");
+            assert_eq!(stream.tail_torn(), reader.tail_torn(), "cut at {cut}");
+            assert_eq!(stream.offset() as usize, reader.offset(), "cut at {cut}");
+        }
+        // Bad magic is an error, not a torn tail.
+        std::fs::write(&path, b"NOTALOG\0rest").unwrap();
+        let Err(err) = FrameStream::open(&path) else {
+            panic!("bad magic accepted")
+        };
+        assert_eq!(err.offset(), Some(0));
+        // So is a file too short to hold the magic.
+        std::fs::write(&path, b"FC").unwrap();
+        assert!(FrameStream::open(&path).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,35 +1,60 @@
-//! Crash recovery: newest checkpoint + log replay in commit-timestamp
-//! order.
+//! Crash recovery: newest checkpoint + streaming log replay in
+//! commit-timestamp order, restartable at any point.
 //!
 //! The protocol:
 //!
 //! 1. Load the newest checkpoint that validates; rebuild the schema
 //!    (deterministic ids — see [`crate::checkpoint`]) and the base
 //!    store image, and restore the OID allocator.
-//! 2. Read the log up to the last intact frame (a torn final record —
-//!    a crash mid-append — ends replay cleanly; nothing after it was
-//!    acked as durable).
-//! 3. Sort the records by `(timestamp, log position)` and apply them:
-//!    commit records at or above the checkpoint's `replay_from` rewrite
-//!    their after-images field by field; creates and deletes replay
-//!    unconditionally (both are idempotent — OIDs are never reused, so
-//!    a create that is already in the checkpoint is skipped and a
-//!    delete of an absent object is a no-op). Skip records contribute
-//!    only to the timestamp accounting.
+//! 2. **Stream** the log one frame at a time ([`FrameStream`]) up to
+//!    the last intact frame (a torn final record — a crash mid-append —
+//!    ends replay cleanly; nothing after it was acked as durable).
+//! 3. Apply records in `(timestamp, log position)` order through a
+//!    **bounded reorder window**: frames enter a min-heap keyed by
+//!    `(order_ts, seq)`, and whenever the heap exceeds the window the
+//!    smallest record is applied. Group commit bounds how far a record
+//!    can sit behind its timestamp order in the file (at most a batch),
+//!    so a window ≥ the writer's `max_batch` reorders everything —
+//!    resident memory is O(window), not O(log). If the bound is ever
+//!    violated (a log written with a larger batch than the window),
+//!    replay fails loudly with
+//!    [`RecoveryError::ReorderWindowExceeded`] rather than applying
+//!    records out of order. Commit records below the checkpoint's
+//!    `replay_from` are skipped (already inside the image); creates and
+//!    deletes replay unconditionally (both are idempotent — OIDs are
+//!    never reused, so a create already in the checkpoint is skipped
+//!    and a delete of an absent object is a no-op).
 //! 4. The highest timestamp seen — commit or skip, checkpoint included
 //!    — is the clock restore point: the recovered heap's clock and
 //!    watermark both resume there, so post-recovery commits continue
 //!    with no timestamp reuse and no watermark hole, exactly as if the
 //!    skip-filled history had run in-process.
+//!
+//! **Restartability.** Recovery never writes to the log directory: the
+//! checkpoint files and the log are read-only inputs, and all mutation
+//! lands in the fresh in-memory [`Database`]. A crash at *any* point
+//! during recovery — checkpoint decode, frame scan, record apply
+//! (the [`Site::RECOVERY`](finecc_chaos::Site::RECOVERY) fault probes
+//! land at each) — therefore leaves the directory byte-identical, and
+//! a second recovery replays the same acked prefix to the same state.
+//! The chaos harness proves this by crashing recovery at every probe
+//! site and diffing the re-recovered state against an uncrashed run.
 
 use crate::checkpoint;
+use crate::error::RecoveryError;
 use crate::log::Wal;
-use crate::record::{LogReader, LogRecord};
+use crate::record::{FrameStream, LogRecord};
 use finecc_model::Schema;
 use finecc_store::Database;
-use std::io;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::path::Path;
 use std::sync::Arc;
+
+/// Default replay reorder window, matching the default
+/// [`crate::WalConfig::max_batch`]: group commit never reorders a
+/// record across more than one batch, so window ≥ batch cap suffices.
+pub const DEFAULT_REORDER_WINDOW: usize = 1024;
 
 /// What recovery found and did.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -51,22 +76,61 @@ pub struct RecoveryInfo {
     /// `true` if the log ended in a torn record (crash mid-append);
     /// replay stopped at the last intact frame.
     pub tail_torn: bool,
+    /// High-water mark of the replay reorder window: the most records
+    /// streaming replay ever held in memory at once. Bounded by the
+    /// window (+1 transiently), never by the log length — the
+    /// log-growth test asserts exactly that.
+    pub peak_reorder: u64,
 }
 
-fn no_checkpoint() -> io::Error {
-    io::Error::new(
-        io::ErrorKind::NotFound,
-        "no usable checkpoint in the log directory (a durable store writes a genesis checkpoint \
-         when the log is attached)",
-    )
+/// A frame parked in the reorder window: ordered by `(ts, seq)` so
+/// equal timestamps apply in log order, exactly like the old
+/// sort-everything replay.
+struct Keyed {
+    ts: u64,
+    seq: u64,
+    offset: u64,
+    rec: LogRecord,
+}
+
+impl PartialEq for Keyed {
+    fn eq(&self, other: &Keyed) -> bool {
+        (self.ts, self.seq) == (other.ts, other.seq)
+    }
+}
+impl Eq for Keyed {}
+impl PartialOrd for Keyed {
+    fn partial_cmp(&self, other: &Keyed) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Keyed {
+    fn cmp(&self, other: &Keyed) -> std::cmp::Ordering {
+        (self.ts, self.seq).cmp(&(other.ts, other.seq))
+    }
 }
 
 /// Rebuilds a [`Database`] from a log directory: newest checkpoint +
-/// replay. The returned database holds the recovered schema, extents,
-/// instances and OID allocator; the [`RecoveryInfo`] carries the clock
-/// restore point for version-heap callers.
-pub fn recover_database(dir: &Path) -> io::Result<(Database, RecoveryInfo)> {
-    let ckpt = checkpoint::read_latest(dir)?.ok_or_else(no_checkpoint)?;
+/// streaming replay with the [`DEFAULT_REORDER_WINDOW`]. The returned
+/// database holds the recovered schema, extents, instances and OID
+/// allocator; the [`RecoveryInfo`] carries the clock restore point for
+/// version-heap callers.
+pub fn recover_database(dir: &Path) -> Result<(Database, RecoveryInfo), RecoveryError> {
+    recover_database_with_window(dir, DEFAULT_REORDER_WINDOW)
+}
+
+/// [`recover_database`] with an explicit reorder window (tests size it
+/// down to prove the memory bound; a writer with a larger `max_batch`
+/// sizes it up to match).
+pub fn recover_database_with_window(
+    dir: &Path,
+    window: usize,
+) -> Result<(Database, RecoveryInfo), RecoveryError> {
+    use finecc_chaos::{FaultKind, Site};
+    let window = window.max(1);
+    let ckpt = checkpoint::read_latest(dir)?.ok_or_else(|| RecoveryError::NoCheckpoint {
+        dir: dir.to_path_buf(),
+    })?;
     let schema = Arc::new(ckpt.schema);
     let db = Database::new(Arc::clone(&schema));
     for inst in &ckpt.instances {
@@ -85,25 +149,45 @@ pub fn recover_database(dir: &Path) -> io::Result<(Database, RecoveryInfo)> {
     if !log_path.exists() {
         return Ok((db, info));
     }
-    let bytes = LogReader::read_file(&log_path)?;
-    let mut reader = LogReader::new(&bytes)
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "not a finecc wal file"))?;
-    let mut records: Vec<(usize, LogRecord)> = Vec::new();
-    for (idx, (_, rec)) in reader.by_ref().enumerate() {
-        records.push((idx, rec));
-    }
-    info.tail_torn = reader.tail_torn();
-    // Commit-timestamp order, log order within a timestamp (extent
-    // records share the timestamp domain through the watermark they
-    // observed).
-    records.sort_by_key(|(idx, rec)| (rec.order_ts(), *idx));
+    let mut stream = FrameStream::open(&log_path)?;
+    let mut pending: BinaryHeap<Reverse<Keyed>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    // Tracks the highest order_ts already applied (None before the
+    // first apply): the window-violation detector.
+    let mut applied_ts: Option<u64> = None;
 
-    for (_, rec) in records {
-        match rec {
+    let mut apply = |k: Keyed, info: &mut RecoveryInfo| -> Result<(), RecoveryError> {
+        match finecc_chaos::fault_at(Site::RecoverApply) {
+            Some(FaultKind::IoError) => {
+                return Err(RecoveryError::Io {
+                    file: log_path.clone(),
+                    source: "injected: recovery apply error".into(),
+                })
+            }
+            Some(FaultKind::Crash) => {
+                finecc_chaos::note_crash();
+                return Err(RecoveryError::Io {
+                    file: log_path.clone(),
+                    source: "injected: crash during recovery apply".into(),
+                });
+            }
+            _ => {}
+        }
+        if applied_ts.is_some_and(|a| k.ts < a) {
+            return Err(RecoveryError::ReorderWindowExceeded {
+                file: log_path.clone(),
+                offset: k.offset,
+                window,
+                ts: k.ts,
+                applied: applied_ts.unwrap_or(0),
+            });
+        }
+        applied_ts = Some(k.ts);
+        match k.rec {
             LogRecord::Commit { ts, writes, .. } => {
                 info.max_ts = info.max_ts.max(ts);
                 if ts < info.replay_from {
-                    continue; // already inside the checkpoint image
+                    return Ok(()); // already inside the checkpoint image
                 }
                 for w in writes {
                     // An image of a later-deleted object (or of a field
@@ -139,6 +223,45 @@ pub fn recover_database(dir: &Path) -> io::Result<(Database, RecoveryInfo)> {
                 }
             }
         }
+        Ok(())
+    };
+
+    loop {
+        match finecc_chaos::fault_at(Site::RecoverScan) {
+            Some(FaultKind::IoError) => {
+                return Err(RecoveryError::Io {
+                    file: log_path.clone(),
+                    source: "injected: recovery scan error".into(),
+                })
+            }
+            Some(FaultKind::Crash) => {
+                finecc_chaos::note_crash();
+                return Err(RecoveryError::Io {
+                    file: log_path.clone(),
+                    source: "injected: crash during recovery scan".into(),
+                });
+            }
+            _ => {}
+        }
+        let Some((offset, rec)) = stream.next_record()? else {
+            break;
+        };
+        pending.push(Reverse(Keyed {
+            ts: rec.order_ts(),
+            seq,
+            offset,
+            rec,
+        }));
+        seq += 1;
+        info.peak_reorder = info.peak_reorder.max(pending.len() as u64);
+        while pending.len() > window {
+            let Reverse(k) = pending.pop().expect("len > window > 0");
+            apply(k, &mut info)?;
+        }
+    }
+    info.tail_torn = stream.tail_torn();
+    while let Some(Reverse(k)) = pending.pop() {
+        apply(k, &mut info)?;
     }
     Ok((db, info))
 }
@@ -147,20 +270,18 @@ pub fn recover_database(dir: &Path) -> io::Result<(Database, RecoveryInfo)> {
 /// `max(newest checkpoint's replay_from, highest logged timestamp + 1)`.
 /// Lock schemes bump their commit-sequence clock here when durability
 /// is attached to a directory with history, so recovered and new
-/// commits never share a timestamp.
-pub fn recovery_floor(dir: &Path) -> io::Result<u64> {
+/// commits never share a timestamp. Streams the log — O(1) memory.
+pub fn recovery_floor(dir: &Path) -> Result<u64, RecoveryError> {
     let mut floor = match checkpoint::read_latest(dir)? {
         Some(ckpt) => ckpt.replay_from,
         None => 0,
     };
     let log_path = Wal::log_path(dir);
     if log_path.exists() {
-        let bytes = LogReader::read_file(&log_path)?;
-        if let Some(reader) = LogReader::new(&bytes) {
-            for (_, rec) in reader {
-                if let LogRecord::Commit { ts, .. } | LogRecord::Skip { ts } = rec {
-                    floor = floor.max(ts + 1);
-                }
+        let mut stream = FrameStream::open(&log_path)?;
+        while let Some((_, rec)) = stream.next_record()? {
+            if let LogRecord::Commit { ts, .. } | LogRecord::Skip { ts } = rec {
+                floor = floor.max(ts + 1);
             }
         }
     }
@@ -169,9 +290,11 @@ pub fn recovery_floor(dir: &Path) -> io::Result<u64> {
 
 /// Rebuilds a schema-aware [`Schema`] handle from the newest checkpoint
 /// without replaying the log (introspection/tooling).
-pub fn recover_schema(dir: &Path) -> io::Result<Schema> {
+pub fn recover_schema(dir: &Path) -> Result<Schema, RecoveryError> {
     Ok(checkpoint::read_latest(dir)?
-        .ok_or_else(no_checkpoint)?
+        .ok_or_else(|| RecoveryError::NoCheckpoint {
+            dir: dir.to_path_buf(),
+        })?
         .schema)
 }
 
@@ -257,6 +380,7 @@ mod tests {
         assert_eq!(info.skips, 1);
         assert_eq!(info.max_ts, 3);
         assert!(!info.tail_torn);
+        assert!(info.peak_reorder >= 1 && info.peak_reorder <= 4);
         assert_eq!(db.read(Oid(1), x), Ok(Value::Int(12)));
         assert_eq!(db.read(Oid(1), y), Ok(Value::str("ten")));
         assert_eq!(db.read(Oid(2), y), Ok(Value::str("two")));
@@ -328,10 +452,102 @@ mod tests {
     }
 
     #[test]
+    fn tiny_window_still_orders_within_its_bound() {
+        // The out-of-order pair above sits 1 frame apart; a window of 1
+        // can still reorder it (one record parked while the next
+        // streams in), and the violation detector stays quiet.
+        let dir = tmpdir("tinywin");
+        let schema = sample_schema();
+        let a = schema.class_by_name("a").unwrap();
+        let x = schema.resolve_field(a, "x").unwrap();
+        {
+            let wal = Wal::open(&dir, WalConfig::default()).unwrap();
+            wal.write_checkpoint(&CheckpointData {
+                ckpt_ts: 0,
+                replay_from: 1,
+                next_oid: 2,
+                schema: &schema,
+                instances: vec![InstanceImage {
+                    oid: Oid(1),
+                    class: a,
+                    values: vec![Value::Int(0), Value::str("")],
+                }],
+            })
+            .unwrap();
+            for pair in 0..8u64 {
+                let hi = 2 + pair * 2;
+                let lo = 1 + pair * 2;
+                wal.append_commit(hi, TxnId(hi), &[img(x, hi)]).unwrap();
+                wal.append_commit(lo, TxnId(lo), &[img(x, lo)]).unwrap();
+            }
+        }
+        let (db, info) = recover_database_with_window(&dir, 1).unwrap();
+        assert_eq!(db.read(Oid(1), x), Ok(Value::Int(16)), "highest ts wins");
+        assert_eq!(info.replayed, 16);
+        assert!(
+            info.peak_reorder <= 2,
+            "window 1 holds at most window+1 transiently: {}",
+            info.peak_reorder
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn img(field: finecc_model::FieldId, v: u64) -> FieldImage {
+        FieldImage {
+            oid: Oid(1),
+            field,
+            value: Value::Int(v as i64),
+        }
+    }
+
+    #[test]
+    fn exceeded_window_fails_loudly_not_silently() {
+        // Three records, the *first* two frames hold the two highest
+        // timestamps: a window of 1 must evict one of them before the
+        // lowest arrives — out-of-order apply, detected and refused.
+        let dir = tmpdir("exceed");
+        let schema = sample_schema();
+        let a = schema.class_by_name("a").unwrap();
+        let x = schema.resolve_field(a, "x").unwrap();
+        {
+            let wal = Wal::open(&dir, WalConfig::default()).unwrap();
+            wal.write_checkpoint(&CheckpointData {
+                ckpt_ts: 0,
+                replay_from: 1,
+                next_oid: 2,
+                schema: &schema,
+                instances: vec![InstanceImage {
+                    oid: Oid(1),
+                    class: a,
+                    values: vec![Value::Int(0), Value::str("")],
+                }],
+            })
+            .unwrap();
+            for ts in [3u64, 2, 1] {
+                wal.append_commit(ts, TxnId(ts), &[img(x, ts)]).unwrap();
+            }
+        }
+        let Err(err) = recover_database_with_window(&dir, 1) else {
+            panic!("window 1 cannot order this log")
+        };
+        assert!(
+            matches!(err, RecoveryError::ReorderWindowExceeded { window: 1, .. }),
+            "got {err}"
+        );
+        // A window covering the distance succeeds.
+        let (db, _) = recover_database_with_window(&dir, 2).unwrap();
+        assert_eq!(db.read(Oid(1), x), Ok(Value::Int(3)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn missing_checkpoint_is_an_error() {
         let dir = tmpdir("nockpt");
         std::fs::create_dir_all(&dir).unwrap();
-        assert!(recover_database(&dir).is_err());
+        let Err(err) = recover_database(&dir) else {
+            panic!("recovered with no checkpoint")
+        };
+        assert!(matches!(err, RecoveryError::NoCheckpoint { .. }));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

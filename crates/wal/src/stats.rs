@@ -15,6 +15,9 @@ pub struct WalStats {
     sync_waits: AtomicU64,
     append_failures: AtomicU64,
     recovery_replayed: AtomicU64,
+    truncations: AtomicU64,
+    truncated_bytes: AtomicU64,
+    checkpoints_removed: AtomicU64,
 }
 
 impl WalStats {
@@ -45,6 +48,16 @@ impl WalStats {
         self.append_failures.fetch_add(n, Ordering::Relaxed);
     }
 
+    pub(crate) fn sample_truncation(&self, bytes_removed: u64) {
+        self.truncations.fetch_add(1, Ordering::Relaxed);
+        self.truncated_bytes
+            .fetch_add(bytes_removed, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_checkpoints_removed(&self, n: u64) {
+        self.checkpoints_removed.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Records how many log records the recovery that produced this
     /// log's owner replayed (set once by `MvccHeap::recover` and the
     /// scheme-level recovery paths).
@@ -64,6 +77,9 @@ impl WalStats {
             sync_waits: self.sync_waits.load(Ordering::Relaxed),
             append_failures: self.append_failures.load(Ordering::Relaxed),
             recovery_replayed: self.recovery_replayed.load(Ordering::Relaxed),
+            truncations: self.truncations.load(Ordering::Relaxed),
+            truncated_bytes: self.truncated_bytes.load(Ordering::Relaxed),
+            checkpoints_removed: self.checkpoints_removed.load(Ordering::Relaxed),
         }
     }
 
@@ -78,6 +94,9 @@ impl WalStats {
         self.sync_waits.store(0, Ordering::Relaxed);
         self.append_failures.store(0, Ordering::Relaxed);
         self.recovery_replayed.store(0, Ordering::Relaxed);
+        self.truncations.store(0, Ordering::Relaxed);
+        self.truncated_bytes.store(0, Ordering::Relaxed);
+        self.checkpoints_removed.store(0, Ordering::Relaxed);
     }
 }
 
@@ -109,6 +128,12 @@ pub struct WalStatsSnapshot {
     /// Log records replayed by the recovery that produced this log's
     /// heap (0 on a fresh database).
     pub recovery_replayed: u64,
+    /// Log truncations performed (one per post-checkpoint compaction).
+    pub truncations: u64,
+    /// Bytes the truncations removed from the log file.
+    pub truncated_bytes: u64,
+    /// Old checkpoint files deleted by the retention policy.
+    pub checkpoints_removed: u64,
 }
 
 impl WalStatsSnapshot {
@@ -139,6 +164,11 @@ impl WalStatsSnapshot {
             sync_waits: self.sync_waits.saturating_sub(earlier.sync_waits),
             append_failures: self.append_failures.saturating_sub(earlier.append_failures),
             recovery_replayed: self.recovery_replayed,
+            truncations: self.truncations.saturating_sub(earlier.truncations),
+            truncated_bytes: self.truncated_bytes.saturating_sub(earlier.truncated_bytes),
+            checkpoints_removed: self
+                .checkpoints_removed
+                .saturating_sub(earlier.checkpoints_removed),
         }
     }
 }

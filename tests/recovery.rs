@@ -548,6 +548,269 @@ fn lock_scheme_undo_projection_log_recovers() {
 }
 
 #[test]
+fn truncation_keeps_every_frame_at_or_above_any_floor() {
+    // The truncation-floor property: for an *arbitrary* floor,
+    // `Wal::truncate_below(floor)` keeps exactly the frames with
+    // `order_ts >= floor`, in order — and therefore the maintenance
+    // pipeline (floor = ckpt_ts < recovery_floor) can never remove a
+    // frame recovery could still need.
+    use finecc::store::FieldImage;
+    use finecc::wal::{recovery_floor, CheckpointData, LogReader as LR};
+    let src = tmpdir("floor-prop");
+    let mut b = SchemaBuilder::new();
+    b.class("p").field("x", FieldType::Int);
+    let schema = b.finish().unwrap();
+    let class = schema.class_by_name("p").unwrap();
+    let x = schema.resolve_field(class, "x").unwrap();
+    {
+        let wal = Wal::open(&src, WalConfig::default()).unwrap();
+        wal.write_checkpoint(&CheckpointData {
+            ckpt_ts: 6,
+            replay_from: 7,
+            next_oid: 100,
+            schema: &schema,
+            instances: vec![],
+        })
+        .unwrap();
+        // Mixed record kinds so order_ts covers both `ts` and `as_of`.
+        for ts in 1..=10u64 {
+            match ts {
+                5 => wal.append_create(5, Oid(50), class).unwrap(),
+                6 => wal.append_delete(6, Oid(50)).unwrap(),
+                _ => wal
+                    .append_commit(
+                        ts,
+                        TxnId(ts),
+                        &[FieldImage {
+                            oid: Oid(1),
+                            field: x,
+                            value: Value::Int(ts as i64),
+                        }],
+                    )
+                    .unwrap(),
+            }
+        }
+    }
+    let log_bytes = LR::read_file(&Wal::log_path(&src)).unwrap();
+    let original: Vec<u64> = LR::new(&log_bytes)
+        .unwrap()
+        .map(|(_, r)| r.order_ts())
+        .collect();
+    assert_eq!(original, (1..=10).collect::<Vec<u64>>());
+    let ckpt_ts = 6u64;
+    let dst = tmpdir("floor-prop-cut");
+    for floor in 0..=12u64 {
+        crashed_copy(&src, &dst, &log_bytes, log_bytes.len(), &[]);
+        {
+            let wal = Wal::open(&dst, WalConfig::default()).unwrap();
+            wal.truncate_below(floor).unwrap();
+        }
+        let kept: Vec<u64> = LR::new(&LR::read_file(&Wal::log_path(&dst)).unwrap())
+            .unwrap()
+            .map(|(_, r)| r.order_ts())
+            .collect();
+        let expected: Vec<u64> = original.iter().copied().filter(|&t| t >= floor).collect();
+        assert_eq!(kept, expected, "floor {floor}");
+        // Every legal pipeline floor (<= ckpt_ts < replay_from) keeps
+        // all frames replay still needs, so `recovery_floor` — the ts
+        // new appends must stay above — is unmoved by truncation.
+        if floor <= ckpt_ts {
+            let needed: Vec<u64> = original.iter().copied().filter(|&t| t >= 7).collect();
+            assert!(
+                needed.iter().all(|t| kept.contains(t)),
+                "floor {floor} removed a frame above replay_from"
+            );
+            assert_eq!(recovery_floor(&dst).unwrap(), 11, "floor {floor}");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dst);
+    let _ = std::fs::remove_dir_all(&src);
+}
+
+#[test]
+fn recovery_restarts_identically_after_a_crash_at_every_probe_site() {
+    // The recovery-of-recovery matrix: crash a recovery at every
+    // probe site × hit, then recover again and demand the exact
+    // baseline state — the tentpole restartability contract.
+    use finecc::chaos::{self, ChaosConfig, FaultKind, FaultPlan, FaultSpec, Site};
+    let fx = fixture("restart-matrix", IsolationLevel::Snapshot, 3, 2);
+    for round in 0..4i64 {
+        let o = fx.oids[(round as usize) % fx.oids.len()];
+        commit_writes(&fx, &[(o, fx.fields[0])], 10 + round);
+    }
+    fx.heap.checkpoint().unwrap();
+    for round in 0..4i64 {
+        let o = fx.oids[(round as usize) % fx.oids.len()];
+        commit_writes(&fx, &[(o, fx.fields[1])], 20 + round);
+    }
+    let dir = fx.dir.clone();
+    drop(fx);
+    let (bheap, _info) = MvccHeap::recover(
+        &dir,
+        IsolationLevel::Snapshot,
+        CommitPath::Sharded,
+        WalConfig::default(),
+    )
+    .unwrap();
+    let baseline = (base_state(bheap.base()), bheap.current_ts());
+    drop(bheap);
+    let mut crashes = 0u64;
+    for site in Site::RECOVERY {
+        for hit in 0..10_000u64 {
+            let handle = chaos::install(ChaosConfig {
+                seed: 1,
+                threads: 0,
+                faults: FaultPlan::of([FaultSpec::once(site, hit, FaultKind::Crash)]),
+                replay: Vec::new(),
+            });
+            let attempt = finecc::wal::recover_database(&dir);
+            let fired = chaos::crashed();
+            drop(handle.finish());
+            match attempt {
+                Ok(_) => {
+                    assert!(!fired, "recovery survived a crash fault at {site:?}");
+                    break; // site exhausted: no hit `hit` this recovery
+                }
+                Err(e) => {
+                    assert!(fired, "un-injected recovery failure at {site:?}: {e}");
+                    crashes += 1;
+                    let (heap, _i) = MvccHeap::recover(
+                        &dir,
+                        IsolationLevel::Snapshot,
+                        CommitPath::Sharded,
+                        WalConfig::default(),
+                    )
+                    .unwrap();
+                    assert_eq!(
+                        base_state(heap.base()),
+                        baseline.0,
+                        "state diverged after crash at {site:?} hit {hit}"
+                    );
+                    assert_eq!(heap.current_ts(), baseline.1, "{site:?} hit {hit}");
+                }
+            }
+        }
+    }
+    assert!(
+        crashes >= Site::RECOVERY.len() as u64,
+        "the matrix crashed recovery only {crashes} times"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checkpoint_faults_cost_space_never_durability() {
+    // Every checkpoint probe site × {io-error, crash}: the checkpoint
+    // fails, but nothing already acknowledged is lost — recovery (from
+    // the genesis checkpoint) still reproduces the live store, and
+    // after a transient io-error the next checkpoint goes through.
+    use finecc::chaos::{self, ChaosConfig, FaultKind, FaultPlan, FaultSpec, Site};
+    for site in Site::CHECKPOINT {
+        for kind in [FaultKind::IoError, FaultKind::Crash] {
+            let name = format!("ckpt-fault-{}-{kind:?}", site.name()).to_lowercase();
+            let fx = fixture(&name, IsolationLevel::Snapshot, 2, 2);
+            let (o, f) = (fx.oids[0], fx.fields[0]);
+            commit_writes(&fx, &[(o, f)], 7);
+            let handle = chaos::install(ChaosConfig {
+                seed: 0,
+                threads: 0, // fault-only: the checkpoint runs right here
+                faults: FaultPlan::of([FaultSpec::once(site, 0, kind)]),
+                replay: Vec::new(),
+            });
+            let refused = fx.heap.checkpoint();
+            drop(handle.finish());
+            assert!(
+                refused.is_err(),
+                "{site:?} {kind:?} must fail the checkpoint"
+            );
+            // The store keeps working, and — for a transient io-error —
+            // so does the next checkpoint.
+            commit_writes(&fx, &[(o, f)], 8);
+            if kind == FaultKind::IoError {
+                fx.heap.checkpoint().expect("io-error faults are transient");
+                commit_writes(&fx, &[(o, f)], 9);
+            }
+            let live = base_state(fx.heap.base());
+            let live_ts = fx.heap.current_ts();
+            let dir = fx.dir.clone();
+            drop(fx);
+            let (heap, _info) = MvccHeap::recover(
+                &dir,
+                IsolationLevel::Snapshot,
+                CommitPath::Sharded,
+                WalConfig::default(),
+            )
+            .unwrap();
+            assert_eq!(base_state(heap.base()), live, "{site:?} {kind:?}");
+            assert_eq!(heap.current_ts(), live_ts, "{site:?} {kind:?}");
+            drop(heap);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+#[test]
+fn log_and_replay_memory_stay_bounded_across_checkpoint_cycles() {
+    // ≥ 3 checkpoint+truncation cycles: the log file never accumulates
+    // across cycles, retention caps the checkpoint files, and a
+    // recovery with a tiny reorder window still replays the tail —
+    // peak memory O(window), not O(log).
+    use finecc::wal::recover_database_with_window;
+    let fx = fixture("cycles", IsolationLevel::Snapshot, 2, 2);
+    let (o, f) = (fx.oids[0], fx.fields[0]);
+    let per_cycle = 50i64;
+    let mut sizes = Vec::new();
+    for cycle in 0..4i64 {
+        for i in 0..per_cycle {
+            commit_writes(&fx, &[(o, f)], cycle * per_cycle + i);
+        }
+        fx.heap.checkpoint().unwrap();
+        sizes.push(std::fs::metadata(Wal::log_path(&fx.dir)).unwrap().len());
+    }
+    // Truncation after each checkpoint compacts the log back to (at
+    // most) the floor frame: growth per cycle never compounds.
+    let bound = 8 + 3 * 64; // magic + a few frames of slack
+    for (cycle, &size) in sizes.iter().enumerate() {
+        assert!(
+            size < bound,
+            "cycle {cycle}: log is {size} bytes after truncation (bound {bound})"
+        );
+    }
+    // Retention: 1 + 4 checkpoints written, the default keeps 2.
+    let ckpts = std::fs::read_dir(&fx.dir)
+        .unwrap()
+        .filter(|e| {
+            e.as_ref()
+                .unwrap()
+                .file_name()
+                .to_string_lossy()
+                .ends_with(".ckpt")
+        })
+        .count();
+    assert_eq!(ckpts, 2, "retention keeps the newest two checkpoints");
+    // A tail past the last checkpoint, then recover through a window
+    // far smaller than the log.
+    for i in 0..per_cycle {
+        commit_writes(&fx, &[(o, f)], 1000 + i);
+    }
+    let live = base_state(fx.heap.base());
+    let live_ts = fx.heap.current_ts();
+    let dir = fx.dir.clone();
+    drop(fx);
+    let window = 8usize;
+    let (rdb, info) = recover_database_with_window(&dir, window).unwrap();
+    assert_eq!(info.replayed, per_cycle as u64, "the whole tail replays");
+    assert!(
+        info.peak_reorder <= window as u64 + 1,
+        "replay buffered {} frames with a window of {window}",
+        info.peak_reorder
+    );
+    assert_eq!(base_state(&rdb), live);
+    assert_eq!(info.max_ts, live_ts);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn durable_heap_read_path_takes_no_new_latches() {
     // The acceptance guard for the read path: with a WAL attached, a
     // warmed chain read is still answered with zero base loads and
