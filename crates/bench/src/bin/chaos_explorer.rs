@@ -36,11 +36,13 @@
 //! * `CHAOS_DEMO`        — run the known-bug demo instead of the sweep
 
 use finecc_chaos::{FaultKind, FaultPlan, FaultSpec, Site};
+use finecc_obs::MetricsRegistry;
 use finecc_runtime::{DurabilityLevel, SchemeKind};
 use finecc_sim::chaos::{
-    explore, minimize, pinned, replay_repro, run_chaos, write_repro, Anomaly, ChaosScenario,
+    explore, minimize, pinned, replay_repro, run_chaos, write_repro, Anomaly, ChaosReport,
+    ChaosScenario,
 };
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 fn env_u64(key: &str, default: u64) -> u64 {
     std::env::var(key)
@@ -53,6 +55,51 @@ fn out_dir() -> PathBuf {
     std::env::var("CHAOS_OUT")
         .map(PathBuf::from)
         .unwrap_or_else(|_| PathBuf::from("target/chaos-repros"))
+}
+
+/// Writes a Prometheus metrics snapshot of a failing run next to its
+/// minimized repro (`<name>.metrics.prom`), so the run's facts —
+/// commits, retries, anomaly counts by kind, checkpoint outcomes,
+/// virtual ticks — travel with the reproduction artifact.
+fn write_metrics_snapshot(repro: &Path, scheme: &str, cell: &str, seed: u64, r: &ChaosReport) {
+    let mut kinds: std::collections::BTreeMap<&'static str, u64> =
+        std::collections::BTreeMap::new();
+    for a in &r.anomalies {
+        *kinds.entry(a.kind()).or_insert(0) += 1;
+    }
+    let kinds: Vec<(&'static str, u64)> = kinds.into_iter().collect();
+    let facts = (
+        r.commits,
+        r.retries,
+        r.exhausted,
+        r.failed,
+        r.log_failures,
+        r.checkpoints,
+        r.checkpoint_failures,
+        r.outcome.ticks,
+    );
+    let seed_label = seed.to_string();
+    let reg = MetricsRegistry::new();
+    reg.register_fn(
+        &[("scheme", scheme), ("cell", cell), ("seed", &seed_label)],
+        move |c| {
+            c.counter("finecc.chaos.commits", facts.0);
+            c.counter("finecc.chaos.retries", facts.1);
+            c.counter("finecc.chaos.exhausted", facts.2);
+            c.counter("finecc.chaos.failed", facts.3);
+            c.counter("finecc.chaos.log_failures", facts.4);
+            c.counter("finecc.chaos.checkpoints", facts.5);
+            c.counter("finecc.chaos.checkpoint_failures", facts.6);
+            c.counter("finecc.chaos.ticks", facts.7);
+            for (k, n) in &kinds {
+                c.counter_with("finecc.chaos.anomalies", &[("kind", k)], *n);
+            }
+        },
+    );
+    let path = repro.with_extension("metrics.prom");
+    if let Err(e) = std::fs::write(&path, reg.render_prometheus()) {
+        eprintln!("  (could not write metrics snapshot: {e})");
+    }
 }
 
 fn main() {
@@ -118,6 +165,7 @@ fn sweep() {
                     if let Err(e) = write_repro(&path, &pin, &minimized) {
                         eprintln!("  (could not write repro: {e})");
                     }
+                    write_metrics_snapshot(&path, kind.name(), level.name(), seed, &report);
                     eprintln!(
                         "FAIL {kind}/{} seed {seed}: {} anomalies, repro at {}",
                         level.name(),
@@ -210,6 +258,7 @@ fn recovery_sweep() {
                     if let Err(e) = write_repro(&path, &pin, &minimized) {
                         eprintln!("  (could not write repro: {e})");
                     }
+                    write_metrics_snapshot(&path, kind.name(), &label, seed, &report);
                     eprintln!(
                         "FAIL {kind}/{label} seed {seed}: {} anomalies, repro at {}",
                         report.anomalies.len(),
@@ -268,6 +317,7 @@ fn demo_known_bug() {
     );
     let path = out_dir().join("lost-own-write.repro");
     write_repro(&path, &sc, &finding.minimized).expect("repro written");
+    write_metrics_snapshot(&path, "mvcc", "demo", finding.seed, &finding.report);
     let replayed = replay_repro(&path).expect("repro replays");
     assert!(
         !replayed.anomalies.is_empty(),

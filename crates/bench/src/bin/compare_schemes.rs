@@ -32,10 +32,10 @@
 //! trajectory is tracked as a machine-readable artifact across PRs.
 
 use finecc_bench::{
-    export_trace, json_object, latency_pairs, mvcc_counter_pairs, obs_from_env, txns_per_cell,
-    write_bench_json, JsonVal,
+    export_trace, json_object, latency_pairs, mvcc_counter_pairs, obs_from_env,
+    register_report_metrics, txns_per_cell, write_artifact, write_bench_json, JsonVal,
 };
-use finecc_obs::ContentionKind;
+use finecc_obs::{sampler_from_env, ContentionKind, MetricsRegistry};
 use finecc_runtime::{DurabilityLevel, SchemeKind};
 use finecc_sim::workload::{
     generate_env, generate_workload, populate_random, SchemaGenConfig, WorkloadConfig,
@@ -94,6 +94,18 @@ fn hot_rows(
 fn main() {
     let txns = txns_per_cell(600);
     let obs = obs_from_env();
+    // One registry for the whole matrix: each finished cell freezes its
+    // report under (contention, scheme) labels, and one live source
+    // tracks the in-flight cell so the optional background sampler
+    // (`FINECC_METRICS=<path>.jsonl`) sees the run as it happens. The
+    // final snapshot lands next to BENCH_schemes.json as Prometheus
+    // text exposition plus a JSON twin.
+    let reg = std::sync::Arc::new(MetricsRegistry::new());
+    let _sampler = sampler_from_env(&reg);
+    {
+        let live = std::sync::Arc::clone(&obs);
+        reg.register_fn(&[("source", "live")], move |c| live.collect_metrics(c));
+    }
     println!("mixed workload, 4 threads, {txns} txns, 10-class schema, by hot-spot skew\n");
     let mut rows = Vec::new();
     let mut mvcc_rows = Vec::new();
@@ -167,6 +179,12 @@ fn main() {
             pairs.push(("txns_per_sec", JsonVal::from(report.throughput())));
             json.push(json_object(&pairs));
             hot_rows(label, kind, &report, &mut hot_table, &mut json);
+            let contention = label.split_whitespace().next().unwrap_or(label);
+            register_report_metrics(
+                &reg,
+                &[("contention", contention), ("scheme", kind.name())],
+                &report,
+            );
             // One registry window per cell: the hottest-objects table
             // attributes to this scheme at this contention level only.
             obs.reset();
@@ -322,6 +340,15 @@ fn main() {
             pairs.extend(mvcc_counter_pairs(&report));
             pairs.extend(latency_pairs(report.txn_latency()));
             json.push(json_object(&pairs));
+            register_report_metrics(
+                &reg,
+                &[
+                    ("experiment", "durability_tax"),
+                    ("scheme", kind.name()),
+                    ("durability", level.name()),
+                ],
+                &report,
+            );
             obs.reset();
             drop(scheme);
             let _ = std::fs::remove_dir_all(&dir);
@@ -355,6 +382,14 @@ fn main() {
     match write_bench_json("BENCH_schemes.json", &json) {
         Ok(path) => println!("\nmachine-readable results: {}", path.display()),
         Err(e) => eprintln!("\nfailed to write BENCH_schemes.json: {e}"),
+    }
+    match write_artifact("BENCH_schemes.prom", &reg.render_prometheus()) {
+        Ok(path) => println!("prometheus snapshot: {}", path.display()),
+        Err(e) => eprintln!("failed to write BENCH_schemes.prom: {e}"),
+    }
+    match write_artifact("BENCH_schemes_metrics.json", &reg.render_json()) {
+        Ok(path) => println!("metrics snapshot (json): {}", path.display()),
+        Err(e) => eprintln!("failed to write BENCH_schemes_metrics.json: {e}"),
     }
     export_trace(&obs);
 }

@@ -41,10 +41,11 @@
 //! working directory) so the perf trajectory is tracked across PRs.
 
 use finecc_bench::{
-    bench_threads, json_object, latency_pairs, mvcc_counter_pairs, obs_from_env, txns_per_cell,
-    write_bench_json, JsonVal,
+    bench_threads, json_object, latency_pairs, mvcc_counter_pairs, obs_from_env,
+    register_report_metrics, txns_per_cell, write_artifact, write_bench_json, JsonVal,
 };
 use finecc_mvcc::{CommitPath, IsolationLevel};
+use finecc_obs::MetricsRegistry;
 use finecc_runtime::{MvccScheme, SchemeKind};
 use finecc_sim::workload::{
     generate_env, generate_workload, populate_random, SchemaGenConfig, WorkloadConfig,
@@ -167,7 +168,7 @@ const SCALING_VARIANTS: [(&str, IsolationLevel, CommitPath); 3] = [
     ),
 ];
 
-fn commit_scaling_sweep(json: &mut Vec<String>) {
+fn commit_scaling_sweep(json: &mut Vec<String>, reg: &MetricsRegistry) {
     let txns = txns_per_cell(1500);
     let threads_list = bench_threads(&[1, 2, 4, 8, 16]);
     println!("commit-path scaling: write-heavy workload ({txns} txns) by thread count —");
@@ -244,6 +245,16 @@ fn commit_scaling_sweep(json: &mut Vec<String>) {
             pairs.extend(mvcc_counter_pairs(&report));
             pairs.extend(latency_pairs(report.txn_latency()));
             json.push(json_object(&pairs));
+            let threads_label = threads.to_string();
+            register_report_metrics(
+                reg,
+                &[
+                    ("experiment", "commit_scaling"),
+                    ("scheme", label),
+                    ("threads", &threads_label),
+                ],
+                &report,
+            );
         }
     }
     println!(
@@ -267,7 +278,7 @@ fn commit_scaling_sweep(json: &mut Vec<String>) {
     println!("are too small to be stable — but both are recorded in the JSON.)\n");
 }
 
-fn serializability_tax_sweep(json: &mut Vec<String>) {
+fn serializability_tax_sweep(json: &mut Vec<String>, reg: &MetricsRegistry) {
     let txns = txns_per_cell(500);
     println!("the serializability tax: one mixed workload ({txns} txns, 4 threads,");
     println!("medium skew) under all six schemes — what each isolation guarantee costs\n");
@@ -334,6 +345,14 @@ fn serializability_tax_sweep(json: &mut Vec<String>) {
         pairs.extend(mvcc_counter_pairs(&report));
         pairs.extend(latency_pairs(report.txn_latency()));
         json.push(json_object(&pairs));
+        register_report_metrics(
+            reg,
+            &[
+                ("experiment", "serializability_tax"),
+                ("scheme", kind.name()),
+            ],
+            &report,
+        );
     }
     println!(
         "{}",
@@ -360,10 +379,19 @@ fn serializability_tax_sweep(json: &mut Vec<String>) {
 fn main() {
     compile_time_sweep();
     let mut json = Vec::new();
-    commit_scaling_sweep(&mut json);
-    serializability_tax_sweep(&mut json);
+    // One registry across both executed sweeps: each cell freezes its
+    // report under its sweep/scheme (and thread-count) labels, and the
+    // optional background sampler streams rows while the sweeps run.
+    let reg = std::sync::Arc::new(MetricsRegistry::new());
+    let _sampler = finecc_obs::sampler_from_env(&reg);
+    commit_scaling_sweep(&mut json, &reg);
+    serializability_tax_sweep(&mut json, &reg);
     match write_bench_json("BENCH_parallelism.json", &json) {
         Ok(path) => println!("\nmachine-readable results: {}", path.display()),
         Err(e) => eprintln!("\nfailed to write BENCH_parallelism.json: {e}"),
+    }
+    match write_artifact("BENCH_parallelism.prom", &reg.render_prometheus()) {
+        Ok(path) => println!("prometheus snapshot: {}", path.display()),
+        Err(e) => eprintln!("failed to write BENCH_parallelism.prom: {e}"),
     }
 }

@@ -189,10 +189,14 @@ const VARIANTS: [(&str, CommitPath); 2] = [
 ];
 
 /// The `obs_overhead` smoke mode (CI): measures the latch-free read
-/// rate with observability fully disabled vs histograms + contention
-/// attribution enabled, and asserts the enabled rate within 5% of the
-/// disabled one. The read path carries no histogram or registry probe
-/// at all, so the bound holds with margin; the disabled run is also
+/// rate with observability fully disabled vs the **full live telemetry
+/// plane** enabled — histograms with rotating windows, decaying
+/// contention scores, a metrics registry pulling the live handle, and
+/// a background sampler streaming JSONL rows throughout the measured
+/// rounds — and asserts the enabled rate within 5% of the disabled
+/// one. The read path carries no histogram or registry probe at all
+/// (the registry is pull-based: the sampler does the work on its own
+/// thread), so the bound holds with margin; the disabled run is also
 /// asserted to have recorded **nothing** — the zero-regression
 /// guarantee the heap's module docs promise.
 fn obs_overhead_smoke(reads_per_thread: usize) {
@@ -206,10 +210,31 @@ fn obs_overhead_smoke(reads_per_thread: usize) {
     };
     let off_obs = Arc::new(Obs::disabled());
     let on_obs = Arc::new(Obs::new(ObsConfig::enabled()));
+    // The enabled run carries the whole live plane: a registry pulling
+    // the live handle and a sampler appending rows to a scratch JSONL
+    // at a CI-realistic interval for the duration of the measurement.
+    let reg = Arc::new(finecc_obs::MetricsRegistry::new());
+    {
+        let live = Arc::clone(&on_obs);
+        reg.register_fn(&[("source", "live")], move |c| live.collect_metrics(c));
+    }
+    let sampler_path = std::env::temp_dir().join(format!(
+        "finecc-obs-overhead-{}.metrics.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&sampler_path);
+    let sampler = reg.start_sampler(&sampler_path, std::time::Duration::from_millis(50));
     // Interleave a warmup of each before the measured rounds.
     let _ = best(&off_obs);
     let off = best(&off_obs);
     let on = best(&on_obs);
+    let sampled = sampler.stop().expect("sampler exits cleanly");
+    let rows = std::fs::read_to_string(&sampled)
+        .expect("sampler output readable")
+        .lines()
+        .count();
+    assert!(rows >= 2, "sampler left a time series ({rows} rows)");
+    let _ = std::fs::remove_file(&sampled);
     for phase in Phase::ALL {
         assert_eq!(
             off_obs.phase_summary(phase).count,
@@ -231,7 +256,8 @@ fn obs_overhead_smoke(reads_per_thread: usize) {
     println!(
         "obs_overhead smoke: {THREADS} readers x {reads_per_thread} reads, best of {ROUNDS}\n\
          obs off : {off:>12.0} reads/s\n\
-         obs on  : {on:>12.0} reads/s   (histograms + contention)\n\
+         obs on  : {on:>12.0} reads/s   (windowed histograms + decaying contention\n\
+                                         + registry + sampler, {rows} JSONL rows)\n\
          ratio   : {ratio:.3}"
     );
     assert!(

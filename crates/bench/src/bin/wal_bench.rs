@@ -293,6 +293,7 @@ fn main() {
                     stats.log_bytes.to_string(),
                     stats.log_fsyncs.to_string(),
                     format!("{:.2}", stats.mean_group_commit()),
+                    stats.group_commit_p99.to_string(),
                     stats.group_commit_max.to_string(),
                     format!("{:.0}", LatencySummary::us(commit_lat.p50)),
                     format!("{:.0}", LatencySummary::us(commit_lat.p99)),
@@ -312,6 +313,8 @@ fn main() {
                         "group_commit_mean",
                         JsonVal::from(stats.mean_group_commit()),
                     ),
+                    ("group_commit_p50", JsonVal::from(stats.group_commit_p50)),
+                    ("group_commit_p99", JsonVal::from(stats.group_commit_p99)),
                     ("group_commit_max", JsonVal::from(stats.group_commit_max)),
                     ("sync_waits", JsonVal::from(stats.sync_waits)),
                     (
@@ -384,6 +387,7 @@ fn main() {
                 "log bytes",
                 "fsyncs",
                 "mean batch",
+                "p99 batch",
                 "max batch",
                 "commit p50 µs",
                 "commit p99 µs",

@@ -4,7 +4,7 @@
 //! EXPERIMENTS.md) and criterion micro-benchmarks (`benches/`). This
 //! library holds the synthetic schemas the experiments share.
 
-use finecc_obs::{LatencySummary, Obs, ObsConfig};
+use finecc_obs::{Collector, LatencySummary, MetricsRegistry, Obs, ObsConfig};
 use finecc_runtime::Env;
 use finecc_sim::ExecReport;
 use std::fmt::Write as _;
@@ -85,6 +85,36 @@ pub fn latency_pairs(lat: LatencySummary) -> [(&'static str, JsonVal); 5] {
         ("lat_max_us", JsonVal::from(LatencySummary::us(lat.max))),
         ("lat_mean_us", JsonVal::from(LatencySummary::us(lat.mean))),
     ]
+}
+
+/// Registers a **frozen** metric source over a finished run's report:
+/// run-level outcome counters (`finecc.run.*`) plus everything the
+/// report carries — the observability phases (cumulative and windowed),
+/// contention totals, decayed hot scores, lock-manager counters, and
+/// the mvcc / WAL blocks when the scheme has them — under the same
+/// dotted names the live sources use, so one Prometheus scrape of a
+/// finished matrix reads exactly like a scrape of a live run. Frozen
+/// sources are how per-cell labels work when the experiment rebuilds
+/// its scheme for every cell: the report is `Copy`, the closure owns
+/// it, and the cell's environment can be dropped.
+pub fn register_report_metrics(reg: &MetricsRegistry, labels: &[(&str, &str)], r: &ExecReport) {
+    let r = *r;
+    reg.register_fn(labels, move |c: &mut Collector| {
+        c.counter("finecc.run.committed", r.committed);
+        c.counter("finecc.run.exhausted", r.exhausted);
+        c.counter("finecc.run.failed", r.failed);
+        c.counter("finecc.run.retries", r.retries);
+        c.gauge("finecc.run.elapsed_ms", r.elapsed.as_secs_f64() * 1e3);
+        c.gauge("finecc.run.txns_per_sec", r.throughput());
+        r.obs.collect_metrics(c);
+        r.lock.collect_metrics(c);
+        if let Some(m) = &r.mvcc {
+            m.collect_metrics(c);
+        }
+        if let Some(w) = &r.wal {
+            w.collect_metrics(c);
+        }
+    });
 }
 
 /// A scalar in the machine-readable bench artifacts. The experiments
@@ -179,19 +209,6 @@ pub fn json_object(pairs: &[(&str, JsonVal)]) -> String {
 /// artifact — the old file survives intact until the new one is fully
 /// on disk.
 pub fn write_bench_json(file_name: &str, rows: &[String]) -> std::io::Result<std::path::PathBuf> {
-    let dir = std::env::var("FINECC_BENCH_JSON_DIR").unwrap_or_else(|_| {
-        // The workspace root as recorded at compile time; a relocated
-        // binary (different checkout/machine) falls back to the cwd
-        // rather than resurrecting the build machine's path.
-        let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
-        if std::path::Path::new(root).is_dir() {
-            root.to_string()
-        } else {
-            ".".to_string()
-        }
-    });
-    std::fs::create_dir_all(&dir)?;
-    let path = std::path::Path::new(&dir).join(file_name);
     let mut body = String::from("[\n");
     for (i, row) in rows.iter().enumerate() {
         body.push_str("  ");
@@ -199,9 +216,36 @@ pub fn write_bench_json(file_name: &str, rows: &[String]) -> std::io::Result<std
         body.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
     body.push_str("]\n");
+    write_artifact(file_name, &body)
+}
+
+/// The directory the bench artifacts land in: `$FINECC_BENCH_JSON_DIR`,
+/// else the workspace root as recorded at compile time; a relocated
+/// binary (different checkout/machine) falls back to the cwd rather
+/// than resurrecting the build machine's path.
+pub fn artifact_dir() -> String {
+    std::env::var("FINECC_BENCH_JSON_DIR").unwrap_or_else(|_| {
+        let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+        if std::path::Path::new(root).is_dir() {
+            root.to_string()
+        } else {
+            ".".to_string()
+        }
+    })
+}
+
+/// Writes `contents` to `<artifact_dir()>/<file_name>` **atomically**
+/// (temp file in the same directory, then rename — see
+/// [`write_bench_json`]; this is its write path, shared so the
+/// Prometheus `.prom` snapshots get the same no-torn-file guarantee as
+/// the `BENCH_*.json` rows). Returns the path written.
+pub fn write_artifact(file_name: &str, contents: &str) -> std::io::Result<std::path::PathBuf> {
+    let dir = artifact_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = std::path::Path::new(&dir).join(file_name);
     // Same-directory temp file so the rename cannot cross filesystems.
     let tmp = std::path::Path::new(&dir).join(format!(".{file_name}.{}.tmp", std::process::id()));
-    std::fs::write(&tmp, body)?;
+    std::fs::write(&tmp, contents)?;
     match std::fs::rename(&tmp, &path) {
         Ok(()) => Ok(path),
         Err(e) => {

@@ -81,8 +81,9 @@ pub struct LockManager<S> {
     state: Mutex<State>,
     cv: Condvar,
     next_txn: AtomicU64,
-    /// Live counters.
-    pub stats: LockStats,
+    /// Live counters, shared so metrics-registry sources can hold them
+    /// beyond the manager's borrow.
+    pub stats: Arc<LockStats>,
     victim_policy: VictimPolicy,
     wait_timeout: Duration,
     obs: Arc<Obs>,
@@ -97,7 +98,7 @@ impl<S: ModeSource> LockManager<S> {
             state: Mutex::new(State::default()),
             cv: Condvar::new(),
             next_txn: AtomicU64::new(1),
-            stats: LockStats::default(),
+            stats: Arc::new(LockStats::default()),
             victim_policy: VictimPolicy::Requester,
             wait_timeout: Duration::from_secs(10),
             obs: Arc::new(Obs::disabled()),

@@ -73,6 +73,18 @@ impl LockStats {
 }
 
 impl StatsSnapshot {
+    /// Emits every counter under stable `finecc.lock.*` names.
+    pub fn collect_metrics(&self, c: &mut finecc_obs::Collector) {
+        c.counter("finecc.lock.requests", self.requests);
+        c.counter("finecc.lock.immediate", self.immediate);
+        c.counter("finecc.lock.blocks", self.blocks);
+        c.counter("finecc.lock.deadlocks", self.deadlocks);
+        c.counter("finecc.lock.timeouts", self.timeouts);
+        c.counter("finecc.lock.upgrades", self.upgrades);
+        c.counter("finecc.lock.releases", self.releases);
+        c.counter("finecc.lock.would_blocks", self.would_blocks);
+    }
+
     /// The difference `self - earlier`, counter-wise (saturating).
     pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         StatsSnapshot {

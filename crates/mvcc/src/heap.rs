@@ -553,7 +553,8 @@ impl MvccHeap {
         let dir = dir.as_ref();
         let (db, info) = finecc_wal::recover_database(dir)?;
         let wal = Arc::new(Wal::open(dir, config)?);
-        wal.stats().set_recovery_replayed(info.replayed);
+        wal.stats()
+            .set_recovery_progress(info.replayed, info.bytes_scanned, info.peak_reorder);
         let heap = MvccHeap::build(Arc::new(db), isolation, commit_path, Some(wal), info.max_ts);
         Ok((heap, info))
     }
@@ -698,6 +699,7 @@ impl MvccHeap {
             .wal
             .as_ref()
             .expect("checkpoint requires an attached write-ahead log");
+        let ckpt_start = self.obs.clock();
         let epoch = self.epochs.register(&self.watermark);
         let ckpt_ts = epoch.ts;
         let schema = self.base.schema();
@@ -738,6 +740,7 @@ impl MvccHeap {
         // log *will* surface on the next append.)
         let _ = wal.prune_checkpoints();
         let _ = wal.truncate_below(ckpt_ts);
+        self.obs.record_since(Phase::Checkpoint, ckpt_start);
         Ok(ckpt_ts)
     }
 

@@ -190,6 +190,28 @@ impl MvccStatsSnapshot {
         }
     }
 
+    /// Emits every counter under stable `finecc.mvcc.*` names.
+    pub fn collect_metrics(&self, c: &mut finecc_obs::Collector) {
+        c.counter("finecc.mvcc.begins", self.begins);
+        c.counter("finecc.mvcc.commits", self.commits);
+        c.counter("finecc.mvcc.aborts", self.aborts);
+        c.counter("finecc.mvcc.write_conflicts", self.write_conflicts);
+        c.counter("finecc.mvcc.ssi_aborts", self.ssi_aborts);
+        c.counter("finecc.mvcc.ssi_edges", self.ssi_edges);
+        c.counter("finecc.mvcc.ts_skips", self.ts_skips);
+        c.counter("finecc.mvcc.snapshot_reads", self.snapshot_reads);
+        c.counter("finecc.mvcc.read_chain_hits", self.read_chain_hits);
+        c.counter("finecc.mvcc.read_base_loads", self.read_base_loads);
+        c.counter("finecc.mvcc.read_retries", self.read_retries);
+        c.counter("finecc.mvcc.read_pin_retries", self.read_pin_retries);
+        c.counter("finecc.mvcc.watermark_waits", self.watermark_waits);
+        c.counter("finecc.mvcc.cow_reclaimed", self.cow_reclaimed);
+        c.counter("finecc.mvcc.versions_created", self.versions_created);
+        c.counter("finecc.mvcc.versions_reclaimed", self.versions_reclaimed);
+        c.gauge("finecc.mvcc.chain_len_mean", self.mean_chain_len());
+        c.gauge("finecc.mvcc.chain_len_max", self.chain_len_max as f64);
+    }
+
     /// The difference `self - earlier`, counter-wise (saturating).
     pub fn since(&self, earlier: &MvccStatsSnapshot) -> MvccStatsSnapshot {
         MvccStatsSnapshot {

@@ -8,6 +8,21 @@
 //! objects" table and (per the ROADMAP) a future adaptive meta-scheme
 //! can pick a policy *per object* from observed contention.
 //!
+//! Two rankings coexist on the same entries:
+//!
+//! * **Cumulative** ([`ContentionRegistry::top_k`]) — raw event totals
+//!   since startup/reset. Deterministic, exact, what the end-of-run
+//!   tables print.
+//! * **Decayed** ([`ContentionRegistry::top_k_decayed`]) — an EWMA
+//!   score per object with a configurable half-life: each event adds
+//!   1.0 after the standing score is decayed by
+//!   `2^-(elapsed / half_life)`. An object hot early in a run loses
+//!   half its score every half-life once the workload moves on, so
+//!   "hottest *now*" differs from "hottest ever" — exactly the signal
+//!   a run-time adaptive meta-scheme needs to route on. Decay is
+//!   computed lazily (on record and on read), so idle objects cost
+//!   nothing.
+//!
 //! The registry sits off the hot path by construction: it is only
 //! touched when something already went wrong (a block, a conflict, an
 //! abort, a retry), never on a granted lock or a clean read.
@@ -15,6 +30,7 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Contention event classes tracked per object.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -105,12 +121,16 @@ impl fmt::Display for ObjKey {
 
 /// One row of the hottest-objects table. `Copy` so a fixed top-K array
 /// can ride in `ExecReport`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct HotObject {
     /// The attributed object.
     pub key: ObjKey,
     /// Event counts indexed by [`ContentionKind`].
     pub counts: [u64; KIND_COUNT],
+    /// EWMA contention score decayed to the ranking instant (equals
+    /// [`HotObject::total`] when ranked cumulatively, or when nothing
+    /// has decayed yet).
+    pub score: f64,
 }
 
 impl HotObject {
@@ -125,12 +145,27 @@ impl HotObject {
     }
 }
 
+/// Per-key state: exact cumulative counts plus the lazily-decayed EWMA.
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    counts: [u64; KIND_COUNT],
+    /// EWMA score as of `last_ns`.
+    score: f64,
+    /// Registry-epoch timestamp of the last event.
+    last_ns: u64,
+}
+
 /// Stripes the registry's map is split over.
 const STRIPES: usize = 64;
 
-/// Striped, OID-keyed contention counters.
+/// Default half-life for the decayed ranking.
+pub const DEFAULT_HALF_LIFE: Duration = Duration::from_millis(1000);
+
+/// Striped, OID-keyed contention counters with an EWMA recency score.
 pub struct ContentionRegistry {
-    stripes: Vec<Mutex<HashMap<ObjKey, [u64; KIND_COUNT]>>>,
+    stripes: Vec<Mutex<HashMap<ObjKey, Entry>>>,
+    epoch: Instant,
+    half_life_ns: u64,
 }
 
 impl Default for ContentionRegistry {
@@ -140,20 +175,62 @@ impl Default for ContentionRegistry {
 }
 
 impl ContentionRegistry {
-    /// An empty registry.
+    /// An empty registry with the default half-life.
     pub fn new() -> ContentionRegistry {
+        ContentionRegistry::with_half_life(DEFAULT_HALF_LIFE)
+    }
+
+    /// An empty registry whose decayed scores halve every `half_life`.
+    pub fn with_half_life(half_life: Duration) -> ContentionRegistry {
         ContentionRegistry {
             stripes: (0..STRIPES).map(|_| Mutex::new(HashMap::new())).collect(),
+            epoch: Instant::now(),
+            half_life_ns: (half_life.as_nanos() as u64).max(1),
         }
+    }
+
+    /// The configured half-life in nanoseconds.
+    pub fn half_life_ns(&self) -> u64 {
+        self.half_life_ns
+    }
+
+    /// Nanoseconds since this registry's epoch — the clock
+    /// [`ContentionRegistry::record`] stamps events with and
+    /// [`ContentionRegistry::top_k_decayed`] expects.
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// `score * 2^-(dt / half_life)`, in integer-µ-halvings precision.
+    fn decay(&self, score: f64, from_ns: u64, to_ns: u64) -> f64 {
+        let dt = to_ns.saturating_sub(from_ns);
+        if dt == 0 || score == 0.0 {
+            return score;
+        }
+        score * (-(dt as f64 / self.half_life_ns as f64) * std::f64::consts::LN_2).exp()
     }
 
     /// Attributes one event to `key`. Locks one stripe briefly; called
     /// only on contention paths.
     pub fn record(&self, key: ObjKey, kind: ContentionKind) {
+        self.record_at(key, kind, self.now_ns());
+    }
+
+    /// [`ContentionRegistry::record`] with an explicit epoch-relative
+    /// timestamp — the deterministic entry point tests and replay
+    /// drivers use to model a workload shift without sleeping.
+    pub fn record_at(&self, key: ObjKey, kind: ContentionKind, now_ns: u64) {
         let mut map = self.stripes[key.stripe_hash() % STRIPES]
             .lock()
             .expect("contention stripe poisoned");
-        map.entry(key).or_insert([0; KIND_COUNT])[kind as usize] += 1;
+        let e = map.entry(key).or_insert(Entry {
+            counts: [0; KIND_COUNT],
+            score: 0.0,
+            last_ns: now_ns,
+        });
+        e.counts[kind as usize] += 1;
+        e.score = self.decay(e.score, e.last_ns, now_ns) + 1.0;
+        e.last_ns = e.last_ns.max(now_ns);
     }
 
     /// Per-class totals summed across every stripe (the invariant the
@@ -162,8 +239,8 @@ impl ContentionRegistry {
         let mut out = [0u64; KIND_COUNT];
         for stripe in &self.stripes {
             let map = stripe.lock().expect("contention stripe poisoned");
-            for counts in map.values() {
-                for (o, c) in out.iter_mut().zip(counts.iter()) {
+            for e in map.values() {
+                for (o, c) in out.iter_mut().zip(e.counts.iter()) {
                     *o += c;
                 }
             }
@@ -171,18 +248,45 @@ impl ContentionRegistry {
         out
     }
 
-    /// The `k` hottest objects by total events, hottest first (ties
-    /// broken by key for determinism).
+    /// The `k` hottest objects by *cumulative* total events, hottest
+    /// first (ties broken by key for determinism). Exact and
+    /// time-independent; `score` in the rows equals the total.
     pub fn top_k(&self, k: usize) -> Vec<HotObject> {
         let mut all: Vec<HotObject> = Vec::new();
         for stripe in &self.stripes {
             let map = stripe.lock().expect("contention stripe poisoned");
-            all.extend(map.iter().map(|(key, counts)| HotObject {
+            all.extend(map.iter().map(|(key, e)| HotObject {
                 key: *key,
-                counts: *counts,
+                counts: e.counts,
+                score: e.counts.iter().sum::<u64>() as f64,
             }));
         }
         all.sort_by(|a, b| b.total().cmp(&a.total()).then(a.key.cmp(&b.key)));
+        all.truncate(k);
+        all
+    }
+
+    /// The `k` hottest objects by EWMA score decayed to `now_ns`,
+    /// hottest first — "hottest *now*" rather than "hottest ever".
+    /// Ties (e.g. everything fully decayed to ~0) fall back to
+    /// cumulative total, then key.
+    pub fn top_k_decayed(&self, k: usize, now_ns: u64) -> Vec<HotObject> {
+        let mut all: Vec<HotObject> = Vec::new();
+        for stripe in &self.stripes {
+            let map = stripe.lock().expect("contention stripe poisoned");
+            all.extend(map.iter().map(|(key, e)| HotObject {
+                key: *key,
+                counts: e.counts,
+                score: self.decay(e.score, e.last_ns, now_ns),
+            }));
+        }
+        all.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(b.total().cmp(&a.total()))
+                .then(a.key.cmp(&b.key))
+        });
         all.truncate(k);
         all
     }
@@ -249,5 +353,58 @@ mod tests {
         r.reset();
         assert!(r.is_empty());
         assert_eq!(r.totals(), [0; KIND_COUNT]);
+    }
+
+    #[test]
+    fn score_halves_per_half_life() {
+        let r = ContentionRegistry::with_half_life(Duration::from_nanos(1_000));
+        r.record_at(ObjKey::Instance(1), ContentionKind::LockBlock, 0);
+        let now = r.top_k_decayed(1, 0);
+        assert!((now[0].score - 1.0).abs() < 1e-9);
+        let later = r.top_k_decayed(1, 1_000);
+        assert!(
+            (later[0].score - 0.5).abs() < 1e-9,
+            "one half-life halves the score, got {}",
+            later[0].score
+        );
+        let much_later = r.top_k_decayed(1, 10_000);
+        assert!(much_later[0].score < 0.001, "ten half-lives ≈ zero");
+        // Cumulative ranking is untouched by time.
+        assert_eq!(r.top_k(1)[0].total(), 1);
+    }
+
+    #[test]
+    fn decayed_ranking_tracks_the_workload_shift() {
+        let hl = 1_000u64; // ns
+        let r = ContentionRegistry::with_half_life(Duration::from_nanos(hl));
+        // Phase 1: oid 1 is hammered.
+        for _ in 0..100 {
+            r.record_at(ObjKey::Instance(1), ContentionKind::LockBlock, 0);
+        }
+        // Phase 2, 20 half-lives later: oid 2 gets a handful of events.
+        let t2 = 20 * hl;
+        for _ in 0..3 {
+            r.record_at(ObjKey::Instance(2), ContentionKind::LockBlock, t2);
+        }
+        // Cumulatively oid 1 dominates 100 : 3 …
+        assert_eq!(r.top_k(1)[0].key, ObjKey::Instance(1));
+        // … but decayed to "now", oid 2 is the hot one
+        // (100 * 2^-20 ≈ 0.0001 vs 3).
+        let decayed = r.top_k_decayed(2, t2);
+        assert_eq!(decayed[0].key, ObjKey::Instance(2));
+        assert!(decayed[0].score > 2.9);
+        assert!(decayed[1].score < 0.01);
+    }
+
+    #[test]
+    fn record_compounds_within_a_burst() {
+        let r = ContentionRegistry::with_half_life(Duration::from_nanos(1_000));
+        // Three events at the same instant: score 3.0 exactly.
+        for _ in 0..3 {
+            r.record_at(ObjKey::Instance(5), ContentionKind::ReadRetry, 42);
+        }
+        let top = r.top_k_decayed(1, 42);
+        assert!((top[0].score - 3.0).abs() < 1e-9);
+        assert_eq!(top[0].total(), 3);
     }
 }

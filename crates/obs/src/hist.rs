@@ -44,6 +44,19 @@ impl Default for Histogram {
     }
 }
 
+impl std::fmt::Debug for Histogram {
+    /// Summarized — 2048 bucket counters would drown any containing
+    /// struct's debug output.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.snapshot();
+        f.debug_struct("Histogram")
+            .field("count", &s.count())
+            .field("max", &s.max())
+            .field("mean", &s.mean())
+            .finish_non_exhaustive()
+    }
+}
+
 impl Histogram {
     /// An empty histogram (allocates its fixed bucket array once).
     pub fn new() -> Histogram {
@@ -169,6 +182,12 @@ impl HistSnapshot {
     /// Total samples recorded.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Exact running sum of the samples (not bucketed; wraps like the
+    /// recorder's atomic).
+    pub fn sum(&self) -> u64 {
+        self.sum
     }
 
     /// Largest sample recorded (exact, not bucketed).

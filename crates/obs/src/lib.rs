@@ -1,16 +1,26 @@
 //! # finecc-obs — low-overhead observability for the runtime
 //!
-//! Three instruments behind one [`Obs`] handle:
+//! The live telemetry plane behind one [`Obs`] handle:
 //!
 //! * [`hist`] — lock-free log-bucketed latency **histograms** for the
 //!   timed [`Phase`]s (txn end-to-end, commit sub-phases, lock wait,
-//!   group-commit ack), mergeable across thread shards, quantile error
-//!   bounded by the log base (1/32).
+//!   group-commit ack, checkpoint), mergeable across thread shards,
+//!   quantile error bounded by the log base (1/32).
+//! * [`window`] — a rotating ring of **time-windowed** views over
+//!   those histograms (boundary-snapshot subtraction; the record path
+//!   stays untouched), so quantiles answer "over the last N seconds"
+//!   as well as "since startup".
 //! * [`contention`] — a striped, OID-keyed **contention registry**
 //!   attributing lock blocks, ww conflicts, SSI aborts, and read
-//!   retries to the causing objects/fields; feeds the hottest-objects
-//!   tables and (per the ROADMAP) a future adaptive per-object
-//!   meta-scheme.
+//!   retries to the causing objects/fields, with an **EWMA-decayed**
+//!   score per object so [`Obs::hottest`] means "hottest *now*";
+//!   feeds the heat-map tables and (per the ROADMAP) a future
+//!   adaptive per-object meta-scheme.
+//! * [`registry`] — the unified **metrics registry**: every
+//!   subsystem's counters under stable dotted names with labels,
+//!   pulled as a snapshot and rendered as Prometheus text exposition
+//!   or JSON, with an optional background sampler thread
+//!   (`FINECC_METRICS=out.jsonl`) appending time-series rows.
 //! * [`ring`] — bounded per-thread SPSC **event rings** with a Chrome
 //!   `trace_event` JSON exporter (`FINECC_TRACE=out.json`), sampled by
 //!   transaction id.
@@ -24,14 +34,20 @@
 
 pub mod contention;
 pub mod hist;
+pub mod registry;
 pub mod ring;
+pub mod window;
 
 pub use contention::{ContentionKind, ContentionRegistry, HotObject, ObjKey, KIND_COUNT};
 pub use hist::{HistSnapshot, Histogram, LatencySummary, ShardedHistogram};
+pub use registry::{
+    sampler_from_env, Collector, MetricKind, MetricsRegistry, MetricsSampler, Sample,
+};
 pub use ring::{Event, EventKind, TraceCollector};
+pub use window::WindowRing;
 
 use std::path::PathBuf;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// The latency distributions the runtime records, one histogram each.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -54,10 +70,12 @@ pub enum Phase {
     LockWait = 6,
     /// WAL group-commit ack wait inside `append`.
     GroupCommitAck = 7,
+    /// Checkpoint write end-to-end (quiesce + encode + fsync + rename).
+    Checkpoint = 8,
 }
 
 /// Number of [`Phase`]s.
-pub const PHASE_COUNT: usize = 8;
+pub const PHASE_COUNT: usize = 9;
 
 impl Phase {
     /// Every phase, in index order.
@@ -70,6 +88,7 @@ impl Phase {
         Phase::CommitPublish,
         Phase::LockWait,
         Phase::GroupCommitAck,
+        Phase::Checkpoint,
     ];
 
     /// Stable snake_case name for tables and JSON keys.
@@ -83,6 +102,7 @@ impl Phase {
             Phase::CommitPublish => "commit_publish",
             Phase::LockWait => "lock_wait",
             Phase::GroupCommitAck => "group_commit_ack",
+            Phase::Checkpoint => "checkpoint",
         }
     }
 }
@@ -102,7 +122,20 @@ pub struct ObsConfig {
     pub trace_sample: u64,
     /// Per-thread trace ring capacity (events).
     pub ring_capacity: usize,
+    /// Width of one histogram window (the windowed-quantile horizon is
+    /// `window_width * window_count`).
+    pub window_width: Duration,
+    /// Windows retained in the rotating ring.
+    pub window_count: usize,
+    /// Half-life of the decayed contention score: an object's score
+    /// halves every `half_life` once events stop.
+    pub half_life: Duration,
 }
+
+/// Default window width (1 s) — `FINECC_OBS_WINDOW_MS` overrides.
+pub const DEFAULT_WINDOW_WIDTH: Duration = Duration::from_millis(1000);
+/// Default window count (8 s horizon) — `FINECC_OBS_WINDOWS` overrides.
+pub const DEFAULT_WINDOW_COUNT: usize = 8;
 
 impl ObsConfig {
     /// Record nothing; every probe is a single branch.
@@ -113,6 +146,9 @@ impl ObsConfig {
             trace_path: None,
             trace_sample: 1,
             ring_capacity: 4096,
+            window_width: DEFAULT_WINDOW_WIDTH,
+            window_count: DEFAULT_WINDOW_COUNT,
+            half_life: contention::DEFAULT_HALF_LIFE,
         }
     }
 
@@ -121,9 +157,7 @@ impl ObsConfig {
         ObsConfig {
             histograms: true,
             contention: true,
-            trace_path: None,
-            trace_sample: 1,
-            ring_capacity: 4096,
+            ..ObsConfig::disabled()
         }
     }
 
@@ -137,8 +171,9 @@ impl ObsConfig {
 
     /// The bench-facing configuration: [`ObsConfig::enabled`], tracing
     /// into `$FINECC_TRACE` when set (sampling one in
-    /// `$FINECC_TRACE_SAMPLE`, default every transaction), everything
-    /// off when `FINECC_OBS=off`.
+    /// `$FINECC_TRACE_SAMPLE`, default every transaction), window and
+    /// half-life knobs from `FINECC_OBS_WINDOW_MS` / `FINECC_OBS_WINDOWS`
+    /// / `FINECC_OBS_HALFLIFE_MS`, everything off when `FINECC_OBS=off`.
     pub fn from_env() -> ObsConfig {
         if matches!(
             std::env::var("FINECC_OBS").as_deref(),
@@ -146,13 +181,22 @@ impl ObsConfig {
         ) {
             return ObsConfig::disabled();
         }
+        fn env_u64(key: &str) -> Option<u64> {
+            std::env::var(key).ok().and_then(|v| v.parse::<u64>().ok())
+        }
         let mut cfg = ObsConfig::enabled();
         cfg.trace_path = std::env::var_os("FINECC_TRACE").map(PathBuf::from);
-        if let Some(s) = std::env::var("FINECC_TRACE_SAMPLE")
-            .ok()
-            .and_then(|v| v.parse::<u64>().ok())
-        {
+        if let Some(s) = env_u64("FINECC_TRACE_SAMPLE") {
             cfg.trace_sample = s.max(1);
+        }
+        if let Some(ms) = env_u64("FINECC_OBS_WINDOW_MS") {
+            cfg.window_width = Duration::from_millis(ms.max(1));
+        }
+        if let Some(n) = env_u64("FINECC_OBS_WINDOWS") {
+            cfg.window_count = (n as usize).max(1);
+        }
+        if let Some(ms) = env_u64("FINECC_OBS_HALFLIFE_MS") {
+            cfg.half_life = Duration::from_millis(ms.max(1));
         }
         cfg
     }
@@ -167,8 +211,28 @@ struct Inner {
     config: ObsConfig,
     epoch: Instant,
     phases: [ShardedHistogram; PHASE_COUNT],
+    windows: WindowRing,
     contention: ContentionRegistry,
     trace: Option<TraceCollector>,
+}
+
+impl Inner {
+    /// Rotates the window ring to `now_ns`, snapshotting the cumulative
+    /// phase histograms if a window boundary has passed.
+    fn tick_at(&self, now_ns: u64) {
+        self.windows
+            .tick(now_ns, || self.phases.iter().map(|p| p.merged()).collect());
+    }
+
+    /// The windowed snapshot of one phase — everything recorded over
+    /// the ring's horizon (the whole run until the first rotation).
+    fn windowed_snapshot(&self, idx: usize, now_ns: u64) -> HistSnapshot {
+        let current = self.phases[idx].merged();
+        match self.windows.baseline(idx, now_ns) {
+            Some(base) => current.since(&base),
+            None => current,
+        }
+    }
 }
 
 /// The observability handle shared by a scheme and its components
@@ -204,7 +268,8 @@ impl Obs {
             inner: Some(Box::new(Inner {
                 epoch: Instant::now(),
                 phases: std::array::from_fn(|_| ShardedHistogram::new()),
-                contention: ContentionRegistry::new(),
+                windows: WindowRing::new(config.window_width, config.window_count),
+                contention: ContentionRegistry::with_half_life(config.half_life),
                 trace,
                 config,
             })),
@@ -304,7 +369,8 @@ impl Obs {
         }
     }
 
-    /// Merged quantile summary for one phase.
+    /// Merged quantile summary for one phase (cumulative since
+    /// startup/reset).
     pub fn phase_summary(&self, phase: Phase) -> LatencySummary {
         match &self.inner {
             Some(i) => i.phases[phase as usize].merged().summary(),
@@ -312,8 +378,60 @@ impl Obs {
         }
     }
 
-    /// The `k` hottest objects by attributed contention.
+    /// Rotates the window ring if a window boundary has passed since
+    /// the last observation. Recording never rotates — observers do:
+    /// the metrics sampler thread, windowed queries, or an explicit
+    /// periodic call. A no-op on a disabled handle.
+    pub fn tick(&self) {
+        if let Some(i) = &self.inner {
+            i.tick_at(i.epoch.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// Quantile summary for one phase over the rotating window horizon
+    /// (`window_width * window_count`, the whole run until the first
+    /// rotation). Ticks the ring first, so calling this periodically
+    /// is enough to keep windows rotating.
+    pub fn windowed_phase_summary(&self, phase: Phase) -> LatencySummary {
+        match &self.inner {
+            Some(i) => {
+                let now_ns = i.epoch.elapsed().as_nanos() as u64;
+                i.tick_at(now_ns);
+                i.windowed_snapshot(phase as usize, now_ns).summary()
+            }
+            None => LatencySummary::default(),
+        }
+    }
+
+    /// Every retained window of one phase as standalone snapshots,
+    /// oldest first, closed windows then the open tail. Merging them
+    /// reproduces the cumulative histogram exactly (no sample is lost
+    /// across a rotation boundary).
+    pub fn window_deltas(&self, phase: Phase) -> Vec<HistSnapshot> {
+        match &self.inner {
+            Some(i) => {
+                i.tick_at(i.epoch.elapsed().as_nanos() as u64);
+                i.windows
+                    .deltas(phase as usize, &i.phases[phase as usize].merged())
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// The `k` hottest objects by *recency-weighted* contention: EWMA
+    /// scores decayed to now, so formerly-hot objects fall out of the
+    /// top-K once the workload moves on (half-life set by
+    /// [`ObsConfig::half_life`]).
     pub fn hottest(&self, k: usize) -> Vec<HotObject> {
+        match &self.inner {
+            Some(i) => i.contention.top_k_decayed(k, i.contention.now_ns()),
+            None => Vec::new(),
+        }
+    }
+
+    /// The `k` hottest objects by cumulative event totals since
+    /// startup/reset (time-independent; what end-of-run tables print).
+    pub fn hottest_cumulative(&self, k: usize) -> Vec<HotObject> {
         match &self.inner {
             Some(i) => i.contention.top_k(k),
             None => Vec::new(),
@@ -341,19 +459,26 @@ impl Obs {
     }
 
     /// The fixed-size report of everything recorded since `before`:
-    /// per-phase quantiles (windowed by counter subtraction) plus the
-    /// current hottest objects (the registry accumulates per scheme
-    /// instance and is not windowed — see `ContentionRegistry`).
+    /// per-phase quantiles (windowed by counter subtraction), the
+    /// rotating-window quantiles as of now, plus the current hottest
+    /// objects ranked by decayed score (the registry accumulates per
+    /// scheme instance — see `ContentionRegistry`).
     pub fn report_since(&self, before: &ObsSnapshot) -> ObsReport {
         let Some(i) = &self.inner else {
             return ObsReport::default();
         };
+        let now_ns = i.epoch.elapsed().as_nanos() as u64;
+        i.tick_at(now_ns);
         let mut report = ObsReport {
             enabled: true,
             ..ObsReport::default()
         };
         for (idx, phase) in i.phases.iter().enumerate() {
             let now = phase.merged();
+            report.windowed[idx] = match i.windows.baseline(idx, now_ns) {
+                Some(base) => now.since(&base).summary(),
+                None => now.summary(),
+            };
             let windowed = match before.phases.get(idx) {
                 Some(b) => now.since(b),
                 None => now,
@@ -364,7 +489,11 @@ impl Obs {
         for (idx, t) in totals.iter().enumerate() {
             report.contention[idx] = t - before.contention[idx];
         }
-        for (slot, hot) in report.hot.iter_mut().zip(i.contention.top_k(TOP_K)) {
+        for (slot, hot) in report
+            .hot
+            .iter_mut()
+            .zip(i.contention.top_k_decayed(TOP_K, i.contention.now_ns()))
+        {
             *slot = Some(hot);
         }
         report
@@ -383,13 +512,55 @@ impl Obs {
         Ok(Some((path.clone(), n)))
     }
 
-    /// Resets histograms and the contention registry (not the trace).
+    /// Resets histograms, the window ring, and the contention registry
+    /// (not the trace).
     pub fn reset(&self) {
         if let Some(i) = &self.inner {
             for p in &i.phases {
                 p.reset();
             }
+            i.windows.reset();
             i.contention.reset();
+        }
+    }
+
+    /// Emits this handle's live metrics into a registry collector:
+    /// per-phase cumulative and windowed quantiles (labelled
+    /// `phase="…"`), contention totals (labelled `kind="…"`), and the
+    /// decayed scores of the hottest objects. Nothing on a disabled
+    /// handle.
+    pub fn collect_metrics(&self, c: &mut Collector) {
+        let Some(i) = &self.inner else {
+            return;
+        };
+        let now_ns = i.epoch.elapsed().as_nanos() as u64;
+        i.tick_at(now_ns);
+        for phase in Phase::ALL {
+            let idx = phase as usize;
+            let cum = i.phases[idx].merged().summary();
+            if cum.count == 0 {
+                continue; // unrecorded phases would only be noise
+            }
+            let labels = [("phase", phase.name())];
+            c.counter_with("finecc.obs.phase.count", &labels, cum.count);
+            c.gauge_with("finecc.obs.phase.p50_ns", &labels, cum.p50 as f64);
+            c.gauge_with("finecc.obs.phase.p99_ns", &labels, cum.p99 as f64);
+            c.gauge_with("finecc.obs.phase.max_ns", &labels, cum.max as f64);
+            c.gauge_with("finecc.obs.phase.mean_ns", &labels, cum.mean as f64);
+            let win = i.windowed_snapshot(idx, now_ns).summary();
+            c.gauge_with("finecc.obs.phase.window_count", &labels, win.count as f64);
+            c.gauge_with("finecc.obs.phase.window_p50_ns", &labels, win.p50 as f64);
+            c.gauge_with("finecc.obs.phase.window_p99_ns", &labels, win.p99 as f64);
+        }
+        for (kind, total) in ContentionKind::ALL.iter().zip(i.contention.totals()) {
+            c.counter_with("finecc.obs.contention", &[("kind", kind.name())], total);
+        }
+        for hot in i.contention.top_k_decayed(4, i.contention.now_ns()) {
+            c.gauge_with(
+                "finecc.obs.hot_score",
+                &[("object", &hot.key.to_string())],
+                hot.score,
+            );
         }
     }
 }
@@ -451,9 +622,14 @@ pub struct ObsReport {
     /// `false` when the scheme ran with observability disabled (all
     /// other fields are zero then).
     pub enabled: bool,
-    /// Quantile summaries indexed by [`Phase`].
+    /// Quantile summaries indexed by [`Phase`] (the report window:
+    /// everything since the `before` snapshot).
     pub phases: [LatencySummary; PHASE_COUNT],
-    /// The hottest objects by attributed contention, hottest first.
+    /// Rotating-window quantile summaries indexed by [`Phase`]: the
+    /// last `window_width * window_count` of the run as of the report
+    /// instant.
+    pub windowed: [LatencySummary; PHASE_COUNT],
+    /// The hottest objects by decayed contention score, hottest first.
     pub hot: [Option<HotObject>; TOP_K],
     /// Contention totals indexed by [`ContentionKind`].
     pub contention: [u64; KIND_COUNT],
@@ -465,6 +641,11 @@ impl ObsReport {
         self.phases[phase as usize]
     }
 
+    /// Rotating-window summary for one phase.
+    pub fn windowed_phase(&self, phase: Phase) -> LatencySummary {
+        self.windowed[phase as usize]
+    }
+
     /// The populated hottest-object rows.
     pub fn hottest(&self) -> impl Iterator<Item = &HotObject> {
         self.hot.iter().flatten()
@@ -473,6 +654,41 @@ impl ObsReport {
     /// Windowed total for one contention class.
     pub fn contention_total(&self, kind: ContentionKind) -> u64 {
         self.contention[kind as usize]
+    }
+
+    /// Emits this frozen report's metrics into a registry collector —
+    /// the per-cell shape experiment binaries attach under their cell
+    /// labels after each run.
+    pub fn collect_metrics(&self, c: &mut Collector) {
+        if !self.enabled {
+            return;
+        }
+        for phase in Phase::ALL {
+            let s = self.phase(phase);
+            if s.count == 0 {
+                continue;
+            }
+            let labels = [("phase", phase.name())];
+            c.counter_with("finecc.obs.phase.count", &labels, s.count);
+            c.gauge_with("finecc.obs.phase.p50_ns", &labels, s.p50 as f64);
+            c.gauge_with("finecc.obs.phase.p99_ns", &labels, s.p99 as f64);
+            c.gauge_with("finecc.obs.phase.max_ns", &labels, s.max as f64);
+            c.gauge_with("finecc.obs.phase.mean_ns", &labels, s.mean as f64);
+            let w = self.windowed_phase(phase);
+            c.gauge_with("finecc.obs.phase.window_count", &labels, w.count as f64);
+            c.gauge_with("finecc.obs.phase.window_p50_ns", &labels, w.p50 as f64);
+            c.gauge_with("finecc.obs.phase.window_p99_ns", &labels, w.p99 as f64);
+        }
+        for (kind, total) in ContentionKind::ALL.iter().zip(self.contention) {
+            c.counter_with("finecc.obs.contention", &[("kind", kind.name())], total);
+        }
+        for hot in self.hottest() {
+            c.gauge_with(
+                "finecc.obs.hot_score",
+                &[("object", &hot.key.to_string())],
+                hot.score,
+            );
+        }
     }
 }
 

@@ -1,0 +1,498 @@
+//! The unified metrics registry: every subsystem's counters and gauges
+//! under stable dotted names, pulled on demand and rendered for
+//! machines.
+//!
+//! A [`MetricsRegistry`] holds *sources* — closures registered with a
+//! fixed label set (`scheme="mvcc"`, `contention="high"`, …) that fill
+//! a [`Collector`] with [`Sample`]s when a snapshot is pulled. Sources
+//! come in two flavors and both are first-class:
+//!
+//! * **live** — a closure over an `Arc` (the `Obs` handle, the `Wal`,
+//!   the mvcc heap) that re-reads the counters on every pull; this is
+//!   what the background sampler thread samples into a JSONL time
+//!   series while a run is in flight.
+//! * **frozen** — a closure over owned values (an `ExecReport`) whose
+//!   samples never change; this is how the experiment binaries attach
+//!   one labeled row per finished cell to the end-of-run snapshot.
+//!
+//! Metric names are dotted (`finecc.mvcc.commits`); the Prometheus
+//! text renderer maps dots to underscores (`finecc_mvcc_commits`) as
+//! that format requires, the JSON renderer keeps them. Collection and
+//! rendering sit entirely off the measured paths — pulling a snapshot
+//! costs the sources' snapshot reads, recording costs nothing new.
+//!
+//! The optional background sampler ([`MetricsRegistry::start_sampler`],
+//! or [`sampler_from_env`] reading `FINECC_METRICS=out.jsonl` and
+//! `FINECC_METRICS_INTERVAL_MS`) appends one JSON row per interval, so
+//! a run leaves a time series behind, not just a final tally.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// How a metric behaves over time, for the Prometheus `# TYPE` line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone non-decreasing (event counts, bytes written).
+    Counter,
+    /// A level that can move both ways (queue depth, a quantile).
+    Gauge,
+}
+
+impl MetricKind {
+    /// Prometheus type keyword.
+    pub fn name(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+        }
+    }
+}
+
+/// One collected metric value.
+#[derive(Clone, Debug)]
+pub struct Sample {
+    /// Stable dotted name (`finecc.wal.log_bytes`).
+    pub name: String,
+    /// Label pairs: the source's registration labels plus any the
+    /// source added per-sample (e.g. `phase="commit"`).
+    pub labels: Vec<(String, String)>,
+    /// The value (counters are exact u64 counts widened to f64).
+    pub value: f64,
+    /// Counter or gauge.
+    pub kind: MetricKind,
+}
+
+/// The sink a source fills during collection. Carries the source's
+/// registration labels so every emitted sample is labeled consistently.
+pub struct Collector {
+    labels: Vec<(String, String)>,
+    samples: Vec<Sample>,
+}
+
+impl Collector {
+    fn new(labels: Vec<(String, String)>) -> Collector {
+        Collector {
+            labels,
+            samples: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, name: &str, extra: &[(&str, &str)], value: f64, kind: MetricKind) {
+        let mut labels = self.labels.clone();
+        labels.extend(
+            extra
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), (*v).to_string())),
+        );
+        self.samples.push(Sample {
+            name: name.to_string(),
+            labels,
+            value,
+            kind,
+        });
+    }
+
+    /// Emits a counter sample.
+    pub fn counter(&mut self, name: &str, value: u64) {
+        self.push(name, &[], value as f64, MetricKind::Counter);
+    }
+
+    /// Emits a counter sample with extra per-sample labels.
+    pub fn counter_with(&mut self, name: &str, extra: &[(&str, &str)], value: u64) {
+        self.push(name, extra, value as f64, MetricKind::Counter);
+    }
+
+    /// Emits a gauge sample.
+    pub fn gauge(&mut self, name: &str, value: f64) {
+        self.push(name, &[], value, MetricKind::Gauge);
+    }
+
+    /// Emits a gauge sample with extra per-sample labels.
+    pub fn gauge_with(&mut self, name: &str, extra: &[(&str, &str)], value: f64) {
+        self.push(name, extra, value, MetricKind::Gauge);
+    }
+}
+
+type SourceFn = Box<dyn Fn(&mut Collector) + Send + Sync>;
+
+struct Source {
+    labels: Vec<(String, String)>,
+    collect: SourceFn,
+}
+
+/// The pull-based registry. Cheap to share (`Arc`); sources are
+/// appended under a mutex that is never touched by recording paths.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    sources: Mutex<Vec<Source>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Registers a source under fixed labels. The closure is invoked on
+    /// every [`MetricsRegistry::snapshot`].
+    pub fn register_fn(
+        &self,
+        labels: &[(&str, &str)],
+        collect: impl Fn(&mut Collector) + Send + Sync + 'static,
+    ) {
+        self.sources
+            .lock()
+            .expect("metrics registry poisoned")
+            .push(Source {
+                labels: labels
+                    .iter()
+                    .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+                    .collect(),
+                collect: Box::new(collect),
+            });
+    }
+
+    /// Registered sources.
+    pub fn source_count(&self) -> usize {
+        self.sources
+            .lock()
+            .expect("metrics registry poisoned")
+            .len()
+    }
+
+    /// Pulls every source, returning the samples sorted by
+    /// `(name, labels)` so renders are deterministic.
+    pub fn snapshot(&self) -> Vec<Sample> {
+        let sources = self.sources.lock().expect("metrics registry poisoned");
+        let mut out = Vec::new();
+        for s in sources.iter() {
+            let mut c = Collector::new(s.labels.clone());
+            (s.collect)(&mut c);
+            out.append(&mut c.samples);
+        }
+        drop(sources);
+        out.sort_by(|a, b| a.name.cmp(&b.name).then_with(|| a.labels.cmp(&b.labels)));
+        out
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (one `# TYPE` line per metric name, dots mapped to underscores).
+    pub fn render_prometheus(&self) -> String {
+        render_prometheus(&self.snapshot())
+    }
+
+    /// Renders the snapshot as a JSON array of
+    /// `{"name", "labels", "kind", "value"}` objects (dotted names
+    /// kept).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("[\n");
+        let samples = self.snapshot();
+        for (i, s) in samples.iter().enumerate() {
+            out.push_str("  ");
+            render_sample_json(&mut out, s);
+            out.push_str(if i + 1 < samples.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("]\n");
+        out
+    }
+
+    /// One JSONL time-series row: `{"t_ms": …, "samples": [...]}`.
+    pub fn render_jsonl_row(&self, t_ms: u64) -> String {
+        let mut out = String::new();
+        write!(out, "{{\"t_ms\": {t_ms}, \"samples\": [").unwrap();
+        for (i, s) in self.snapshot().iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            render_sample_json(&mut out, s);
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Spawns the background sampler: appends one JSONL row to `path`
+    /// every `interval` until the returned handle stops (explicitly or
+    /// on drop). The first row is written immediately, so even a run
+    /// shorter than one interval leaves a time series behind.
+    pub fn start_sampler(
+        self: &Arc<Self>,
+        path: impl Into<PathBuf>,
+        interval: Duration,
+    ) -> MetricsSampler {
+        let path: PathBuf = path.into();
+        let reg = Arc::clone(self);
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_t = Arc::clone(&stop);
+        let out = path.clone();
+        let handle = std::thread::Builder::new()
+            .name("finecc-metrics-sampler".into())
+            .spawn(move || -> std::io::Result<()> {
+                if let Some(dir) = out.parent().filter(|d| !d.as_os_str().is_empty()) {
+                    std::fs::create_dir_all(dir)?;
+                }
+                let mut file = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&out)?;
+                let start = std::time::Instant::now();
+                loop {
+                    let row = reg.render_jsonl_row(start.elapsed().as_millis() as u64);
+                    writeln!(file, "{row}")?;
+                    file.flush()?;
+                    if stop_t.load(Ordering::Acquire) {
+                        return Ok(());
+                    }
+                    // Sleep in short slices so stop() returns promptly
+                    // even with a long interval.
+                    let mut left = interval;
+                    while !left.is_zero() && !stop_t.load(Ordering::Acquire) {
+                        let step = left.min(Duration::from_millis(20));
+                        std::thread::sleep(step);
+                        left = left.saturating_sub(step);
+                    }
+                }
+            })
+            .expect("sampler thread spawns");
+        MetricsSampler {
+            path,
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+/// Handle to a running sampler thread; stops and joins on drop (writing
+/// one final row, so the series always covers the end of the run).
+pub struct MetricsSampler {
+    path: PathBuf,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<std::io::Result<()>>>,
+}
+
+impl MetricsSampler {
+    /// Where the rows are going.
+    pub fn path(&self) -> &PathBuf {
+        &self.path
+    }
+
+    /// Stops the thread and returns the output path (or the I/O error
+    /// that killed the sampler).
+    pub fn stop(mut self) -> std::io::Result<PathBuf> {
+        self.finish()?;
+        Ok(std::mem::take(&mut self.path))
+    }
+
+    fn finish(&mut self) -> std::io::Result<()> {
+        self.stop.store(true, Ordering::Release);
+        match self.handle.take() {
+            Some(h) => h
+                .join()
+                .unwrap_or_else(|_| Err(std::io::Error::other("metrics sampler thread panicked"))),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for MetricsSampler {
+    fn drop(&mut self) {
+        let _ = self.finish();
+    }
+}
+
+/// Starts a sampler if `FINECC_METRICS=<path.jsonl>` is set, at the
+/// `FINECC_METRICS_INTERVAL_MS` cadence (default 250 ms). The
+/// experiment binaries call this once after wiring their sources.
+pub fn sampler_from_env(reg: &Arc<MetricsRegistry>) -> Option<MetricsSampler> {
+    let path = std::env::var_os("FINECC_METRICS")?;
+    if path.is_empty() {
+        return None;
+    }
+    let interval = std::env::var("FINECC_METRICS_INTERVAL_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map_or(Duration::from_millis(250), Duration::from_millis);
+    Some(reg.start_sampler(PathBuf::from(path), interval))
+}
+
+/// Prometheus metric names allow `[a-zA-Z0-9_:]`; dots (our separator)
+/// map to underscores, anything else unexpected is folded the same way.
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+fn prom_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn prom_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 9e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders pre-collected samples in the text exposition format (used by
+/// both the registry and frozen-sample writers).
+pub fn render_prometheus(samples: &[Sample]) -> String {
+    let mut out = String::new();
+    let mut last_name: Option<&str> = None;
+    for s in samples {
+        let name = prom_name(&s.name);
+        if last_name != Some(s.name.as_str()) {
+            writeln!(out, "# TYPE {name} {}", s.kind.name()).unwrap();
+            last_name = Some(s.name.as_str());
+        }
+        out.push_str(&name);
+        if !s.labels.is_empty() {
+            out.push('{');
+            for (i, (k, v)) in s.labels.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write!(out, "{}=\"{}\"", prom_name(k), prom_label_value(v)).unwrap();
+            }
+            out.push('}');
+        }
+        writeln!(out, " {}", prom_value(s.value)).unwrap();
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32).unwrap(),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_sample_json(out: &mut String, s: &Sample) {
+    write!(
+        out,
+        "{{\"name\": \"{}\", \"labels\": {{",
+        json_escape(&s.name)
+    )
+    .unwrap();
+    for (i, (k, v)) in s.labels.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write!(out, "\"{}\": \"{}\"", json_escape(k), json_escape(v)).unwrap();
+    }
+    let value = if s.value.is_finite() {
+        prom_value(s.value)
+    } else {
+        "null".to_string()
+    };
+    write!(
+        out,
+        "}}, \"kind\": \"{}\", \"value\": {value}}}",
+        s.kind.name()
+    )
+    .unwrap();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_pulls_sources_with_labels() {
+        let reg = MetricsRegistry::new();
+        reg.register_fn(&[("scheme", "mvcc")], |c| {
+            c.counter("finecc.test.commits", 42);
+            c.gauge_with("finecc.test.depth", &[("q", "wal")], 3.5);
+        });
+        let samples = reg.snapshot();
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].name, "finecc.test.commits");
+        assert_eq!(samples[0].labels, vec![("scheme".into(), "mvcc".into())]);
+        assert_eq!(samples[0].value, 42.0);
+        assert_eq!(samples[1].labels.len(), 2, "extra label appended");
+    }
+
+    #[test]
+    fn prometheus_render_is_exposition_format() {
+        let reg = MetricsRegistry::new();
+        reg.register_fn(&[("scheme", "tav")], |c| {
+            c.counter("finecc.lock.requests", 7);
+            c.counter_with("finecc.lock.requests", &[("mode", "read")], 5);
+        });
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE finecc_lock_requests counter"));
+        assert!(text.contains("finecc_lock_requests{scheme=\"tav\"} 7"));
+        assert!(text.contains("finecc_lock_requests{scheme=\"tav\",mode=\"read\"} 5"));
+        // One TYPE line per metric name, not per sample.
+        assert_eq!(text.matches("# TYPE").count(), 1);
+    }
+
+    #[test]
+    fn label_values_escape() {
+        let reg = MetricsRegistry::new();
+        reg.register_fn(&[("object", "a\"b\\c")], |c| c.gauge("finecc.x", 1.0));
+        let text = reg.render_prometheus();
+        assert!(text.contains("object=\"a\\\"b\\\\c\""));
+        let json = reg.render_json();
+        assert!(json.contains("a\\\"b\\\\c"));
+    }
+
+    #[test]
+    fn jsonl_row_is_one_line() {
+        let reg = MetricsRegistry::new();
+        reg.register_fn(&[], |c| c.counter("finecc.a", 1));
+        let row = reg.render_jsonl_row(123);
+        assert!(row.starts_with("{\"t_ms\": 123"));
+        assert!(!row.contains('\n'));
+    }
+
+    #[test]
+    fn sampler_appends_rows_and_stops() {
+        let path =
+            std::env::temp_dir().join(format!("finecc-sampler-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let reg = Arc::new(MetricsRegistry::new());
+        reg.register_fn(&[("bin", "test")], |c| c.gauge("finecc.test.live", 1.0));
+        let sampler = reg.start_sampler(&path, Duration::from_millis(5));
+        std::thread::sleep(Duration::from_millis(30));
+        let written = sampler.stop().unwrap();
+        assert_eq!(written, path);
+        let body = std::fs::read_to_string(&path).unwrap();
+        let rows: Vec<&str> = body.lines().collect();
+        assert!(rows.len() >= 2, "several rows over 30ms: {}", rows.len());
+        for row in rows {
+            assert!(row.starts_with("{\"t_ms\": "));
+            assert!(row.ends_with("]}"));
+            assert!(row.contains("finecc.test.live"));
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

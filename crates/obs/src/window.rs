@@ -1,0 +1,244 @@
+//! Time-windowed views over the phase histograms.
+//!
+//! The cumulative [`crate::ShardedHistogram`]s answer "since startup";
+//! a [`WindowRing`] makes them answer "over the last N seconds" without
+//! touching the record path at all. The trick is the one the
+//! histograms already use for run-relative reports: **windowing by
+//! counter subtraction**. The ring never resets a histogram and never
+//! adds a probe — it keeps a bounded deque of *boundary snapshots*
+//! (the cumulative counters at the moment each window closed), and a
+//! window's content is the difference of two consecutive boundaries.
+//!
+//! Consequences, all load-bearing:
+//!
+//! * The record path is byte-for-byte the lock-free cumulative path —
+//!   two relaxed `fetch_add`s and a `fetch_max`, no epoch check, no
+//!   reset race. Zero probes are added anywhere.
+//! * **No sample can be lost across a rotation boundary**: boundaries
+//!   are snapshots of monotone counters, so closed-window deltas plus
+//!   the open tail telescope back to the cumulative histogram
+//!   *exactly* (`merged(windows) == cumulative`), no matter how many
+//!   threads record concurrently with a rotation. The suite pins this
+//!   under a 16-thread storm.
+//! * Rotation is driven by *observers* — [`crate::Obs::tick`], any
+//!   windowed query, the metrics sampler thread — not by recorders. A
+//!   tick that arrives late closes the elapsed window(s) with one
+//!   boundary; samples recorded meanwhile attribute to the oldest
+//!   still-open window. Window edges are therefore as sharp as the
+//!   tick cadence, which is exactly the sampler interval in practice.
+
+use crate::hist::HistSnapshot;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// One closed-window boundary: the cumulative per-phase snapshots at
+/// the moment window `idx` ended.
+#[derive(Clone, Debug)]
+struct Boundary {
+    /// Index of the window this boundary closed (window `i` spans
+    /// `[i*width, (i+1)*width)` on the owning handle's epoch clock).
+    idx: u64,
+    /// Cumulative snapshot per phase, indexed like `Obs`'s phase array.
+    phases: Vec<HistSnapshot>,
+}
+
+/// A rotating ring of windowed boundary snapshots over a set of
+/// cumulative histograms (the per-[`crate::Phase`] array).
+pub struct WindowRing {
+    width_ns: u64,
+    count: usize,
+    state: Mutex<VecDeque<Boundary>>,
+}
+
+impl WindowRing {
+    /// A ring of `count` windows of `width` each (both floored to
+    /// sane minimums).
+    pub fn new(width: Duration, count: usize) -> WindowRing {
+        WindowRing {
+            width_ns: (width.as_nanos() as u64).max(1),
+            count: count.max(1),
+            state: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Window width in nanoseconds.
+    pub fn width_ns(&self) -> u64 {
+        self.width_ns
+    }
+
+    /// Windows retained (the horizon is `count * width`).
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The window index `now_ns` falls in.
+    fn idx_of(&self, now_ns: u64) -> u64 {
+        now_ns / self.width_ns
+    }
+
+    /// Closes every window that ended before `now_ns`, snapshotting the
+    /// cumulative histograms via `snap` (called at most once). Old
+    /// boundaries beyond the ring size are dropped.
+    pub fn tick(&self, now_ns: u64, snap: impl FnOnce() -> Vec<HistSnapshot>) {
+        let idx = self.idx_of(now_ns);
+        if idx == 0 {
+            return; // still inside the first window
+        }
+        let mut st = self.state.lock().expect("window ring poisoned");
+        let last_closed = st.back().map(|b| b.idx);
+        if last_closed.is_some_and(|l| l + 1 >= idx) {
+            return; // boundary for idx-1 already taken
+        }
+        st.push_back(Boundary {
+            idx: idx - 1,
+            phases: snap(),
+        });
+        while st.len() > self.count {
+            st.pop_front();
+        }
+    }
+
+    /// The cumulative baseline for "the last `count` windows": the
+    /// newest boundary at least `count` windows old, else the oldest
+    /// retained one, else `None` (window == whole run so far).
+    pub fn baseline(&self, phase: usize, now_ns: u64) -> Option<HistSnapshot> {
+        let idx = self.idx_of(now_ns);
+        let st = self.state.lock().expect("window ring poisoned");
+        let floor = idx.saturating_sub(self.count as u64);
+        st.iter()
+            .rev()
+            .find(|b| b.idx < floor)
+            .or_else(|| st.front())
+            .and_then(|b| b.phases.get(phase).cloned())
+    }
+
+    /// Every retained window of one phase as standalone snapshots,
+    /// oldest first: the delta of each consecutive boundary pair, then
+    /// the open tail (`current` minus the newest boundary). With no
+    /// boundary evicted, the deltas sum back to `current` exactly —
+    /// the rotation-loses-nothing invariant.
+    pub fn deltas(&self, phase: usize, current: &HistSnapshot) -> Vec<HistSnapshot> {
+        let st = self.state.lock().expect("window ring poisoned");
+        let mut out = Vec::with_capacity(st.len() + 1);
+        let mut prev: Option<&Boundary> = None;
+        for b in st.iter() {
+            let Some(snap) = b.phases.get(phase) else {
+                continue;
+            };
+            match prev.and_then(|p| p.phases.get(phase)) {
+                Some(p) => out.push(snap.since(p)),
+                None => out.push(snap.clone()),
+            }
+            prev = Some(b);
+        }
+        match prev.and_then(|p| p.phases.get(phase)) {
+            Some(p) => out.push(current.since(p)),
+            None => out.push(current.clone()),
+        }
+        out
+    }
+
+    /// Closed boundaries currently retained.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("window ring poisoned").len()
+    }
+
+    /// `true` before the first rotation.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every boundary (a fresh measurement window follows an
+    /// `Obs::reset`; stale baselines would subtract counters that no
+    /// longer exist).
+    pub fn reset(&self) {
+        self.state.lock().expect("window ring poisoned").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+
+    fn snap_of(h: &Histogram) -> Vec<HistSnapshot> {
+        vec![h.snapshot()]
+    }
+
+    #[test]
+    fn windows_telescope_to_cumulative() {
+        let h = Histogram::new();
+        let ring = WindowRing::new(Duration::from_nanos(100), 16);
+        h.record(10);
+        ring.tick(150, || snap_of(&h)); // closes window 0
+        h.record(20);
+        h.record(30);
+        ring.tick(250, || snap_of(&h)); // closes window 1
+        h.record(40);
+        let cur = h.snapshot();
+        let windows = ring.deltas(0, &cur);
+        assert_eq!(windows.len(), 3, "two closed + open tail");
+        assert_eq!(windows[0].count(), 1);
+        assert_eq!(windows[1].count(), 2);
+        assert_eq!(windows[2].count(), 1);
+        let mut merged = HistSnapshot::default();
+        for w in &windows {
+            merged.merge(w);
+        }
+        assert_eq!(merged.count(), cur.count());
+        assert_eq!(merged.mean(), cur.mean());
+    }
+
+    #[test]
+    fn tick_is_idempotent_within_a_window() {
+        let h = Histogram::new();
+        let ring = WindowRing::new(Duration::from_nanos(100), 4);
+        ring.tick(50, || snap_of(&h));
+        assert!(ring.is_empty(), "first window still open");
+        ring.tick(120, || snap_of(&h));
+        ring.tick(130, || snap_of(&h));
+        ring.tick(199, || snap_of(&h));
+        assert_eq!(ring.len(), 1, "one boundary per closed window");
+    }
+
+    #[test]
+    fn ring_evicts_beyond_count() {
+        let h = Histogram::new();
+        let ring = WindowRing::new(Duration::from_nanos(10), 2);
+        for t in 1..10u64 {
+            ring.tick(t * 10 + 5, || snap_of(&h));
+        }
+        assert_eq!(ring.len(), 2);
+    }
+
+    #[test]
+    fn baseline_bounds_the_horizon() {
+        let h = Histogram::new();
+        let ring = WindowRing::new(Duration::from_nanos(10), 2);
+        h.record(1);
+        ring.tick(15, || snap_of(&h)); // boundary idx 0, count=1
+        h.record(2);
+        ring.tick(25, || snap_of(&h)); // boundary idx 1, count=2
+        h.record(3);
+        ring.tick(35, || snap_of(&h)); // boundary idx 2, count=3 (idx 0 evicted)
+                                       // At now=38 (window 3), the 2-window horizon starts at window 1:
+                                       // the baseline is the boundary that closed window 0 — evicted, so
+                                       // the oldest retained (idx 1) stands in.
+        let base = ring.baseline(0, 38).expect("boundaries retained");
+        assert_eq!(base.count(), 2);
+        let windowed = h.snapshot().since(&base);
+        assert_eq!(windowed.count(), 1, "only the sample after the baseline");
+    }
+
+    #[test]
+    fn reset_clears_boundaries() {
+        let h = Histogram::new();
+        let ring = WindowRing::new(Duration::from_nanos(10), 4);
+        ring.tick(15, || snap_of(&h));
+        assert!(!ring.is_empty());
+        ring.reset();
+        assert!(ring.is_empty());
+        assert!(ring.baseline(0, 100).is_none());
+    }
+}

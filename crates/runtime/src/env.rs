@@ -147,6 +147,7 @@ impl Env {
             .wal
             .as_ref()
             .expect("checkpoint requires an attached write-ahead log");
+        let ckpt_start = self.obs.clock();
         let seq = self.commit_seq.load(std::sync::atomic::Ordering::Relaxed);
         let instances = self
             .db
@@ -165,6 +166,8 @@ impl Env {
             schema: &self.schema,
             instances,
         })?;
+        self.obs
+            .record_since(finecc_obs::Phase::Checkpoint, ckpt_start);
         Ok(seq)
     }
 

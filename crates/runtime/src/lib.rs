@@ -39,6 +39,7 @@
 //! them mechanically.
 
 pub mod env;
+pub mod metrics;
 pub mod scheme;
 pub mod schemes;
 pub mod txn;
@@ -46,6 +47,7 @@ pub mod txn;
 pub use env::Env;
 pub use finecc_mvcc::IsolationLevel;
 pub use finecc_wal::{DurabilityLevel, WalConfig, WalStatsSnapshot};
+pub use metrics::register_env_metrics;
 pub use scheme::{CcScheme, SchemeKind};
 pub use schemes::fieldlock::FieldLockScheme;
 pub use schemes::mvcc::MvccScheme;

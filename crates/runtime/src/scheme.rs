@@ -132,6 +132,17 @@ pub trait CcScheme: Send + Sync {
             .map_or(DurabilityLevel::None, |w| w.level())
     }
 
+    /// Registers this scheme's live metric sources on a
+    /// [`finecc_obs::MetricsRegistry`] under `labels` (conventionally
+    /// at least `scheme="<name>"`). The default wires the
+    /// environment-level sources — the observability plane and, when
+    /// durability is attached, the WAL counters. Schemes override to
+    /// *add* their own (lock-manager stats, version-heap stats) on top
+    /// of the same environment wiring.
+    fn register_metrics(&self, reg: &finecc_obs::MetricsRegistry, labels: &[(&str, &str)]) {
+        crate::metrics::register_env_metrics(reg, self.env(), labels);
+    }
+
     /// Takes a fuzzy checkpoint and runs the log-maintenance pipeline
     /// (checkpoint retention, log truncation), returning the checkpoint
     /// timestamp. `None` when the scheme has no online checkpoint

@@ -17,6 +17,7 @@ use finecc_lang::{DataAccess, ExecError};
 use finecc_lock::{LockManager, LockMode, ResourceId, RwSource, StatsSnapshot, READ, WRITE};
 use finecc_model::{ClassId, FieldId, MethodId, Oid, Value};
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// Run-time field locking.
 pub struct FieldLockScheme {
@@ -251,6 +252,12 @@ impl CcScheme for FieldLockScheme {
 
     fn reset_stats(&self) {
         self.lm.stats.reset();
+    }
+
+    fn register_metrics(&self, reg: &finecc_obs::MetricsRegistry, labels: &[(&str, &str)]) {
+        crate::metrics::register_env_metrics(reg, self.env(), labels);
+        let stats = Arc::clone(&self.lm.stats);
+        reg.register_fn(labels, move |c| stats.snapshot().collect_metrics(c));
     }
 }
 

@@ -342,6 +342,12 @@ impl CcScheme for MvccScheme {
         Some(self.heap.stats.snapshot())
     }
 
+    fn register_metrics(&self, reg: &finecc_obs::MetricsRegistry, labels: &[(&str, &str)]) {
+        crate::metrics::register_env_metrics(reg, self.env(), labels);
+        let heap = Arc::clone(&self.heap);
+        reg.register_fn(labels, move |c| heap.stats.snapshot().collect_metrics(c));
+    }
+
     fn checkpoint(&self) -> Option<Result<u64, ExecError>> {
         self.env.wal.as_ref()?;
         Some(self.heap.checkpoint().map_err(|e| {

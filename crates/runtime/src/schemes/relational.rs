@@ -27,6 +27,7 @@ use finecc_lang::{DataAccess, ExecError};
 use finecc_lock::{LockManager, LockMode, ResourceId, RwSource, StatsSnapshot, READ, WRITE};
 use finecc_model::{ClassId, FieldId, MethodId, Oid, Value};
 use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
 
 /// Relational decomposition with tuple locking.
 pub struct RelationalScheme {
@@ -296,6 +297,12 @@ impl CcScheme for RelationalScheme {
 
     fn reset_stats(&self) {
         self.lm.stats.reset();
+    }
+
+    fn register_metrics(&self, reg: &finecc_obs::MetricsRegistry, labels: &[(&str, &str)]) {
+        crate::metrics::register_env_metrics(reg, self.env(), labels);
+        let stats = Arc::clone(&self.lm.stats);
+        reg.register_fn(labels, move |c| stats.snapshot().collect_metrics(c));
     }
 }
 

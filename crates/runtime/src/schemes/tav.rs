@@ -240,6 +240,12 @@ impl CcScheme for TavScheme {
     fn reset_stats(&self) {
         self.lm.stats.reset();
     }
+
+    fn register_metrics(&self, reg: &finecc_obs::MetricsRegistry, labels: &[(&str, &str)]) {
+        crate::metrics::register_env_metrics(reg, self.env(), labels);
+        let stats = Arc::clone(&self.lm.stats);
+        reg.register_fn(labels, move |c| stats.snapshot().collect_metrics(c));
+    }
 }
 
 #[cfg(test)]

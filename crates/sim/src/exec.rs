@@ -123,10 +123,24 @@ impl ExecReport {
         self.wal.map_or(0.0, |w| w.mean_group_commit())
     }
 
+    /// p99 records per group-commit round during the run (0 without
+    /// durability).
+    pub fn group_commit_p99(&self) -> u64 {
+        self.wal.map_or(0, |w| w.group_commit_p99)
+    }
+
     /// End-to-end transaction latency summary for the run (all zero
     /// when observability is disabled).
     pub fn txn_latency(&self) -> finecc_obs::LatencySummary {
         self.obs.phase(finecc_obs::Phase::TxnLatency)
+    }
+
+    /// Transaction latency over the freshest rotated windows at the end
+    /// of the run — the "recent" view, as opposed to the cumulative
+    /// [`ExecReport::txn_latency`]. All zero when observability is
+    /// disabled or the run ended before the first window rotated.
+    pub fn windowed_txn_latency(&self) -> finecc_obs::LatencySummary {
+        self.obs.windowed_phase(finecc_obs::Phase::TxnLatency)
     }
 }
 

@@ -205,6 +205,7 @@ struct Shared {
 
 impl Shared {
     fn push(&self, node: &Arc<Node>) {
+        self.stats.queue_enter();
         let raw = Arc::into_raw(Arc::clone(node)) as *mut Node;
         let mut head = self.head.load(Ordering::Acquire);
         loop {
@@ -232,6 +233,9 @@ impl Shared {
             let node = unsafe { Arc::from_raw(raw) };
             raw = node.next.load(Ordering::Relaxed);
             out.push(node);
+        }
+        if !out.is_empty() {
+            self.stats.queue_exit(out.len() as u64);
         }
         out.reverse();
         out
@@ -392,6 +396,12 @@ impl Wal {
     /// Live counters.
     pub fn stats(&self) -> &WalStats {
         &self.shared.stats
+    }
+
+    /// Emits the current WAL counters into a metrics collector under
+    /// `finecc.wal.*` names.
+    pub fn collect_metrics(&self, c: &mut finecc_obs::Collector) {
+        self.shared.stats.snapshot().collect_metrics(c);
     }
 
     /// Highest commit/skip timestamp that was already in the log when

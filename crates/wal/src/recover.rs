@@ -81,6 +81,9 @@ pub struct RecoveryInfo {
     /// window (+1 transiently), never by the log length — the
     /// log-growth test asserts exactly that.
     pub peak_reorder: u64,
+    /// Log bytes the recovery scan walked (the offset just past the
+    /// last intact frame; 0 when no log file existed).
+    pub bytes_scanned: u64,
 }
 
 /// A frame parked in the reorder window: ordered by `(ts, seq)` so
@@ -246,6 +249,7 @@ pub fn recover_database_with_window(
         let Some((offset, rec)) = stream.next_record()? else {
             break;
         };
+        info.bytes_scanned = info.bytes_scanned.max(offset);
         pending.push(Reverse(Keyed {
             ts: rec.order_ts(),
             seq,

@@ -1,0 +1,359 @@
+//! Live telemetry plane, end to end: the unified metrics registry over
+//! the full scheme matrix, rotating-window correctness under a
+//! concurrent recording storm, and the decaying contention ranking.
+//!
+//! * **Prometheus export over the matrix** — every scheme's finished
+//!   run freezes into one shared registry under a `scheme` label (the
+//!   exact flow of the `compare_schemes` experiment), plus the
+//!   scheme's live sources via `CcScheme::register_metrics`; the text
+//!   exposition render is then parsed line by line and validated:
+//!   well-formed names and labels, one `# TYPE` line per metric, the
+//!   stable dotted→underscore names present, per-scheme committed
+//!   counts exact, and the windowed p99 gauge present and nonzero.
+//! * **Window rotation loses nothing** — 16 threads hammer one phase
+//!   histogram while observers force rotations; the retained window
+//!   deltas plus the open tail must merge back to the cumulative
+//!   histogram *exactly* (count, sum, max), because windows are
+//!   boundary-snapshot differences of monotone counters, never resets.
+//! * **Decay demotes stale hot spots** — an object hammered early
+//!   outscores everything cumulatively, but after a few half-lives of
+//!   silence a mildly-active newcomer must outrank it in
+//!   `Obs::hottest` while `hottest_cumulative` still remembers the
+//!   old order.
+
+use finecc::obs::{ContentionKind, MetricsRegistry, ObjKey, Obs, ObsConfig, Phase};
+use finecc::runtime::SchemeKind;
+use finecc::sim::workload::{
+    generate_env, generate_workload, populate_random, SchemaGenConfig, WorkloadConfig,
+};
+use finecc::sim::{run_concurrent, ExecConfig};
+use finecc_bench::register_report_metrics;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// A minimal Prometheus text-exposition parser (names, labels, values),
+// strict enough to catch a malformed render.
+
+#[derive(Debug)]
+struct PromSample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+fn valid_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Parses `name{k="v",...} value` (labels optional). Panics with
+/// context on malformed lines — this *is* the validation.
+fn parse_sample(line: &str) -> PromSample {
+    let (head, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+        panic!("sample line has no value: {line:?}");
+    });
+    let value: f64 = value
+        .parse()
+        .unwrap_or_else(|e| panic!("unparseable value in {line:?}: {e}"));
+    let (name, labels) = match head.split_once('{') {
+        None => (head.to_string(), Vec::new()),
+        Some((name, rest)) => {
+            let body = rest
+                .strip_suffix('}')
+                .unwrap_or_else(|| panic!("unterminated label set: {line:?}"));
+            let mut labels = Vec::new();
+            let mut remaining = body;
+            while !remaining.is_empty() {
+                let (key, rest) = remaining
+                    .split_once("=\"")
+                    .unwrap_or_else(|| panic!("malformed label in {line:?}"));
+                assert!(valid_name(key), "bad label name {key:?} in {line:?}");
+                // Find the closing quote, skipping escaped characters.
+                let mut val = String::new();
+                let mut chars = rest.char_indices();
+                let mut end = None;
+                while let Some((i, c)) = chars.next() {
+                    match c {
+                        '\\' => {
+                            let (_, esc) = chars
+                                .next()
+                                .unwrap_or_else(|| panic!("dangling escape in {line:?}"));
+                            val.push(match esc {
+                                'n' => '\n',
+                                other => other,
+                            });
+                        }
+                        '"' => {
+                            end = Some(i);
+                            break;
+                        }
+                        c => val.push(c),
+                    }
+                }
+                let end = end.unwrap_or_else(|| panic!("unterminated label value: {line:?}"));
+                labels.push((key.to_string(), val));
+                remaining = rest[end + 1..]
+                    .strip_prefix(',')
+                    .unwrap_or(&rest[end + 1..]);
+            }
+            (name.to_string(), labels)
+        }
+    };
+    assert!(valid_name(&name), "bad metric name {name:?} in {line:?}");
+    PromSample {
+        name,
+        labels,
+        value,
+    }
+}
+
+fn label<'a>(s: &'a PromSample, key: &str) -> Option<&'a str> {
+    s.labels
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+}
+
+// ---------------------------------------------------------------------------
+
+/// The compare_schemes export flow, validated: all six schemes run a
+/// small contentious workload, freeze their reports into one registry
+/// under per-scheme labels (plus their live sources), and the
+/// Prometheus render must parse cleanly with the stable names, exact
+/// per-scheme committed counts, and a windowed p99 per scheme.
+#[test]
+fn prometheus_export_covers_the_scheme_matrix() {
+    let reg = MetricsRegistry::new();
+    let mut committed: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for kind in SchemeKind::ALL {
+        let env = generate_env(&SchemaGenConfig {
+            classes: 6,
+            seed: 17,
+            write_prob: 0.6,
+            ..SchemaGenConfig::default()
+        });
+        populate_random(&env, 4);
+        let env = env.with_obs(Arc::new(Obs::new(ObsConfig::enabled())));
+        let wl = generate_workload(
+            &env,
+            &WorkloadConfig {
+                txns: 150,
+                hot_frac: 0.5,
+                hot_set: 4,
+                seed: 9,
+                ..WorkloadConfig::default()
+            },
+        );
+        let scheme = kind.build(env);
+        let report = run_concurrent(
+            scheme.as_ref(),
+            &wl.ops,
+            ExecConfig {
+                threads: 4,
+                max_retries: 100,
+            },
+        );
+        assert_eq!(report.failed, 0, "{kind}: non-retryable failure");
+        assert!(report.committed > 0, "{kind}: nothing committed");
+        register_report_metrics(&reg, &[("scheme", kind.name())], &report);
+        // The live path too — same names, a `source="live"` marker —
+        // through the trait method every scheme implements.
+        scheme.register_metrics(&reg, &[("scheme", kind.name()), ("source", "live")]);
+        committed.insert(kind.name(), report.committed);
+    }
+    let prom = reg.render_prometheus();
+
+    // Parse and structurally validate the whole exposition.
+    let mut typed: BTreeSet<String> = BTreeSet::new();
+    let mut samples: Vec<PromSample> = Vec::new();
+    for line in prom.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split(' ');
+            let name = parts.next().expect("TYPE line has a name");
+            let kind = parts.next().expect("TYPE line has a kind");
+            assert!(valid_name(name), "bad TYPE name {name:?}");
+            assert!(
+                kind == "counter" || kind == "gauge",
+                "unexpected TYPE kind {kind:?}"
+            );
+            assert!(typed.insert(name.to_string()), "duplicate TYPE for {name}");
+        } else if !line.starts_with('#') {
+            samples.push(parse_sample(line));
+        }
+    }
+    for s in &samples {
+        assert!(
+            typed.contains(&s.name),
+            "sample {} has no preceding # TYPE line",
+            s.name
+        );
+    }
+
+    // The stable names the dashboards key on, dotted → underscores.
+    for name in [
+        "finecc_run_committed",
+        "finecc_run_txns_per_sec",
+        "finecc_obs_phase_count",
+        "finecc_obs_phase_p99_ns",
+        "finecc_obs_phase_window_p99_ns",
+        "finecc_obs_contention",
+        "finecc_lock_requests",
+        "finecc_mvcc_commits",
+    ] {
+        assert!(typed.contains(name), "stable metric {name} missing");
+    }
+
+    // Per-scheme labels: the frozen committed counter must be exact for
+    // every one of the six schemes, and every scheme must expose a
+    // windowed p99 for the txn phase (nonzero: real latencies).
+    for kind in SchemeKind::ALL {
+        let c = samples
+            .iter()
+            .find(|s| s.name == "finecc_run_committed" && label(s, "scheme") == Some(kind.name()))
+            .unwrap_or_else(|| panic!("{kind}: no committed sample"));
+        assert_eq!(c.value, committed[kind.name()] as f64, "{kind}: committed");
+        let w = samples
+            .iter()
+            .find(|s| {
+                s.name == "finecc_obs_phase_window_p99_ns"
+                    && label(s, "phase") == Some("txn")
+                    && label(s, "scheme") == Some(kind.name())
+                    && label(s, "source").is_none()
+            })
+            .unwrap_or_else(|| panic!("{kind}: no windowed txn p99"));
+        assert!(w.value > 0.0, "{kind}: windowed p99 is zero");
+    }
+
+    // The JSON twin renders too (hand-rolled — the vendored serde has
+    // no JSON backend): an array of sample objects, one per sample.
+    let json = reg.render_json();
+    assert!(json.starts_with("[\n") && json.ends_with("]\n"));
+    assert_eq!(json.matches("\"name\"").count(), samples.len());
+}
+
+/// Satellite: window rotation under a 16-thread recording storm. The
+/// retained windows plus the open tail must merge back to the
+/// cumulative histogram exactly — no sample lost or double-counted at
+/// any rotation boundary, no matter how rotations interleave with
+/// recorders.
+#[test]
+fn window_rotation_loses_no_counts_under_a_16_thread_storm() {
+    const THREADS: usize = 16;
+    const PER_THREAD: u64 = 20_000;
+    let obs = Arc::new(Obs::new(ObsConfig {
+        window_width: Duration::from_millis(2),
+        window_count: 4,
+        ..ObsConfig::enabled()
+    }));
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let obs = Arc::clone(&obs);
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    obs.record_phase_ns(Phase::CommitTotal, 100 + (t as u64 * 7 + i) % 1000);
+                    if i % 4096 == 0 {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+            });
+        }
+        // An observer forcing rotations throughout the storm — ticks
+        // come from readers, never recorders.
+        let obs = Arc::clone(&obs);
+        s.spawn(move || {
+            for _ in 0..40 {
+                obs.tick();
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        });
+    });
+    obs.tick();
+    let cumulative = obs.phase_summary(Phase::CommitTotal);
+    assert_eq!(
+        cumulative.count,
+        THREADS as u64 * PER_THREAD,
+        "cumulative histogram lost samples"
+    );
+    let windows = obs.window_deltas(Phase::CommitTotal);
+    assert!(
+        windows.len() >= 2,
+        "storm spanned {} windows — no rotation happened",
+        windows.len()
+    );
+    let mut merged = finecc::obs::HistSnapshot::default();
+    for w in &windows {
+        merged.merge(w);
+    }
+    // The exact expectation, computed from the recording formula: the
+    // merged windows must reproduce count, sum AND max — any sample
+    // lost, double-counted, or torn at a rotation boundary breaks one.
+    let mut expected_sum = 0u64;
+    let mut expected_max = 0u64;
+    for t in 0..THREADS as u64 {
+        for i in 0..PER_THREAD {
+            let v = 100 + (t * 7 + i) % 1000;
+            expected_sum += v;
+            expected_max = expected_max.max(v);
+        }
+    }
+    assert_eq!(
+        merged.count(),
+        cumulative.count,
+        "merged windows dropped or double-counted samples"
+    );
+    assert_eq!(merged.sum(), expected_sum, "sum torn at a boundary");
+    assert_eq!(merged.max(), expected_max, "max lost across a boundary");
+    assert_eq!(cumulative.max, expected_max);
+}
+
+/// Satellite: an object hot early in the run decays out of
+/// [`Obs::hottest`] once the workload shifts — while the cumulative
+/// ranking still remembers it. Half-life is configured short so the
+/// shift takes milliseconds, not the production default's seconds.
+#[test]
+fn formerly_hot_object_decays_out_of_the_top_k() {
+    let obs = Obs::new(ObsConfig {
+        half_life: Duration::from_millis(20),
+        ..ObsConfig::enabled()
+    });
+    let early = ObjKey::Instance(1);
+    let late = ObjKey::Instance(2);
+    for _ in 0..400 {
+        obs.contend(early, ContentionKind::LockBlock);
+    }
+    // Let ~10 half-lives pass: the early object's score decays by
+    // ~2^-10 while its cumulative total stays put.
+    std::thread::sleep(Duration::from_millis(200));
+    for _ in 0..20 {
+        obs.contend(late, ContentionKind::WwConflict);
+    }
+    let decayed = obs.hottest(2);
+    assert_eq!(
+        decayed.first().map(|h| h.key),
+        Some(late),
+        "recency ranking must favor the active object: {decayed:?}"
+    );
+    let cumulative = obs.hottest_cumulative(2);
+    assert_eq!(
+        cumulative.first().map(|h| h.key),
+        Some(early),
+        "cumulative ranking still remembers the early storm: {cumulative:?}"
+    );
+    // And the decayed score itself is ordered the same way.
+    let early_row = decayed.iter().find(|h| h.key == early);
+    if let Some(e) = early_row {
+        assert!(
+            e.score < decayed[0].score / 10.0,
+            "early object's score barely decayed: {e:?} vs {:?}",
+            decayed[0]
+        );
+    }
+}
